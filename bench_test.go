@@ -1,0 +1,318 @@
+// Package repro's root benchmarks regenerate the evaluation of
+// DESIGN.md's experiment index: one BenchmarkE<n> per reproduced
+// table/figure (each iteration runs the experiment driver in quick
+// mode and reports the table once via b.Log), plus micro-benchmarks
+// for the core operations (instance mapping, inversion, query
+// translation and evaluation, XSLT execution, embedding search).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// and the full sweeps with cmd/xse-bench.
+package repro
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/embedding"
+	"repro/internal/experiments"
+	"repro/internal/match"
+	"repro/internal/sdtd"
+	"repro/internal/search"
+	"repro/internal/translate"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+	"repro/internal/xslt"
+)
+
+// benchTable runs an experiment driver per iteration and logs its table
+// once, so `go test -bench` both times the workload and emits the
+// reproduced rows.
+func benchTable(b *testing.B, once *sync.Once, run func(experiments.Config) experiments.Table) {
+	cfg := experiments.Config{Seed: 1, Quick: true, Trials: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table := run(cfg)
+		once.Do(func() { b.Log("\n" + table.String()) })
+	}
+}
+
+var onceE1, onceE2, onceE3, onceE4, onceE5, onceE6, onceE7 sync.Once
+
+// BenchmarkE1AccuracyVsNoise regenerates E1: heuristic success rate
+// against introduced noise.
+func BenchmarkE1AccuracyVsNoise(b *testing.B) {
+	benchTable(b, &onceE1, experiments.E1AccuracyVsNoise)
+}
+
+// BenchmarkE2AccuracyVsAtt regenerates E2: success rate against att
+// accuracy and ambiguity.
+func BenchmarkE2AccuracyVsAtt(b *testing.B) {
+	benchTable(b, &onceE2, experiments.E2AccuracyVsAtt)
+}
+
+// BenchmarkE3RuntimeVsSize regenerates E3: search time against schema
+// size.
+func BenchmarkE3RuntimeVsSize(b *testing.B) {
+	benchTable(b, &onceE3, experiments.E3RuntimeVsSize)
+}
+
+// BenchmarkE4InstMap regenerates E4: σd scaling.
+func BenchmarkE4InstMap(b *testing.B) {
+	benchTable(b, &onceE4, experiments.E4InstMapScaling)
+}
+
+// BenchmarkE5Inverse regenerates E5: σd⁻¹ scaling and round trip.
+func BenchmarkE5Inverse(b *testing.B) {
+	benchTable(b, &onceE5, experiments.E5InverseScaling)
+}
+
+// BenchmarkE6QueryTranslate regenerates E6: translation size/time
+// against the Theorem 4.3(b) bound.
+func BenchmarkE6QueryTranslate(b *testing.B) {
+	benchTable(b, &onceE6, experiments.E6QueryTranslation)
+}
+
+// BenchmarkE7Ablation regenerates E7: ambiguity/exactness/adversarial
+// ablations.
+func BenchmarkE7Ablation(b *testing.B) {
+	benchTable(b, &onceE7, experiments.E7Ablation)
+}
+
+// --- Micro-benchmarks -------------------------------------------------
+
+func benchClassDoc(b *testing.B, classes int) *xmltree.Tree {
+	b.Helper()
+	emb := workload.ClassEmbedding()
+	r := rand.New(rand.NewSource(7))
+	doc := xmltree.MustGenerate(emb.Source, r, xmltree.GenOptions{StarMax: classes, DepthBudget: 8})
+	return doc
+}
+
+// BenchmarkInstMap measures σd on a mid-sized class document.
+func BenchmarkInstMap(b *testing.B) {
+	emb := workload.ClassEmbedding()
+	doc := benchClassDoc(b, 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := emb.Apply(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInverse measures σd⁻¹.
+func BenchmarkInverse(b *testing.B) {
+	emb := workload.ClassEmbedding()
+	doc := benchClassDoc(b, 24)
+	res, err := emb.Apply(doc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := emb.Invert(res.Tree); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkXSLTForward measures the generated σd stylesheet execution.
+func BenchmarkXSLTForward(b *testing.B) {
+	emb := workload.ClassEmbedding()
+	sheet, err := xslt.ForwardStylesheet(emb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := benchClassDoc(b, 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sheet.Run(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTranslateQuery measures schema-directed translation of the
+// Example 4.8 query.
+func BenchmarkTranslateQuery(b *testing.B) {
+	tr, err := translate.New(workload.ClassEmbedding())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := xpath.MustParse(`class[cno/text() = "CS331"]/(type/regular/prereq/class)*`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Translate(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalXPath measures direct X_R evaluation.
+func BenchmarkEvalXPath(b *testing.B) {
+	doc := benchClassDoc(b, 24)
+	q := xpath.MustParse(`class[cno]/(type/regular/prereq/class)*/title/text()`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xpath.Eval(q, doc.Root)
+	}
+}
+
+// BenchmarkEvalANFA measures translated-automaton evaluation over the
+// mapped document.
+func BenchmarkEvalANFA(b *testing.B) {
+	emb := workload.ClassEmbedding()
+	tr, err := translate.New(emb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	auto, err := tr.Translate(xpath.MustParse(`class[cno]/(type/regular/prereq/class)*/title/text()`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := benchClassDoc(b, 24)
+	res, err := emb.Apply(doc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		auto.Eval(res.Tree.Root)
+	}
+}
+
+// BenchmarkFindRandom measures the Random heuristic on the Figure 1
+// pair with the unrestricted matrix.
+func BenchmarkFindRandom(b *testing.B) {
+	src, tgt := workload.ClassDTD(), workload.SchoolDTD()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := search.Find(src, tgt, nil, search.Options{Heuristic: search.Random, Seed: int64(i), MaxRestarts: 60})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Embedding == nil {
+			b.Fatal("no embedding found")
+		}
+	}
+}
+
+// BenchmarkFindUnambiguous measures the PTIME case of §5.2: pinned att
+// on a mid-sized synthetic pair.
+func BenchmarkFindUnambiguous(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	base := workload.SyntheticDTD(r, 60)
+	nc := workload.Noise(base, workload.NoiseLevel(0.2), r)
+	att := embedding.NewSimMatrix()
+	for a, t := range nc.Truth {
+		att.Set(a, t, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := search.Find(base, nc.DTD, att, search.Options{Heuristic: search.QualityOrdered, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Embedding == nil {
+			b.Fatal("ground-truth embedding not found")
+		}
+	}
+}
+
+// BenchmarkFindParallel measures the Random heuristic with 4 restart
+// workers on the Figure 1 pair (compare BenchmarkFindRandom).
+func BenchmarkFindParallel(b *testing.B) {
+	src, tgt := workload.ClassDTD(), workload.SchoolDTD()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := search.Find(src, tgt, nil, search.Options{
+			Heuristic: search.Random, Seed: int64(i), MaxRestarts: 60, Parallel: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Embedding == nil {
+			b.Fatal("no embedding found")
+		}
+	}
+}
+
+// BenchmarkCompose measures schema-level composition of the Figure 1
+// class embedding with a school-to-archive hop.
+func BenchmarkCompose(b *testing.B) {
+	s1 := workload.ClassEmbedding()
+	r := rand.New(rand.NewSource(21))
+	nc := workload.Noise(workload.SchoolDTD(), workload.NoiseOptions{RenameFrac: 0.4, InsertFrac: 0.3}, r)
+	att := embedding.NewSimMatrix()
+	for a, t := range nc.Truth {
+		att.Set(a, t, 1)
+	}
+	found, err := search.Find(workload.SchoolDTD(), nc.DTD, att, search.Options{Heuristic: search.QualityOrdered, Seed: 1})
+	if err != nil || found.Embedding == nil {
+		b.Fatal("no second hop")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := embedding.Compose(s1, found.Embedding); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpecializedTyping measures the tree-automaton typing run of
+// specialized DTDs on a merged two-source document.
+func BenchmarkSpecializedTyping(b *testing.B) {
+	merged, err := sdtd.Merge("all",
+		sdtd.FromDTD(workload.ClassDTD()),
+		sdtd.FromDTD(workload.StudentDTD()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	classDoc := xmltree.MustGenerate(workload.ClassDTD(), r, xmltree.GenOptions{StarMax: 8})
+	studentDoc := xmltree.MustGenerate(workload.StudentDTD(), r, xmltree.GenOptions{StarMax: 8})
+	doc := sdtd.WrapInstances("all", classDoc, studentDoc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := merged.Typing(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLexicalMatrix measures att construction.
+func BenchmarkLexicalMatrix(b *testing.B) {
+	src, tgt := workload.AuctionDTD(), workload.SchoolDTD()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		match.Lexical(src, tgt, 0.5)
+	}
+}
+
+// BenchmarkValidateEmbedding measures the validity checker.
+func BenchmarkValidateEmbedding(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		emb := workload.ClassEmbedding()
+		if err := emb.Validate(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

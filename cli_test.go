@@ -1,0 +1,136 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIPipeline builds the four command-line tools and drives the
+// full workflow end to end: find an embedding between two DTD files,
+// map a document forward (directly and via generated XSLT), run a
+// translated query, and invert the mapping back to the original.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	dir := t.TempDir()
+	build := exec.Command("go", "build", "-o", dir, "./cmd/...")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	classDTD := write("class.dtd", `
+<!ELEMENT db (class)*>
+<!ELEMENT class (cno, title, type)>
+<!ELEMENT cno (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT type (regular | project)>
+<!ELEMENT regular (prereq)>
+<!ELEMENT project (#PCDATA)>
+<!ELEMENT prereq (class)*>
+`)
+	schoolDTD := write("school.dtd", `
+<!ELEMENT school (courses, students)>
+<!ELEMENT courses (current, history)>
+<!ELEMENT current (course)*>
+<!ELEMENT history (course)*>
+<!ELEMENT course (basic, category)>
+<!ELEMENT basic (cno, credit, class)>
+<!ELEMENT cno (#PCDATA)>
+<!ELEMENT credit (#PCDATA)>
+<!ELEMENT class (semester)*>
+<!ELEMENT semester (title, year, term, instructor)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT term (#PCDATA)>
+<!ELEMENT instructor (#PCDATA)>
+<!ELEMENT category (mandatory | advanced)>
+<!ELEMENT mandatory (regular | lab)>
+<!ELEMENT lab (#PCDATA)>
+<!ELEMENT advanced (project | thesis)>
+<!ELEMENT thesis (#PCDATA)>
+<!ELEMENT project (#PCDATA)>
+<!ELEMENT regular (required)>
+<!ELEMENT required (prereq)>
+<!ELEMENT prereq (course)*>
+<!ELEMENT students (student)*>
+<!ELEMENT student (ssn, name, gpa, taking)>
+<!ELEMENT ssn (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT gpa (#PCDATA)>
+<!ELEMENT taking (cno)*>
+`)
+	doc := write("doc.xml", `
+<db>
+  <class><cno>CS331</cno><title>DB</title>
+    <type><regular><prereq>
+      <class><cno>CS210</cno><title>Algo</title><type><project>p</project></type></class>
+    </prereq></regular></type>
+  </class>
+</db>`)
+
+	run := func(bin string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(dir, bin), args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %s: %v\n%s", bin, strings.Join(args, " "), err, out)
+		}
+		return string(out)
+	}
+
+	mapping := filepath.Join(dir, "map.xse")
+	run("xse-embed", "-source", classDTD, "-target", schoolDTD, "-att", "uniform", "-seed", "3", "-o", mapping)
+	if data, _ := os.ReadFile(mapping); !strings.Contains(string(data), "type db -> school") {
+		t.Fatalf("mapping file lacks root assignment:\n%s", data)
+	}
+
+	common := []string{"-mapping", mapping, "-source", classDTD, "-target", schoolDTD}
+	forward := run("xse-map", append(common, doc)...)
+	if !strings.Contains(forward, "<school>") {
+		t.Fatalf("forward output:\n%s", forward)
+	}
+	out := write("out.xml", forward)
+
+	viaXSLT := run("xse-map", append(common, "-via-xslt", doc)...)
+	if viaXSLT != forward {
+		t.Error("XSLT-driven output differs from InstMap output")
+	}
+
+	inverse := run("xse-map", append(common, "-invert", out)...)
+	if !strings.Contains(inverse, "<cno>CS331</cno>") || !strings.Contains(inverse, "<cno>CS210</cno>") {
+		t.Fatalf("inverse output:\n%s", inverse)
+	}
+
+	sheet := run("xse-map", append(common, "-xslt")...)
+	if !strings.Contains(sheet, "xsl:stylesheet") || !strings.Contains(sheet, `match="class"`) {
+		t.Errorf("stylesheet output:\n%.400s", sheet)
+	}
+
+	query := run("xse-query", append(common,
+		"-query", `class[cno/text() = "CS331"]/(type/regular/prereq/class)*`,
+		"-source-doc", doc)...)
+	if !strings.Contains(query, "Q(T) = idM(Tr(Q)(σd(T))): true") {
+		t.Fatalf("query preservation check failed:\n%s", query)
+	}
+
+	answers := run("xse-query", append(common, "-query", ".//cno/text()", "-doc", out)...)
+	if !strings.Contains(answers, `"CS331"`) || !strings.Contains(answers, `"CS210"`) {
+		t.Fatalf("query answers:\n%s", answers)
+	}
+
+	bench := run("xse-bench", "-exp", "e4", "-quick")
+	if !strings.Contains(bench, "E4:") {
+		t.Fatalf("bench output:\n%s", bench)
+	}
+}

@@ -1,0 +1,42 @@
+// Command xse-bench regenerates the experimental study: it runs the
+// experiment drivers E1–E7 of DESIGN.md (the paper's §5.2 evaluation
+// plus the Theorem 4.1/4.3 scaling claims) and prints their tables.
+//
+// Usage:
+//
+//	xse-bench                 # all experiments, full sweeps
+//	xse-bench -exp e3         # one experiment
+//	xse-bench -quick          # reduced sweeps
+//	xse-bench -trials 40      # more trials per point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "run one experiment: e1..e7 (default: all)")
+		quick  = flag.Bool("quick", false, "reduced sweeps")
+		trials = flag.Int("trials", 0, "trials per configuration point (default 20, quick 5)")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	if *exp != "" {
+		table, ok := experiments.ByID(*exp, cfg)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "xse-bench: unknown experiment %q (want e1..e7)\n", *exp)
+			os.Exit(2)
+		}
+		fmt.Println(table)
+		return
+	}
+	for _, table := range experiments.All(cfg) {
+		fmt.Println(table)
+	}
+}

@@ -1,0 +1,118 @@
+// Command xse-embed finds an information-preserving schema embedding
+// between two DTD files and writes it in the textual mapping format
+// understood by xse-map and xse-query.
+//
+// Usage:
+//
+//	xse-embed -source s1.dtd -target s2.dtd [-source-root r1] [-target-root r2]
+//	          [-att lexical|uniform] [-threshold 0.5]
+//	          [-heuristic random|quality|indepset|exact] [-seed 1]
+//	          [-restarts 40] [-o mapping.xse]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/search"
+)
+
+func main() {
+	var (
+		sourceFile = flag.String("source", "", "source DTD file (required)")
+		targetFile = flag.String("target", "", "target DTD file (required)")
+		sourceRoot = flag.String("source-root", "", "source root element (default: first declared)")
+		targetRoot = flag.String("target-root", "", "target root element (default: first declared)")
+		attKind    = flag.String("att", "lexical", "similarity matrix: lexical or uniform")
+		threshold  = flag.Float64("threshold", 0.5, "lexical similarity threshold")
+		heuristic  = flag.String("heuristic", "random", "random, quality, indepset or exact")
+		seed       = flag.Int64("seed", 1, "random seed")
+		restarts   = flag.Int("restarts", 40, "max random restarts")
+		parallel   = flag.Int("parallel", 1, "worker goroutines for restarts")
+		output     = flag.String("o", "", "output file (default: stdout)")
+		verbose    = flag.Bool("v", false, "print search statistics to stderr")
+	)
+	flag.Parse()
+	if *sourceFile == "" || *targetFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src := mustSchema(*sourceFile, *sourceRoot)
+	tgt := mustSchema(*targetFile, *targetRoot)
+
+	var att *core.SimMatrix
+	switch *attKind {
+	case "lexical":
+		att = core.LexicalSim(src, tgt, *threshold)
+	case "uniform":
+		att = core.UniformSim(src, tgt)
+	default:
+		fatalf("unknown -att %q (want lexical or uniform)", *attKind)
+	}
+
+	var h core.Heuristic
+	switch strings.ToLower(*heuristic) {
+	case "random":
+		h = search.Random
+	case "quality":
+		h = search.QualityOrdered
+	case "indepset":
+		h = search.IndepSet
+	case "exact":
+		h = search.Exact
+	default:
+		fatalf("unknown -heuristic %q", *heuristic)
+	}
+
+	res, err := core.Find(src, tgt, att, core.FindOptions{
+		Heuristic:   h,
+		Seed:        *seed,
+		MaxRestarts: *restarts,
+		Parallel:    *parallel,
+	})
+	if err != nil {
+		fatalf("search: %v", err)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "heuristic=%s restarts=%d steps=%d elapsed=%s exhausted=%v\n",
+			h, res.Restarts, res.Steps, res.Elapsed, res.Exhausted)
+	}
+	if res.Embedding == nil {
+		if res.Exhausted {
+			fatalf("no embedding exists within the search bounds")
+		}
+		fatalf("no embedding found (budget exhausted; try -restarts or -att uniform)")
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "quality=%.2f of %d types\n", res.Quality, src.Size())
+	}
+	text := res.Embedding.Marshal()
+	if *output == "" {
+		fmt.Print(text)
+		return
+	}
+	if err := os.WriteFile(*output, []byte(text), 0o644); err != nil {
+		fatalf("write %s: %v", *output, err)
+	}
+}
+
+func mustSchema(path, root string) *core.DTD {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("read %s: %v", path, err)
+	}
+	d, err := core.ParseDTD(string(data), root)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	return d
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xse-embed: "+format+"\n", args...)
+	os.Exit(1)
+}

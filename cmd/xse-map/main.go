@@ -1,0 +1,156 @@
+// Command xse-map applies a schema embedding to XML documents: forward
+// (σd, producing a target-conformant document), inverse (σd⁻¹,
+// recovering the source), or emitting the equivalent XSLT stylesheets.
+//
+// Usage:
+//
+//	xse-map -mapping m.xse -source s1.dtd -target s2.dtd [flags] [doc.xml]
+//
+//	-invert        apply σd⁻¹ instead of σd
+//	-xslt          print the stylesheet instead of transforming
+//	-via-xslt      transform by running the generated stylesheet
+//	-o file        output file (default stdout)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/embedding"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	var (
+		mappingFile = flag.String("mapping", "", "embedding file from xse-embed (required)")
+		sourceFile  = flag.String("source", "", "source DTD file (required)")
+		targetFile  = flag.String("target", "", "target DTD file (required)")
+		sourceRoot  = flag.String("source-root", "", "source root element")
+		targetRoot  = flag.String("target-root", "", "target root element")
+		invert      = flag.Bool("invert", false, "apply the inverse mapping σd⁻¹")
+		emitXSLT    = flag.Bool("xslt", false, "print the XSLT stylesheet and exit")
+		viaXSLT     = flag.Bool("via-xslt", false, "transform by executing the generated stylesheet")
+		output      = flag.String("o", "", "output file (default: stdout)")
+	)
+	flag.Parse()
+	if *mappingFile == "" || *sourceFile == "" || *targetFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src := mustSchema(*sourceFile, *sourceRoot)
+	tgt := mustSchema(*targetFile, *targetRoot)
+	sigma := mustMapping(*mappingFile, src, tgt)
+
+	out := os.Stdout
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	if *emitXSLT {
+		sheet, err := stylesheet(sigma, *invert)
+		if err != nil {
+			fatalf("generate stylesheet: %v", err)
+		}
+		fmt.Fprint(out, sheet.Serialize())
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fatalf("exactly one input document expected")
+	}
+	doc := mustDoc(flag.Arg(0))
+
+	var result *xmltree.Tree
+	switch {
+	case *viaXSLT:
+		sheet, err := stylesheet(sigma, *invert)
+		if err != nil {
+			fatalf("generate stylesheet: %v", err)
+		}
+		result, err = sheet.Run(doc)
+		if err != nil {
+			fatalf("stylesheet execution: %v", err)
+		}
+	case *invert:
+		var err error
+		result, err = sigma.Invert(doc)
+		if err != nil {
+			fatalf("inverse mapping: %v", err)
+		}
+	default:
+		res, err := sigma.Apply(doc)
+		if err != nil {
+			fatalf("instance mapping: %v", err)
+		}
+		result = res.Tree
+	}
+
+	check := tgt
+	if *invert {
+		check = src
+	}
+	if err := result.Validate(check); err != nil {
+		fatalf("internal error: output does not conform: %v", err)
+	}
+	fmt.Fprint(out, result)
+}
+
+func stylesheet(sigma *core.Embedding, invert bool) (*core.Stylesheet, error) {
+	if invert {
+		return core.InverseXSLT(sigma)
+	}
+	return core.ForwardXSLT(sigma)
+}
+
+func mustSchema(path, root string) *core.DTD {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("read %s: %v", path, err)
+	}
+	d, err := core.ParseDTD(string(data), root)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	return d
+}
+
+func mustMapping(path string, src, tgt *core.DTD) *core.Embedding {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("read %s: %v", path, err)
+	}
+	sigma, err := embedding.Unmarshal(string(data), src, tgt)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	if err := sigma.Validate(nil); err != nil {
+		fatalf("%s: invalid embedding: %v", path, err)
+	}
+	return sigma
+}
+
+func mustDoc(path string) *xmltree.Tree {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	doc, err := xmltree.Parse(f)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	return doc
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xse-map: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,168 @@
+// Command xse-query translates a regular XPath query across a schema
+// embedding (§4.4) and optionally evaluates it over a target document,
+// mapping the answers back through the node id mapping idM.
+//
+// Usage:
+//
+//	xse-query -mapping m.xse -source s1.dtd -target s2.dtd -query "a/b[c]" [flags]
+//
+//	-doc file      evaluate the translated query over this target document
+//	-source-doc f  also evaluate the original query over this source
+//	               document and verify Q(T) = idM(Tr(Q)(σd(T)))
+//	-show-anfa     print the translated automaton
+//	-show-regex    expand the automaton back to regular XPath (small automata)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/embedding"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	var (
+		mappingFile = flag.String("mapping", "", "embedding file from xse-embed (required)")
+		sourceFile  = flag.String("source", "", "source DTD file (required)")
+		targetFile  = flag.String("target", "", "target DTD file (required)")
+		sourceRoot  = flag.String("source-root", "", "source root element")
+		targetRoot  = flag.String("target-root", "", "target root element")
+		queryText   = flag.String("query", "", "regular XPath query over the source schema (required)")
+		docFile     = flag.String("doc", "", "target document to evaluate against")
+		srcDocFile  = flag.String("source-doc", "", "source document for a preservation check")
+		showANFA    = flag.Bool("show-anfa", false, "print the translated automaton")
+		showRegex   = flag.Bool("show-regex", false, "print the translated query as regular XPath")
+	)
+	flag.Parse()
+	if *mappingFile == "" || *sourceFile == "" || *targetFile == "" || *queryText == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src := mustSchema(*sourceFile, *sourceRoot)
+	tgt := mustSchema(*targetFile, *targetRoot)
+	sigma := mustMapping(*mappingFile, src, tgt)
+
+	q, err := core.ParseQuery(*queryText)
+	if err != nil {
+		fatalf("parse query: %v", err)
+	}
+	tr, err := core.NewTranslator(sigma)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	auto, err := tr.Translate(q)
+	if err != nil {
+		fatalf("translate: %v", err)
+	}
+	fmt.Printf("query:      %s\n", core.QueryString(q))
+	fmt.Printf("automaton:  %d states+transitions\n", auto.Size())
+	if *showANFA {
+		fmt.Print(auto)
+	}
+	if *showRegex {
+		back, err := auto.ToRegex()
+		if err != nil {
+			fmt.Printf("regex:      (not expandable: %v)\n", err)
+		} else {
+			fmt.Printf("regex:      %s\n", core.QueryString(back))
+		}
+	}
+
+	if *docFile == "" && *srcDocFile == "" {
+		return
+	}
+
+	if *srcDocFile != "" {
+		srcDoc := mustDoc(*srcDocFile)
+		res, err := sigma.Apply(srcDoc)
+		if err != nil {
+			fatalf("map source document: %v", err)
+		}
+		want := core.EvalQuery(q, srcDoc.Root)
+		got := auto.Eval(res.Tree.Root)
+		fmt.Printf("source answer:     %d nodes\n", len(want))
+		fmt.Printf("translated answer: %d nodes\n", len(got))
+		ok := len(want) == len(got)
+		seen := map[xmltree.NodeID]int{}
+		for _, n := range want {
+			seen[n.ID]++
+		}
+		for _, n := range got {
+			id, in := res.IDM[n.ID]
+			if !in || seen[id] == 0 {
+				ok = false
+				break
+			}
+			seen[id]--
+		}
+		fmt.Printf("Q(T) = idM(Tr(Q)(σd(T))): %v\n", ok)
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+
+	doc := mustDoc(*docFile)
+	answers := auto.Eval(doc.Root)
+	fmt.Printf("answers (%d):\n", len(answers))
+	for _, n := range answers {
+		if n.IsText() {
+			fmt.Printf("  %q\n", n.Text)
+			continue
+		}
+		if v, ok := n.Value(); ok {
+			fmt.Printf("  <%s>%s\n", n.Label, v)
+			continue
+		}
+		fmt.Printf("  <%s> (id %d)\n", n.Label, n.ID)
+	}
+}
+
+func mustSchema(path, root string) *core.DTD {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("read %s: %v", path, err)
+	}
+	d, err := core.ParseDTD(string(data), root)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	return d
+}
+
+func mustMapping(path string, src, tgt *core.DTD) *core.Embedding {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("read %s: %v", path, err)
+	}
+	sigma, err := embedding.Unmarshal(string(data), src, tgt)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	if err := sigma.Validate(nil); err != nil {
+		fatalf("%s: invalid embedding: %v", path, err)
+	}
+	return sigma
+}
+
+func mustDoc(path string) *xmltree.Tree {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	doc, err := xmltree.Parse(f)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	return doc
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xse-query: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Command integration reproduces the paper's running data-integration
+// scenario (Example 4.9 / Figure 1): a class document of schema S0 and
+// a student document of schema S1 are embedded into one instance of the
+// school schema S by the embeddings σ1 (Example 4.2) and σ2
+// (Example 4.9), then both originals are recovered from the integrated
+// document.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/embedding"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+const classDoc = `
+<db>
+  <class>
+    <cno>CS331</cno><title>Databases</title>
+    <type><regular><prereq>
+      <class><cno>CS210</cno><title>Algorithms</title><type><project>heaps</project></type></class>
+    </prereq></regular></type>
+  </class>
+  <class><cno>CS100</cno><title>Intro</title><type><project>maze</project></type></class>
+</db>
+`
+
+const studentDoc = `
+<db>
+  <student><ssn>111</ssn><name>Ann</name><taking><cno>CS331</cno><cno>CS100</cno></taking></student>
+  <student><ssn>222</ssn><name>Bob</name><taking><cno>CS210</cno></taking></student>
+</db>
+`
+
+func main() {
+	classes, err := xmltree.ParseString(classDoc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	students, err := xmltree.ParseString(studentDoc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sigma1 := workload.ClassEmbedding()   // σ1: class DTD S0 → school DTD S
+	sigma2 := workload.StudentEmbedding() // σ2: student DTD S1 → school DTD S
+
+	res, err := embedding.MultiApply(
+		[]*embedding.Embedding{sigma1, sigma2},
+		[]*xmltree.Tree{classes, students},
+	)
+	if err != nil {
+		log.Fatalf("integration: %v", err)
+	}
+	if err := res.Tree.Validate(sigma1.Target); err != nil {
+		log.Fatalf("integrated document does not conform to the school schema: %v", err)
+	}
+	fmt.Println("=== integrated school document (conforms to Figure 1(c)) ===")
+	fmt.Print(res.Tree)
+
+	// The global view is queryable: ask it for the courses Ann takes.
+	q := xpath.MustParse(`students/student[name/text() = "Ann"]/taking/cno/text()`)
+	fmt.Println("\nAnn takes:")
+	for _, n := range xpath.Eval(q, res.Tree.Root) {
+		fmt.Printf("  %s\n", n.Text)
+	}
+
+	// Both sources are recoverable from the integrated document: σ1 and
+	// σ2 are invertible on their regions (the view is exact, §4.5).
+	backClasses, err := sigma1.Invert(res.Tree)
+	if err != nil {
+		log.Fatalf("recover classes: %v", err)
+	}
+	backStudents, err := sigma2.Invert(res.Tree)
+	if err != nil {
+		log.Fatalf("recover students: %v", err)
+	}
+	if !xmltree.Equal(classes, backClasses) {
+		log.Fatalf("class document not recovered: %s", xmltree.Diff(classes, backClasses))
+	}
+	if !xmltree.Equal(students, backStudents) {
+		log.Fatalf("student document not recovered: %s", xmltree.Diff(students, backStudents))
+	}
+	fmt.Println("\nboth source documents recovered exactly from the integrated view ✓")
+}

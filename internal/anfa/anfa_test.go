@@ -1,0 +1,285 @@
+package anfa_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/anfa"
+	"repro/internal/dtd"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+func idSet(nodes []*xmltree.Node) []xmltree.NodeID {
+	ids := xpath.IDs(nodes)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func sameNodes(a, b []*xmltree.Node) bool {
+	x, y := idSet(a), idSet(b)
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func doc(t *testing.T, src string) *xmltree.Tree {
+	t.Helper()
+	tr, err := xmltree.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestEvalMatchesXPath compares ANFA evaluation with direct X_R
+// evaluation on hand-picked queries.
+func TestEvalMatchesXPath(t *testing.T) {
+	tr := doc(t, `<r><a>x</a><a>y</a><b><a>z</a><c/></b></r>`)
+	queries := []string{
+		".",
+		"a",
+		"b/a",
+		"a | b",
+		"a/text()",
+		"(a | b)*",
+		"b[a]",
+		"b[not(zz)]",
+		"a[text() = \"y\"]",
+		"a[position() = 2]",
+		"b/a[position() = 1]",
+		"(a/text()) | (b/c)",
+		"b[a and c]/a",
+		"b[a or zz]",
+		"a[true()]",
+		".[a]",
+		"a[not(true())]",
+	}
+	for _, src := range queries {
+		t.Run(src, func(t *testing.T) {
+			q := xpath.MustParse(src)
+			auto, err := anfa.FromExpr(q)
+			if err != nil {
+				t.Fatalf("FromExpr: %v", err)
+			}
+			got := auto.Eval(tr.Root)
+			want := xpath.Eval(q, tr.Root)
+			if !sameNodes(got, want) {
+				t.Errorf("ANFA eval = %v, xpath eval = %v\n%s", idSet(got), idSet(want), auto)
+			}
+		})
+	}
+}
+
+// TestExample47ANFA builds the ANFA of Example 4.7 — the translated
+// prerequisite query over the school schema — and runs it on a mapped
+// document.
+func TestExample47ANFA(t *testing.T) {
+	q := xpath.MustParse(`courses/current/course[basic/cno/text() = "CS331"]/(category/mandatory/regular/required/prereq/course)*`)
+	auto, err := anfa.FromExpr(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a school document via σ1 from a class document with a
+	// prerequisite chain: CS331 requires CS210.
+	emb := workload.ClassEmbedding()
+	src := doc(t, `
+<db>
+  <class>
+    <cno>CS331</cno><title>DB</title>
+    <type><regular><prereq>
+      <class><cno>CS210</cno><title>Algo</title><type><project>p</project></type></class>
+    </prereq></regular></type>
+  </class>
+</db>`)
+	res, err := emb.Apply(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := auto.Eval(res.Tree.Root)
+	// Expect both course nodes: CS331 (zero iterations) and CS210.
+	if len(got) != 2 {
+		t.Fatalf("query selected %d nodes, want 2 (CS331 and its prerequisite)\n%s", len(got), res.Tree)
+	}
+	for _, n := range got {
+		if n.Label != "course" {
+			t.Errorf("selected %q, want course", n.Label)
+		}
+	}
+	// Also matches the direct evaluator.
+	want := xpath.Eval(q, res.Tree.Root)
+	if !sameNodes(got, want) {
+		t.Errorf("ANFA and xpath evaluation disagree")
+	}
+}
+
+// TestEvalPositionSemantics: QPos is the k-th same-label child, which
+// agrees with X_R's step-position semantics on label steps.
+func TestEvalPositionSemantics(t *testing.T) {
+	tr := doc(t, `<r><a/><b/><a/></r>`)
+	auto, err := anfa.FromExpr(xpath.MustParse("a[position() = 2]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := auto.Eval(tr.Root)
+	if len(got) != 1 || got[0] != tr.Root.Children[2] {
+		t.Errorf("a[position()=2] selected %v, want the third child (second a)", idSet(got))
+	}
+}
+
+func TestFailAutomaton(t *testing.T) {
+	f := anfa.Fail()
+	if !f.IsFail() {
+		t.Error("Fail() not recognized as failing")
+	}
+	tr := doc(t, `<r><a/></r>`)
+	if got := f.Eval(tr.Root); len(got) != 0 {
+		t.Errorf("Fail eval = %v", got)
+	}
+	if _, err := f.ToRegex(); err == nil {
+		t.Error("ToRegex of Fail should error")
+	}
+}
+
+func TestRemoveUseless(t *testing.T) {
+	auto, err := anfa.FromExpr(xpath.MustParse("a/b | c/d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := auto.M
+	// Add an unreachable state and a dead-end state.
+	dead := m.AddState()
+	m.AddTransition(m.Start, "x", dead)
+	before := auto.Size()
+	auto.RemoveUseless()
+	if auto.Size() >= before {
+		t.Errorf("Size after RemoveUseless = %d, want < %d", auto.Size(), before)
+	}
+	tr := doc(t, `<r><a><b/></a><c><d/></c></r>`)
+	got := auto.Eval(tr.Root)
+	if len(got) != 2 {
+		t.Errorf("pruned automaton selects %d nodes, want 2", len(got))
+	}
+}
+
+func TestDescRejected(t *testing.T) {
+	if _, err := anfa.FromExpr(xpath.MustParse("a//b")); err == nil {
+		t.Error("FromExpr should reject // before desugaring")
+	}
+	d := dtd.MustNew("r", dtd.D("r", dtd.Star("a")), dtd.D("a", dtd.Star("b")), dtd.D("b", dtd.Empty()))
+	desugared := xpath.DesugarDesc(xpath.MustParse(".//b"), d.Types)
+	auto, err := anfa.FromExpr(desugared)
+	if err != nil {
+		t.Fatalf("FromExpr after desugar: %v", err)
+	}
+	tr := doc(t, `<r><a><b/><b/></a><a/></r>`)
+	got := auto.Eval(tr.Root)
+	if len(got) != 2 {
+		t.Errorf(".//b selected %d nodes, want 2", len(got))
+	}
+}
+
+// TestToRegexRoundTrip: expr -> ANFA -> expr preserves semantics.
+func TestToRegexRoundTrip(t *testing.T) {
+	tr := doc(t, `<r><a>x</a><a>y</a><b><a>z</a><c/></b></r>`)
+	for _, src := range []string{
+		"a", "a | b", "b/a", "(a | b)*", "a[position() = 2]",
+		"b[a]/a", "a/text()", "b[c and a]",
+	} {
+		t.Run(src, func(t *testing.T) {
+			q := xpath.MustParse(src)
+			auto, err := anfa.FromExpr(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := auto.ToRegex()
+			if err != nil {
+				t.Fatalf("ToRegex: %v", err)
+			}
+			got := xpath.Eval(back, tr.Root)
+			want := xpath.Eval(q, tr.Root)
+			if !sameNodes(got, want) {
+				t.Errorf("regex %q (from %q): got %v want %v", xpath.String(back), src, idSet(got), idSet(want))
+			}
+		})
+	}
+}
+
+// TestEvalEquivalenceProperty: on random schema-aware queries and
+// random documents, ANFA evaluation equals direct X_R evaluation
+// (invariant 10 of DESIGN.md).
+func TestEvalEquivalenceProperty(t *testing.T) {
+	d := workload.ClassDTD()
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := xpath.RandomQuery(r, d, xpath.GenOptions{TranslatableOnly: true})
+		tr := xmltree.MustGenerate(d, r, xmltree.GenOptions{})
+		auto, err := anfa.FromExpr(q)
+		if err != nil {
+			t.Logf("seed %d: FromExpr(%s): %v", seed, xpath.String(q), err)
+			return false
+		}
+		got := auto.Eval(tr.Root)
+		want := xpath.Eval(q, tr.Root)
+		if !sameNodes(got, want) {
+			t.Logf("seed %d: query %s: anfa=%v xpath=%v", seed, xpath.String(q), idSet(got), idSet(want))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestToRegexEquivalenceProperty: regex reconstruction preserves
+// semantics on random star-free queries (kept small; the conversion is
+// exponential in general).
+func TestToRegexEquivalenceProperty(t *testing.T) {
+	d := workload.StudentDTD()
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := xpath.RandomQuery(r, d, xpath.GenOptions{MaxDepth: 3, TranslatableOnly: true, NoStar: true})
+		auto, err := anfa.FromExpr(q)
+		if err != nil {
+			return false
+		}
+		back, err := auto.ToRegex()
+		if err != nil {
+			// Fail-only sub-qualifiers have no X_R form; skip.
+			return true
+		}
+		tr := xmltree.MustGenerate(d, r, xmltree.GenOptions{})
+		return sameNodes(xpath.Eval(back, tr.Root), xpath.Eval(q, tr.Root))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAutomatonSize(t *testing.T) {
+	small, _ := anfa.FromExpr(xpath.MustParse("a"))
+	big, _ := anfa.FromExpr(xpath.MustParse("a/b/c[d]/(e | f)*"))
+	if small.Size() >= big.Size() {
+		t.Errorf("Size(a) = %d should be < Size(complex) = %d", small.Size(), big.Size())
+	}
+}
+
+func TestAnnotateConjoins(t *testing.T) {
+	m := anfa.NewMachine()
+	s := m.AddState()
+	m.Annotate(s, anfa.QPos{K: 1})
+	m.Annotate(s, anfa.QPos{K: 2})
+	if _, ok := m.Ann[s].(anfa.QAnd); !ok {
+		t.Errorf("double annotation = %T, want QAnd", m.Ann[s])
+	}
+}

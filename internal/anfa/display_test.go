@@ -1,0 +1,70 @@
+package anfa_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/anfa"
+	"repro/internal/xpath"
+)
+
+func TestAutomatonString(t *testing.T) {
+	auto, err := anfa.FromExpr(xpath.MustParse(`a[b/text() = "v"]/c*`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := auto.String()
+	for _, want := range []string{"M: start=", "-a->", "-c->", "ε", "text() = \"v\""} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestQualifierRendering(t *testing.T) {
+	auto, err := anfa.FromExpr(xpath.MustParse(`a[not(b) and (c or position() = 2)]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := auto.String()
+	for _, want := range []string{"not(", "and", "or", "position() = 2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestEmbedTransfersAnnotations(t *testing.T) {
+	src, err := anfa.FromExpr(xpath.MustParse("a[position() = 3]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := anfa.NewMachine()
+	remap := anfa.Embed(dst, src.M)
+	found := false
+	for old, q := range src.M.Ann {
+		nq, ok := dst.Ann[remap[old]]
+		if !ok || nq != q {
+			t.Errorf("annotation not transferred for state %d", old)
+		}
+		found = true
+	}
+	if !found {
+		t.Fatal("expected at least one annotation")
+	}
+	// Finals are deliberately NOT transferred.
+	for s := range dst.Finals {
+		t.Errorf("final %d transferred", s)
+	}
+}
+
+func TestFinalStatesSorted(t *testing.T) {
+	m := anfa.NewMachine()
+	a, b := m.AddState(), m.AddState()
+	m.Finals[b] = true
+	m.Finals[a] = true
+	fs := m.FinalStates()
+	if len(fs) != 2 || fs[0] > fs[1] {
+		t.Errorf("FinalStates = %v", fs)
+	}
+}

@@ -1,0 +1,224 @@
+package anfa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/xpath"
+)
+
+// ToRegex converts the automaton back to an X_R expression by GNFA
+// state elimination. This subsumes NFA-to-regular-expression
+// conversion, which is EXPTIME-complete in general (Ehrenfeucht &
+// Zeiger); use it only on small automata — the automaton form is the
+// intended runtime representation (§4.4). Annotations are folded onto
+// the incoming step as qualifiers, which is exact when annotated states
+// are entered by label or ε steps (the only shapes the builders in this
+// module produce).
+func (a *Automaton) ToRegex() (xpath.Expr, error) {
+	return a.machineRegex(a.M, map[string]bool{})
+}
+
+func (a *Automaton) machineRegex(m *Machine, inProgress map[string]bool) (xpath.Expr, error) {
+	if !anyFinalReachable(m) {
+		return nil, fmt.Errorf("anfa: automaton accepts nothing; no X_R expression exists")
+	}
+	// GNFA edges: (i, j) -> Expr. Super-start = -1, super-final = -2.
+	type edgeKey struct{ from, to int }
+	edges := map[edgeKey]xpath.Expr{}
+	addEdge := func(i, j int, e xpath.Expr) {
+		k := edgeKey{i, j}
+		if old, ok := edges[k]; ok {
+			edges[k] = xpath.Union{L: old, R: e}
+			return
+		}
+		edges[k] = e
+	}
+
+	stepExpr := func(label string, to StateID) (xpath.Expr, error) {
+		var e xpath.Expr
+		switch label {
+		case Epsilon:
+			e = xpath.Empty{}
+		case TextLabel:
+			e = xpath.Text{}
+		default:
+			e = xpath.Label{Name: label}
+		}
+		if q, ok := m.Ann[to]; ok {
+			xq, err := a.qualExpr(q, inProgress)
+			if err != nil {
+				return nil, err
+			}
+			e = xpath.Filter{P: e, Q: xq}
+		}
+		return e, nil
+	}
+
+	for s := 0; s < m.States; s++ {
+		for _, t := range m.Trans[s] {
+			e, err := stepExpr(t.Label, t.To)
+			if err != nil {
+				return nil, err
+			}
+			addEdge(s, int(t.To), e)
+		}
+	}
+	const superStart, superFinal = -1, -2
+	// The ε edge from the super-start carries the start state's own
+	// annotation (checked at the context node), like any other edge
+	// entering an annotated state.
+	startEdge, err := stepExpr(Epsilon, m.Start)
+	if err != nil {
+		return nil, err
+	}
+	addEdge(superStart, int(m.Start), startEdge)
+	for f := range m.Finals {
+		addEdge(int(f), superFinal, xpath.Empty{})
+	}
+
+	order := make([]int, 0, m.States)
+	for s := 0; s < m.States; s++ {
+		order = append(order, s)
+	}
+	sort.Ints(order)
+	states := map[int]bool{superStart: true, superFinal: true}
+	for _, s := range order {
+		states[s] = true
+	}
+	for _, k := range order {
+		// Eliminate state k.
+		var ins, outs []edgeKey
+		var loop xpath.Expr
+		for key := range edges {
+			switch {
+			case key.from == k && key.to == k:
+				loop = edges[key]
+			case key.to == k:
+				ins = append(ins, key)
+			case key.from == k:
+				outs = append(outs, key)
+			}
+		}
+		sort.Slice(ins, func(i, j int) bool { return ins[i].from < ins[j].from })
+		sort.Slice(outs, func(i, j int) bool { return outs[i].to < outs[j].to })
+		for _, in := range ins {
+			for _, out := range outs {
+				e := edges[in]
+				if loop != nil {
+					e = seqSimplify(e, xpath.Star{P: loop})
+				}
+				e = seqSimplify(e, edges[out])
+				addEdge(in.from, out.to, e)
+			}
+		}
+		for key := range edges {
+			if key.from == k || key.to == k {
+				delete(edges, key)
+			}
+		}
+		delete(states, k)
+	}
+	final, ok := edges[edgeKey{superStart, superFinal}]
+	if !ok {
+		return nil, fmt.Errorf("anfa: elimination produced no start-to-final expression")
+	}
+	return xpath.Simplify(final), nil
+}
+
+// seqSimplify builds l/r, dropping ε identities and re-attaching
+// qualifiers that elimination left on a bare ε step (X/.[q] becomes
+// X[q], which also restores the exact position() placement the
+// original expression had before automaton construction).
+func seqSimplify(l, r xpath.Expr) xpath.Expr {
+	if isEmptyExpr(l) {
+		return r
+	}
+	if f, ok := r.(xpath.Filter); ok && isEmptyExpr(f.P) {
+		return attachQual(l, f.Q)
+	}
+	if isEmptyExpr(r) {
+		return l
+	}
+	return xpath.Seq{L: l, R: r}
+}
+
+// attachQual attaches a qualifier to the final step of l, so that
+// position() lands on the step it originally qualified rather than on
+// the whole sequence.
+func attachQual(l xpath.Expr, q xpath.Qual) xpath.Expr {
+	if seq, ok := l.(xpath.Seq); ok {
+		return xpath.Seq{L: seq.L, R: attachQual(seq.R, q)}
+	}
+	return xpath.Filter{P: l, Q: q}
+}
+
+func isEmptyExpr(e xpath.Expr) bool {
+	_, ok := e.(xpath.Empty)
+	return ok
+}
+
+func (a *Automaton) qualExpr(q Qual, inProgress map[string]bool) (xpath.Qual, error) {
+	switch q := q.(type) {
+	case QName:
+		sub, err := a.nameRegex(q.X, inProgress)
+		if err != nil {
+			return nil, err
+		}
+		return xpath.QPath{P: sub}, nil
+	case QTextEq:
+		sub, err := a.nameRegex(q.X, inProgress)
+		if err != nil {
+			return nil, err
+		}
+		return xpath.QTextEq{P: sub, Val: q.Val}, nil
+	case QPos:
+		return xpath.QPos{K: q.K}, nil
+	case QNot:
+		inner, err := a.qualExpr(q.Q, inProgress)
+		if err != nil {
+			return nil, err
+		}
+		return xpath.QNot{Q: inner}, nil
+	case QAnd:
+		l, err := a.qualExpr(q.L, inProgress)
+		if err != nil {
+			return nil, err
+		}
+		r, err := a.qualExpr(q.R, inProgress)
+		if err != nil {
+			return nil, err
+		}
+		return xpath.QAnd{L: l, R: r}, nil
+	case QOr:
+		l, err := a.qualExpr(q.L, inProgress)
+		if err != nil {
+			return nil, err
+		}
+		r, err := a.qualExpr(q.R, inProgress)
+		if err != nil {
+			return nil, err
+		}
+		return xpath.QOr{L: l, R: r}, nil
+	}
+	return nil, fmt.Errorf("anfa: unsupported annotation %T", q)
+}
+
+func (a *Automaton) nameRegex(x string, inProgress map[string]bool) (xpath.Expr, error) {
+	if inProgress[x] {
+		return nil, fmt.Errorf("anfa: cyclic name reference %q", x)
+	}
+	sub, ok := a.Names[x]
+	if !ok {
+		return nil, fmt.Errorf("anfa: undefined name %q", x)
+	}
+	inProgress[x] = true
+	defer delete(inProgress, x)
+	if !anyFinalReachable(sub) {
+		// An unsatisfiable qualifier: encode as a step no document
+		// matches is impossible in pure X_R without schema knowledge;
+		// use not(.) which never holds.
+		return nil, fmt.Errorf("anfa: qualifier %q accepts nothing and has no X_R form", x)
+	}
+	return a.machineRegex(sub, inProgress)
+}

@@ -1,0 +1,58 @@
+package anfa_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/anfa"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// TestToRegexBooleanQualifiers: and/or/not annotations survive the
+// regex reconstruction semantically.
+func TestToRegexBooleanQualifiers(t *testing.T) {
+	tr, err := xmltree.ParseString(`<r><a><b/></a><a><c/></a><a><b/><c/></a></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []string{
+		"a[b and c]",
+		"a[b or c]",
+		"a[not(b)]",
+		"a[not(b and c)]",
+		"a[b and not(c)]",
+		`a[b/text() = "x" or c]`,
+	} {
+		q := xpath.MustParse(src)
+		auto, err := anfa.FromExpr(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := auto.ToRegex()
+		if err != nil {
+			t.Fatalf("ToRegex(%s): %v", src, err)
+		}
+		a := nodeIDs(xpath.Eval(back, tr.Root))
+		b := nodeIDs(xpath.Eval(q, tr.Root))
+		if len(a) != len(b) {
+			t.Errorf("%s: regex %q selects %d, original %d", src, xpath.String(back), len(a), len(b))
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: answers differ", src)
+				break
+			}
+		}
+	}
+}
+
+func nodeIDs(nodes []*xmltree.Node) []int64 {
+	out := make([]int64, len(nodes))
+	for i, n := range nodes {
+		out[i] = int64(n.ID)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

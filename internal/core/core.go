@@ -1,0 +1,198 @@
+// Package core is the public API surface of the schema-embedding
+// library: it re-exports the types and operations of the underlying
+// packages — DTDs, XML documents, regular XPath, schema embeddings,
+// instance mappings, query translation, XSLT generation, similarity
+// matrices and embedding search — so applications program against one
+// import.
+//
+// The typical flow, mirroring the paper:
+//
+//	src, _ := core.ParseDTD(srcDTDText, "")          // source schema S1
+//	tgt, _ := core.ParseDTD(tgtDTDText, "")          // target schema S2
+//	att := core.LexicalSim(src, tgt, 0.5)            // similarity matrix
+//	res, _ := core.Find(src, tgt, att, core.FindOptions{})
+//	σ := res.Embedding                               // schema embedding
+//	out, _ := σ.Apply(doc)                           // σd: type-safe instance mapping
+//	back, _ := σ.Invert(out.Tree)                    // σd⁻¹: invertibility
+//	tr, _ := core.NewTranslator(σ)                   // query preservation
+//	q, _ := core.ParseQuery(`class[cno/text() = "CS331"]/(type/regular/prereq/class)*`)
+//	auto, _ := tr.Translate(q)                       // X_R query over S2, as an ANFA
+//	answer := auto.Eval(out.Tree.Root)
+package core
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/anfa"
+	"repro/internal/dtd"
+	"repro/internal/embedding"
+	"repro/internal/match"
+	"repro/internal/search"
+	"repro/internal/translate"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+	"repro/internal/xslt"
+)
+
+// Schema types.
+type (
+	// DTD is an XML DTD schema in the paper's normal form.
+	DTD = dtd.DTD
+	// Production is one element type definition.
+	Production = dtd.Production
+	// Def pairs a type name with its production for schema literals.
+	Def = dtd.Def
+)
+
+// Document types.
+type (
+	// Tree is an ordered, node-labeled XML document with node ids.
+	Tree = xmltree.Tree
+	// Node is an element or text node.
+	Node = xmltree.Node
+	// NodeID identifies a node.
+	NodeID = xmltree.NodeID
+)
+
+// Query types.
+type (
+	// Query is a regular XPath (X_R) expression.
+	Query = xpath.Expr
+	// XRPath is an X_R path η1/.../ηk.
+	XRPath = xpath.Path
+	// ANFA is the annotated automaton representation of a translated
+	// query.
+	ANFA = anfa.Automaton
+)
+
+// Embedding types.
+type (
+	// Embedding is a schema embedding σ = (λ, path).
+	Embedding = embedding.Embedding
+	// EdgeRef identifies a source schema edge.
+	EdgeRef = embedding.EdgeRef
+	// MapResult is the result of the instance mapping σd with its node
+	// id mapping idM.
+	MapResult = embedding.Result
+	// SimMatrix is the similarity matrix att.
+	SimMatrix = embedding.SimMatrix
+	// Translator translates X_R queries across an embedding.
+	Translator = translate.Translator
+	// Stylesheet is an executable XSLT stylesheet.
+	Stylesheet = xslt.Stylesheet
+)
+
+// Search types.
+type (
+	// FindOptions configures embedding search.
+	FindOptions = search.Options
+	// FindResult reports a search outcome.
+	FindResult = search.Result
+	// Heuristic selects the search strategy.
+	Heuristic = search.Heuristic
+)
+
+// Search heuristics.
+const (
+	Random         = search.Random
+	QualityOrdered = search.QualityOrdered
+	IndepSet       = search.IndepSet
+	Exact          = search.Exact
+)
+
+// StrChild is the pseudo child naming str edges in EdgeRef.
+const StrChild = embedding.StrChild
+
+// Schema construction.
+
+// NewDTD builds a schema from ordered definitions; see dtd.New.
+func NewDTD(root string, defs ...Def) (*DTD, error) { return dtd.New(root, defs...) }
+
+// D builds a definition for NewDTD.
+func D(name string, p Production) Def { return dtd.D(name, p) }
+
+// Production constructors.
+var (
+	Str    = dtd.Str
+	Empty  = dtd.Empty
+	Concat = dtd.Concat
+	Disj   = dtd.Disj
+	Star   = dtd.Star
+)
+
+// ParseDTD parses DTD element declarations (normalizing arbitrary
+// content models); root "" selects the first declared element.
+func ParseDTD(src, root string) (*DTD, error) { return dtd.Parse(src, root) }
+
+// Documents.
+
+// ParseXML reads an XML document.
+func ParseXML(r io.Reader) (*Tree, error) { return xmltree.Parse(r) }
+
+// ParseXMLString reads an XML document from a string.
+func ParseXMLString(s string) (*Tree, error) { return xmltree.ParseString(s) }
+
+// TreesEqual is the paper's tree equality (value isomorphism).
+func TreesEqual(a, b *Tree) bool { return xmltree.Equal(a, b) }
+
+// GenerateDoc produces a random instance of a consistent schema.
+func GenerateDoc(d *DTD, r *rand.Rand, opts xmltree.GenOptions) (*Tree, error) {
+	return xmltree.Generate(d, r, opts)
+}
+
+// Queries.
+
+// ParseQuery parses an X_R (or X) query.
+func ParseQuery(src string) (Query, error) { return xpath.Parse(src) }
+
+// EvalQuery evaluates a query at a context node.
+func EvalQuery(q Query, ctx *Node) []*Node { return xpath.Eval(q, ctx) }
+
+// QueryString renders a query.
+func QueryString(q Query) string { return xpath.String(q) }
+
+// Embeddings.
+
+// NewEmbedding returns an empty embedding shell for manual
+// construction; use MapType/SetPath then Validate.
+func NewEmbedding(src, tgt *DTD) *Embedding { return embedding.New(src, tgt) }
+
+// Ref builds an EdgeRef with occurrence 1.
+func Ref(parent, child string) EdgeRef { return embedding.Ref(parent, child) }
+
+// Similarity matrices.
+
+// UniformSim returns the unrestricted att (all pairs score 1).
+func UniformSim(src, tgt *DTD) *SimMatrix { return embedding.UniformSim(src, tgt) }
+
+// LexicalSim scores tag-name pairs with edit-distance and trigram
+// similarity, dropping scores below threshold.
+func LexicalSim(src, tgt *DTD, threshold float64) *SimMatrix {
+	return match.Lexical(src, tgt, threshold)
+}
+
+// Search.
+
+// Find searches for a valid embedding; see search.Find.
+func Find(src, tgt *DTD, att *SimMatrix, opts FindOptions) (*FindResult, error) {
+	return search.Find(src, tgt, att, opts)
+}
+
+// Query translation.
+
+// NewTranslator validates the embedding and returns a query
+// translator implementing Tr of Theorem 4.2.
+func NewTranslator(e *Embedding) (*Translator, error) { return translate.New(e) }
+
+// Compose builds σ2 ∘ σ1, the direct embedding along a two-hop mapping
+// chain (see embedding.Compose).
+func Compose(s1, s2 *Embedding) (*Embedding, error) { return embedding.Compose(s1, s2) }
+
+// XSLT generation.
+
+// ForwardXSLT compiles σd to an executable stylesheet.
+func ForwardXSLT(e *Embedding) (*Stylesheet, error) { return xslt.ForwardStylesheet(e) }
+
+// InverseXSLT compiles σd⁻¹ to an executable stylesheet.
+func InverseXSLT(e *Embedding) (*Stylesheet, error) { return xslt.InverseStylesheet(e) }

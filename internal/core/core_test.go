@@ -1,0 +1,180 @@
+package core_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xmltree"
+)
+
+const classDTDText = `
+<!ELEMENT db (class)*>
+<!ELEMENT class (cno, title, type)>
+<!ELEMENT cno (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT type (regular | project)>
+<!ELEMENT regular (prereq)>
+<!ELEMENT project (#PCDATA)>
+<!ELEMENT prereq (class)*>
+`
+
+const schoolDTDText = `
+<!ELEMENT school (courses, students)>
+<!ELEMENT courses (current, history)>
+<!ELEMENT current (course)*>
+<!ELEMENT history (course)*>
+<!ELEMENT course (basic, category)>
+<!ELEMENT basic (cno, credit, class)>
+<!ELEMENT cno (#PCDATA)>
+<!ELEMENT credit (#PCDATA)>
+<!ELEMENT class (semester)*>
+<!ELEMENT semester (title, year, term, instructor)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT term (#PCDATA)>
+<!ELEMENT instructor (#PCDATA)>
+<!ELEMENT category (mandatory | advanced)>
+<!ELEMENT mandatory (regular | lab)>
+<!ELEMENT lab (#PCDATA)>
+<!ELEMENT advanced (project | thesis)>
+<!ELEMENT thesis (#PCDATA)>
+<!ELEMENT project (#PCDATA)>
+<!ELEMENT regular (required)>
+<!ELEMENT required (prereq)>
+<!ELEMENT prereq (course)*>
+<!ELEMENT students (student)*>
+<!ELEMENT student (ssn, name, gpa, taking)>
+<!ELEMENT ssn (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT gpa (#PCDATA)>
+<!ELEMENT taking (cno)*>
+`
+
+// TestEndToEndPipeline drives the whole public API exactly as the
+// package comment advertises: parse schemas, build att, search for an
+// embedding, map an instance, invert it, and answer a translated query.
+func TestEndToEndPipeline(t *testing.T) {
+	src, err := core.ParseDTD(classDTDText, "db")
+	if err != nil {
+		t.Fatalf("ParseDTD(source): %v", err)
+	}
+	tgt, err := core.ParseDTD(schoolDTDText, "school")
+	if err != nil {
+		t.Fatalf("ParseDTD(target): %v", err)
+	}
+	att := core.UniformSim(src, tgt)
+	res, err := core.Find(src, tgt, att, core.FindOptions{Heuristic: core.Random, Seed: 3, MaxRestarts: 60})
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	if res.Embedding == nil {
+		t.Fatalf("no embedding found")
+	}
+	doc, err := core.ParseXMLString(`
+<db>
+  <class><cno>CS331</cno><title>DB</title>
+    <type><regular><prereq>
+      <class><cno>CS210</cno><title>Algo</title><type><project>p</project></type></class>
+    </prereq></regular></type>
+  </class>
+</db>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.Embedding.Apply(doc)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := out.Tree.Validate(tgt); err != nil {
+		t.Fatalf("type safety: %v", err)
+	}
+	back, err := res.Embedding.Invert(out.Tree)
+	if err != nil {
+		t.Fatalf("Invert: %v", err)
+	}
+	if !core.TreesEqual(doc, back) {
+		t.Fatalf("round trip failed")
+	}
+
+	// Query preservation through the translator.
+	tr, err := core.NewTranslator(res.Embedding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := core.ParseQuery(`class[cno/text() = "CS331"]/(type/regular/prereq/class)*`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := tr.Translate(q)
+	if err != nil {
+		t.Fatalf("Translate: %v", err)
+	}
+	want := core.EvalQuery(q, doc.Root)
+	got := auto.Eval(out.Tree.Root)
+	if len(got) != len(want) {
+		t.Errorf("translated query selects %d nodes, source query %d", len(got), len(want))
+	}
+	for _, n := range got {
+		if _, ok := out.IDM[n.ID]; !ok {
+			t.Errorf("translated result %q outside idM", n.Label)
+		}
+	}
+
+	// XSLT generation works off the same embedding.
+	fwd, err := core.ForwardXSLT(res.Embedding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaXSLT, err := fwd.Run(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.TreesEqual(viaXSLT, out.Tree) {
+		t.Error("XSLT forward differs from InstMap")
+	}
+	inv, err := core.InverseXSLT(res.Embedding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text := inv.Serialize(); !strings.Contains(text, "xsl:stylesheet") {
+		t.Error("serialization missing stylesheet element")
+	}
+}
+
+func TestSchemaLiteralAPI(t *testing.T) {
+	d, err := core.NewDTD("r",
+		core.D("r", core.Star("a")),
+		core.D("a", core.Str()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := core.GenerateDoc(d, rand.New(rand.NewSource(1)), xmltree.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Validate(d); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLexicalSimAPI(t *testing.T) {
+	src, _ := core.ParseDTD(classDTDText, "db")
+	tgt, _ := core.ParseDTD(schoolDTDText, "school")
+	att := core.LexicalSim(src, tgt, 0.5)
+	if att.Get("cno", "cno") != 1 {
+		t.Error("lexical matrix misses identical tags")
+	}
+	res, err := core.Find(src, tgt, att, core.FindOptions{Heuristic: core.QualityOrdered, Seed: 1, MaxRestarts: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Embedding == nil {
+		t.Skip("lexical matrix too restrictive for this pair; acceptable")
+	}
+	if res.Embedding.Lambda["cno"] != "cno" {
+		t.Errorf("λ(cno) = %s, want cno under lexical att", res.Embedding.Lambda["cno"])
+	}
+}

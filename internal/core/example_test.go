@@ -1,0 +1,87 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+// Example demonstrates the full pipeline on a miniature pair of
+// schemas: search for an embedding, map a document, invert it, and
+// answer a translated query.
+func Example() {
+	src, err := core.ParseDTD(`
+<!ELEMENT log (entry)*>
+<!ELEMENT entry (when, what)>
+<!ELEMENT when (#PCDATA)>
+<!ELEMENT what (#PCDATA)>`, "log")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tgt, err := core.ParseDTD(`
+<!ELEMENT journal (header, entries)>
+<!ELEMENT header (#PCDATA)>
+<!ELEMENT entries (entry)*>
+<!ELEMENT entry (when, what, severity)>
+<!ELEMENT when (#PCDATA)>
+<!ELEMENT what (#PCDATA)>
+<!ELEMENT severity (#PCDATA)>`, "journal")
+	if err != nil {
+		log.Fatal(err)
+	}
+	att := core.UniformSim(src, tgt)
+	res, err := core.Find(src, tgt, att, core.FindOptions{Heuristic: core.QualityOrdered, Seed: 1})
+	if err != nil || res.Embedding == nil {
+		log.Fatal("no embedding", err)
+	}
+	doc, _ := core.ParseXMLString(`<log><entry><when>09:00</when><what>boot</what></entry></log>`)
+	out, err := res.Embedding.Apply(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("conforms:", out.Tree.Validate(tgt) == nil)
+	back, _ := res.Embedding.Invert(out.Tree)
+	fmt.Println("round trip:", core.TreesEqual(doc, back))
+	tr, _ := core.NewTranslator(res.Embedding)
+	q, _ := core.ParseQuery("entry/what/text()")
+	auto, _ := tr.Translate(q)
+	for _, n := range auto.Eval(out.Tree.Root) {
+		fmt.Println("answer:", n.Text)
+	}
+	// Output:
+	// conforms: true
+	// round trip: true
+	// answer: boot
+}
+
+// ExampleParseQuery shows the X_R syntax accepted by the parser.
+func ExampleParseQuery() {
+	q, err := core.ParseQuery(`class[cno/text() = "CS331"]/(type/regular/prereq/class)*`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(core.QueryString(q))
+	// Output:
+	// class[cno/text() = "CS331"]/((type/regular/prereq/class))*
+}
+
+// ExampleParseDTD shows content-model normalization: sugar like + and ?
+// becomes the paper's five production shapes.
+func ExampleParseDTD() {
+	d, err := core.ParseDTD(`
+<!ELEMENT r (a+, b?)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b EMPTY>`, "r")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(d)
+	// Output:
+	// <!ELEMENT r.1 (a)*>
+	// <!ELEMENT r.2 EMPTY>
+	// <!ELEMENT r.3 (b | r.2)>
+	// <!ELEMENT r (a, r.1, r.3)>
+	// <!ELEMENT a (#PCDATA)>
+	// <!ELEMENT b EMPTY>
+}

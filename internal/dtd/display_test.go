@@ -1,0 +1,61 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProductionString(t *testing.T) {
+	cases := map[string]Production{
+		"(#PCDATA)": Str(),
+		"EMPTY":     Empty(),
+		"(a, b)":    Concat("a", "b"),
+		"(a | b)":   Disj("a", "b"),
+		"(a)*":      Star("a"),
+	}
+	for want, p := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if got := (Production{Kind: Kind(99)}).String(); got != "<invalid>" {
+		t.Errorf("invalid production String = %q", got)
+	}
+}
+
+func TestKindAndEdgeKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindStr: "str", KindEmpty: "empty", KindConcat: "concat", KindDisj: "disjunction", KindStar: "star"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q", k, k.String())
+		}
+	}
+	for k, want := range map[EdgeKind]string{EdgeAND: "AND", EdgeOR: "OR", EdgeSTAR: "STAR"} {
+		if k.String() != want {
+			t.Errorf("EdgeKind String = %q, want %q", k.String(), want)
+		}
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Error("unknown Kind should render its number")
+	}
+}
+
+func TestEdgeString(t *testing.T) {
+	d := MustNew("r", D("r", Concat("a", "a")), D("a", Empty()))
+	edges := d.ChildEdges("r")
+	if edges[1].String() != "r -AND#2-> a" {
+		t.Errorf("Edge.String = %q", edges[1].String())
+	}
+	star := MustNew("r", D("r", Star("a")), D("a", Empty())).ChildEdges("r")[0]
+	if star.String() != "r -STAR-> a" {
+		t.Errorf("Edge.String = %q", star.String())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on an invalid schema")
+		}
+	}()
+	MustNew("missing")
+}

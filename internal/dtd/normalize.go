@@ -1,0 +1,256 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a general DTD content model, as written in real DTD files:
+// arbitrary nesting of sequences, choices, repetition operators and
+// PCDATA. A GeneralDTD of such models is converted to the paper's normal
+// form by Normalize, which introduces fresh element types in linear time
+// (§2.1 of the paper).
+type Expr interface {
+	exprString(b *strings.Builder)
+}
+
+type (
+	// EName references an element type.
+	EName struct{ Name string }
+	// EPCDATA is #PCDATA.
+	EPCDATA struct{}
+	// EEmpty is the EMPTY content model.
+	EEmpty struct{}
+	// ESeq is a sequence (e1, e2, ...).
+	ESeq struct{ Items []Expr }
+	// EChoice is a choice (e1 | e2 | ...).
+	EChoice struct{ Items []Expr }
+	// EStar is e*.
+	EStar struct{ Item Expr }
+	// EPlus is e+.
+	EPlus struct{ Item Expr }
+	// EOpt is e?.
+	EOpt struct{ Item Expr }
+)
+
+func (e EName) exprString(b *strings.Builder)   { b.WriteString(e.Name) }
+func (EPCDATA) exprString(b *strings.Builder)   { b.WriteString("#PCDATA") }
+func (EEmpty) exprString(b *strings.Builder)    { b.WriteString("EMPTY") }
+func (e ESeq) exprString(b *strings.Builder)    { joinExpr(b, e.Items, ", ") }
+func (e EChoice) exprString(b *strings.Builder) { joinExpr(b, e.Items, " | ") }
+func (e EStar) exprString(b *strings.Builder)   { suffixExpr(b, e.Item, "*") }
+func (e EPlus) exprString(b *strings.Builder)   { suffixExpr(b, e.Item, "+") }
+func (e EOpt) exprString(b *strings.Builder)    { suffixExpr(b, e.Item, "?") }
+
+func joinExpr(b *strings.Builder, items []Expr, sep string) {
+	b.WriteByte('(')
+	for i, it := range items {
+		if i > 0 {
+			b.WriteString(sep)
+		}
+		it.exprString(b)
+	}
+	b.WriteByte(')')
+}
+
+func suffixExpr(b *strings.Builder, item Expr, op string) {
+	b.WriteByte('(')
+	item.exprString(b)
+	b.WriteByte(')')
+	b.WriteString(op)
+}
+
+// ExprString renders a general content model in DTD syntax.
+func ExprString(e Expr) string {
+	var b strings.Builder
+	e.exprString(&b)
+	return b.String()
+}
+
+// GeneralDTD is a DTD whose productions are arbitrary content models. It
+// is the parse result of real DTD files, before normalization.
+type GeneralDTD struct {
+	Root  string
+	Types []string
+	Prods map[string]Expr
+}
+
+// Normalize converts the general DTD to the paper's normal form,
+// introducing fresh element types named "<owner>.<n>" for nested
+// subexpressions. e? becomes a disjunction with a fresh ε type, e+
+// becomes (e', e'*). The conversion runs in time linear in the size of
+// the content models and preserves the document trees up to the
+// inserted wrapper elements (a fresh type wraps its subexpression's
+// content, so an original document maps into the normalized schema by a
+// deterministic insertion of wrapper elements; all algorithms in this
+// module operate directly on normal-form schemas).
+func (g *GeneralDTD) Normalize() (*DTD, error) {
+	n := &normalizer{
+		g:     g,
+		out:   &DTD{Root: g.Root, Prods: make(map[string]Production)},
+		fresh: make(map[string]int),
+	}
+	for _, a := range g.Types {
+		e, ok := g.Prods[a]
+		if !ok {
+			return nil, fmt.Errorf("dtd: type %q listed but not defined", a)
+		}
+		p, err := n.top(a, e)
+		if err != nil {
+			return nil, fmt.Errorf("dtd: normalizing %q: %w", a, err)
+		}
+		n.define(a, p)
+	}
+	// Fresh types are appended as they are created, after their owners.
+	if err := n.out.Check(); err != nil {
+		return nil, err
+	}
+	return n.out, nil
+}
+
+type normalizer struct {
+	g     *GeneralDTD
+	out   *DTD
+	fresh map[string]int
+}
+
+func (n *normalizer) define(name string, p Production) {
+	if _, dup := n.out.Prods[name]; dup {
+		return
+	}
+	n.out.Types = append(n.out.Types, name)
+	n.out.Prods[name] = p
+}
+
+// freshType creates a new element type owned by owner, defined by p, and
+// returns its name.
+func (n *normalizer) freshType(owner string, p Production) string {
+	for {
+		n.fresh[owner]++
+		name := fmt.Sprintf("%s.%d", owner, n.fresh[owner])
+		if _, exists := n.g.Prods[name]; exists {
+			continue
+		}
+		if _, exists := n.out.Prods[name]; exists {
+			continue
+		}
+		n.define(name, p)
+		return name
+	}
+}
+
+// top converts a whole content model into a normal-form production.
+func (n *normalizer) top(owner string, e Expr) (Production, error) {
+	switch e := e.(type) {
+	case EPCDATA:
+		return Str(), nil
+	case EEmpty:
+		return Empty(), nil
+	case EName:
+		return Concat(e.Name), nil
+	case ESeq:
+		// e+ items inline as (e', e'*) directly in the parent
+		// concatenation, avoiding a wrapper type.
+		var children []string
+		for _, it := range e.Items {
+			if plus, ok := it.(EPlus); ok {
+				c, err := n.name(owner, plus.Item)
+				if err != nil {
+					return Production{}, err
+				}
+				children = append(children, c, n.freshType(owner, Star(c)))
+				continue
+			}
+			c, err := n.name(owner, it)
+			if err != nil {
+				return Production{}, err
+			}
+			children = append(children, c)
+		}
+		return Concat(children...), nil
+	case EChoice:
+		children, err := n.nameList(owner, e.Items)
+		if err != nil {
+			return Production{}, err
+		}
+		children, err = dedupeDisjuncts(owner, children, n)
+		if err != nil {
+			return Production{}, err
+		}
+		if len(children) == 1 {
+			return Concat(children[0]), nil
+		}
+		return Disj(children...), nil
+	case EStar:
+		// Mixed content (#PCDATA | a | ...)* parses as EStar(EChoice(...)).
+		c, err := n.name(owner, e.Item)
+		if err != nil {
+			return Production{}, err
+		}
+		return Star(c), nil
+	case EPlus:
+		c, err := n.name(owner, e.Item)
+		if err != nil {
+			return Production{}, err
+		}
+		star := n.freshType(owner, Star(c))
+		return Concat(c, star), nil
+	case EOpt:
+		c, err := n.name(owner, e.Item)
+		if err != nil {
+			return Production{}, err
+		}
+		eps := n.freshType(owner, Empty())
+		if c == eps {
+			return Concat(eps), nil
+		}
+		return Disj(c, eps), nil
+	}
+	return Production{}, fmt.Errorf("unsupported content model %T", e)
+}
+
+// name converts a subexpression into a single element type name,
+// introducing a fresh wrapper type when the subexpression is not already
+// a name.
+func (n *normalizer) name(owner string, e Expr) (string, error) {
+	if name, ok := e.(EName); ok {
+		return name.Name, nil
+	}
+	if _, ok := e.(EPCDATA); ok {
+		// A nested #PCDATA (mixed content) becomes a fresh str type.
+		return n.freshType(owner, Str()), nil
+	}
+	p, err := n.top(owner, e)
+	if err != nil {
+		return "", err
+	}
+	return n.freshType(owner, p), nil
+}
+
+func (n *normalizer) nameList(owner string, items []Expr) ([]string, error) {
+	names := make([]string, 0, len(items))
+	for _, it := range items {
+		c, err := n.name(owner, it)
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, c)
+	}
+	return names, nil
+}
+
+// dedupeDisjuncts enforces the paper's w.l.o.g. assumption that the Bi
+// in a disjunction are distinct, wrapping repeated disjuncts in fresh
+// types.
+func dedupeDisjuncts(owner string, children []string, n *normalizer) ([]string, error) {
+	seen := make(map[string]bool, len(children))
+	out := make([]string, 0, len(children))
+	for _, c := range children {
+		if seen[c] {
+			c = n.freshType(owner, Concat(c))
+		}
+		seen[c] = true
+		out = append(out, c)
+	}
+	return out, nil
+}

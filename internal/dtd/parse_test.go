@@ -1,0 +1,272 @@
+package dtd
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasic(t *testing.T) {
+	src := `
+<!-- school courses -->
+<!ELEMENT db (class)*>
+<!ELEMENT class (cno, title, type)>
+<!ELEMENT cno (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT type (regular | project)>
+<!ELEMENT regular (prereq)>
+<!ELEMENT project (#PCDATA)>
+<!ELEMENT prereq (class)*>
+`
+	d, err := Parse(src, "")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if d.Root != "db" {
+		t.Errorf("default root = %q, want db (first declared)", d.Root)
+	}
+	if p := d.Prods["db"]; p.Kind != KindStar || p.Children[0] != "class" {
+		t.Errorf("db production = %v", p)
+	}
+	if p := d.Prods["type"]; p.Kind != KindDisj {
+		t.Errorf("type production = %v, want disjunction", p)
+	}
+}
+
+func TestParseNormalizesSugar(t *testing.T) {
+	src := `
+<!ELEMENT r (a+, b?, (c | d)*)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b EMPTY>
+<!ELEMENT c (#PCDATA)>
+<!ELEMENT d (#PCDATA)>
+`
+	d, err := Parse(src, "r")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	p := d.Prods["r"]
+	if p.Kind != KindConcat || len(p.Children) != 4 {
+		t.Fatalf("r production = %v, want 4-child concatenation", p)
+	}
+	// a+ => a, r.N with r.N -> a*.
+	if p.Children[0] != "a" {
+		t.Errorf("first child = %q, want a", p.Children[0])
+	}
+	if star := d.Prods[p.Children[1]]; star.Kind != KindStar || star.Children[0] != "a" {
+		t.Errorf("a+ continuation = %v, want (a)*", star)
+	}
+	// b? => fresh disjunction (b | eps).
+	opt := d.Prods[p.Children[2]]
+	if opt.Kind != KindDisj || len(opt.Children) != 2 {
+		t.Fatalf("b? normalization = %v, want 2-way disjunction", opt)
+	}
+	foundEps := false
+	for _, c := range opt.Children {
+		if d.Prods[c].Kind == KindEmpty {
+			foundEps = true
+		}
+	}
+	if !foundEps {
+		t.Error("optional normalization lacks an ε disjunct")
+	}
+	// (c|d)* => star over a fresh disjunction type.
+	grp := d.Prods[p.Children[3]]
+	if grp.Kind != KindStar {
+		t.Fatalf("(c|d)* normalization = %v, want star", grp)
+	}
+	if inner := d.Prods[grp.Children[0]]; inner.Kind != KindDisj {
+		t.Errorf("star body = %v, want disjunction", inner)
+	}
+	if err := d.Check(); err != nil {
+		t.Errorf("normalized DTD fails Check: %v", err)
+	}
+}
+
+func TestParseMixedContent(t *testing.T) {
+	src := `
+<!ELEMENT p (#PCDATA | em)*>
+<!ELEMENT em (#PCDATA)>
+`
+	d, err := Parse(src, "p")
+	if err != nil {
+		t.Fatalf("Parse mixed content: %v", err)
+	}
+	p := d.Prods["p"]
+	if p.Kind != KindStar {
+		t.Fatalf("mixed content production = %v, want star", p)
+	}
+	inner := d.Prods[p.Children[0]]
+	if inner.Kind != KindDisj {
+		t.Fatalf("mixed star body = %v, want disjunction", inner)
+	}
+	hasStr := false
+	for _, c := range inner.Children {
+		if d.Prods[c].Kind == KindStr {
+			hasStr = true
+		}
+	}
+	if !hasStr {
+		t.Error("mixed content lost its PCDATA alternative")
+	}
+}
+
+func TestParseDoctypeWrapper(t *testing.T) {
+	src := `<!DOCTYPE note [
+<!ELEMENT note (to, from)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT from (#PCDATA)>
+<!ATTLIST note id CDATA #REQUIRED>
+]>`
+	d, err := Parse(src, "")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if d.Root != "note" || d.Size() != 3 {
+		t.Errorf("root=%q size=%d, want note/3", d.Root, d.Size())
+	}
+}
+
+func TestParseSkipsDeclarations(t *testing.T) {
+	src := `
+<?xml version="1.0"?>
+<!ENTITY copy "a > b">
+<!NOTATION gif SYSTEM "viewer.exe">
+<!ELEMENT r EMPTY>
+<!ATTLIST r kind CDATA "x > y">
+`
+	d, err := Parse(src, "r")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if d.Prods["r"].Kind != KindEmpty {
+		t.Errorf("r = %v, want EMPTY", d.Prods["r"])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"any", `<!ELEMENT r ANY>`, "ANY content model"},
+		{"unterminated comment", `<!-- oops`, "unterminated comment"},
+		{"bad separator", `<!ELEMENT r (a, b | c)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>`, "mixed"},
+		{"no declarations", `<!-- empty -->`, "no element declarations"},
+		{"bad root", `<!ELEMENT r EMPTY>`, "not declared"},
+		{"dup element", `<!ELEMENT r EMPTY> <!ELEMENT r EMPTY>`, "duplicate"},
+		{"garbage", `hello`, "unexpected input"},
+		{"unclosed group", `<!ELEMENT r (a >`, "expected"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			root := ""
+			if tc.name == "bad root" {
+				root = "nope"
+			}
+			_, err := Parse(tc.src, root)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Parse error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseNestedGroups(t *testing.T) {
+	src := `
+<!ELEMENT r ((a, b) | (c, (d | e)+))>
+<!ELEMENT a EMPTY> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>
+<!ELEMENT d EMPTY> <!ELEMENT e EMPTY>
+`
+	d, err := Parse(src, "r")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := d.Check(); err != nil {
+		t.Errorf("Check after normalization: %v", err)
+	}
+	if d.Prods["r"].Kind != KindDisj {
+		t.Errorf("r = %v, want disjunction of fresh group types", d.Prods["r"])
+	}
+}
+
+// randomExpr builds a random general content model of bounded depth over
+// the given names.
+func randomExpr(r *rand.Rand, names []string, depth int) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		return EName{Name: names[r.Intn(len(names))]}
+	}
+	switch r.Intn(6) {
+	case 0:
+		n := 1 + r.Intn(3)
+		items := make([]Expr, n)
+		for i := range items {
+			items[i] = randomExpr(r, names, depth-1)
+		}
+		return ESeq{Items: items}
+	case 1:
+		n := 2 + r.Intn(2)
+		items := make([]Expr, n)
+		for i := range items {
+			items[i] = randomExpr(r, names, depth-1)
+		}
+		return EChoice{Items: items}
+	case 2:
+		return EStar{Item: randomExpr(r, names, depth-1)}
+	case 3:
+		return EPlus{Item: randomExpr(r, names, depth-1)}
+	case 4:
+		return EOpt{Item: randomExpr(r, names, depth-1)}
+	default:
+		return EPCDATA{}
+	}
+}
+
+// TestNormalizeProperty checks with testing/quick that normalizing a
+// random general DTD always yields a well-formed normal-form schema.
+func TestNormalizeProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		names := []string{"a", "b", "c", "d"}
+		g := &GeneralDTD{Root: "r", Prods: map[string]Expr{}}
+		g.Types = append(g.Types, "r")
+		g.Prods["r"] = randomExpr(r, names, 3)
+		for _, n := range names {
+			g.Types = append(g.Types, n)
+			if r.Intn(2) == 0 {
+				g.Prods[n] = EPCDATA{}
+			} else {
+				g.Prods[n] = randomExpr(r, names, 2)
+			}
+		}
+		d, err := g.Normalize()
+		if err != nil {
+			t.Logf("seed %d: normalize error: %v", seed, err)
+			return false
+		}
+		if err := d.Check(); err != nil {
+			t.Logf("seed %d: check error: %v", seed, err)
+			return false
+		}
+		// Every production must be in normal form (Check enforces the
+		// shapes; also confirm str/ε are leaves and names round-trip).
+		text := d.String()
+		back, err := Parse(text, "r")
+		if err != nil {
+			t.Logf("seed %d: reparse error: %v", seed, err)
+			return false
+		}
+		return back.Equal(d)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := ESeq{Items: []Expr{EName{"a"}, EOpt{EChoice{Items: []Expr{EName{"b"}, EPCDATA{}}}}}}
+	got := ExprString(e)
+	if !strings.Contains(got, "a") || !strings.Contains(got, "#PCDATA") || !strings.Contains(got, "?") {
+		t.Errorf("ExprString = %q", got)
+	}
+}

@@ -1,0 +1,40 @@
+package dtd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDTDParseNeverPanics: the DTD parser survives arbitrary input.
+func TestDTDParseNeverPanics(t *testing.T) {
+	alphabet := []byte("<!ELEMENT abc (|,)*+? #PCDATA EMPTY ANY>\"'-[]\n")
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("seed %d: panic: %v", seed, r)
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(120)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		d, err := Parse(string(buf), "")
+		if err != nil {
+			return true
+		}
+		// Successful parses yield well-formed schemas that re-parse.
+		if err := d.Check(); err != nil {
+			t.Logf("seed %d: parsed schema fails Check: %v", seed, err)
+			return false
+		}
+		back, err := Parse(d.String(), d.Root)
+		return err == nil && back.Equal(d)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1500, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}

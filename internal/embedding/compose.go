@@ -1,0 +1,121 @@
+package embedding
+
+import (
+	"fmt"
+
+	"repro/internal/dtd"
+	"repro/internal/xpath"
+)
+
+// Local aliases keep the switch in substitute readable.
+const (
+	dtdEdgeAND  = dtd.EdgeAND
+	dtdEdgeSTAR = dtd.EdgeSTAR
+)
+
+// Compose builds the schema-level composition σ = σ2 ∘ σ1 of two
+// embeddings σ1 : S1 → S2 and σ2 : S2 → S3: λ = λ2 ∘ λ1, and each
+// source edge's path is the δ2-image of its σ1 path — every step of
+// path1(A, B) is an edge of S2's schema graph, which σ2 maps to a path
+// of S3, and the images concatenate (the function δ of Theorem 4.1
+// applied to embedded paths). Pinned star steps pin the iterator of the
+// substituted star path; the path-type and prefix-free/divergence
+// conditions are preserved by construction, and the result is
+// re-validated before being returned.
+//
+// Composition gives direct mappings for multi-hop integration chains
+// (the use the paper cites from Fagin's work on mapping composition):
+// σ maps S1 documents straight into S3 with all the usual guarantees.
+// Note that σd ≠ σ2d ∘ σ1d as functions on documents — the composed
+// mapping fills S3 defaults directly instead of mapping S2's filled
+// defaults — but it is type safe, invertible and query preserving in
+// its own right.
+func Compose(s1, s2 *Embedding) (*Embedding, error) {
+	if err := s1.Validate(nil); err != nil {
+		return nil, fmt.Errorf("embedding: compose: first mapping invalid: %w", err)
+	}
+	if err := s2.Validate(nil); err != nil {
+		return nil, fmt.Errorf("embedding: compose: second mapping invalid: %w", err)
+	}
+	if !s1.Target.Equal(s2.Source) {
+		return nil, fmt.Errorf("embedding: compose: σ1's target schema differs from σ2's source schema")
+	}
+	out := New(s1.Source, s2.Target)
+	for _, a := range s1.Source.Types {
+		out.Lambda[a] = s2.Lambda[s1.Lambda[a]]
+	}
+	for _, ref := range SourceEdges(s1.Source) {
+		steps, err := s1.ResolvedSteps(ref)
+		if err != nil {
+			return nil, err
+		}
+		composed, err := substitute(s2, s1.Lambda[ref.Parent], steps, ref.Child == StrChild)
+		if err != nil {
+			return nil, fmt.Errorf("embedding: compose %s: %w", ref, err)
+		}
+		out.Paths[ref] = composed
+	}
+	if err := out.Validate(nil); err != nil {
+		return nil, fmt.Errorf("embedding: composition is not a valid embedding: %w", err)
+	}
+	return out, nil
+}
+
+// substitute maps a resolved S2 path (starting below the S2 type
+// `from`) to its δ2-image in S3. For str edges the final text() segment
+// becomes path2(E, str) of the S2 type E the element steps end at.
+func substitute(s2 *Embedding, from string, steps []PathStep, strEdge bool) (xpath.Path, error) {
+	var out xpath.Path
+	cur := from
+	for _, st := range steps {
+		// The S2 edge this step traverses: for AND steps the occurrence
+		// is part of the edge identity; star edges are a single edge
+		// whose position (if any) pins the substituted iterator.
+		edgeOcc, pin := 1, 0
+		switch {
+		case st.Kind == dtdEdgeAND:
+			edgeOcc = st.Occ
+		case st.Kind == dtdEdgeSTAR:
+			pin = st.Occ // 0 = iterator, stays unpinned
+		}
+		edge := EdgeRef{Parent: cur, Child: st.Label, Occ: edgeOcc}
+		segment, err := s2.ResolvedSteps(edge)
+		if err != nil {
+			return xpath.Path{}, fmt.Errorf("σ2 lacks a path for edge %s: %w", edge, err)
+		}
+		out.Steps = append(out.Steps, renderSegment(segment, pin)...)
+		cur = st.Label
+	}
+	if strEdge {
+		edge := EdgeRef{Parent: cur, Child: StrChild, Occ: 1}
+		segment, err := s2.ResolvedSteps(edge)
+		if err != nil {
+			return xpath.Path{}, fmt.Errorf("σ2 lacks a str path for %s: %w", cur, err)
+		}
+		out.Steps = append(out.Steps, renderSegment(segment, 1)...)
+		out.Text = true
+	}
+	return out, nil
+}
+
+// renderSegment converts the resolved image of one S2 edge into
+// syntactic steps. pin is the position of the original S2 step: when
+// the original step was pinned (pin > 0) the segment's iterator takes
+// that position; when it was the iterator (pin == 0) the segment's
+// iterator stays unpinned.
+func renderSegment(segment []PathStep, pin int) []xpath.Step {
+	out := make([]xpath.Step, 0, len(segment))
+	for _, s := range segment {
+		step := xpath.Step{Label: s.Label}
+		switch {
+		case s.Occ == 0 && pin > 0:
+			step.Pos = pin
+		case s.Occ == 0:
+			// Iterator stays unpinned.
+		case s.NeedsPos:
+			step.Pos = s.Occ
+		}
+		out = append(out, step)
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package embedding_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dtd"
+	"repro/internal/embedding"
+	"repro/internal/search"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+// chainTarget extends the school schema idea one hop further: a
+// district archive hosting school data under renamed wrappers. Built
+// mechanically as a noisy copy so σ2 exists by ground truth.
+func chainSecondHop(t *testing.T) (*embedding.Embedding, *dtd.DTD) {
+	t.Helper()
+	school := workload.SchoolDTD()
+	r := rand.New(rand.NewSource(21))
+	nc := workload.Noise(school, workload.NoiseOptions{RenameFrac: 0.4, InsertFrac: 0.3}, r)
+	att := embedding.NewSimMatrix()
+	for a, b := range nc.Truth {
+		att.Set(a, b, 1)
+	}
+	// Build σ2 by search over the ground truth (deterministic).
+	emb := searchGroundTruth(t, school, nc.DTD, att)
+	return emb, nc.DTD
+}
+
+func searchGroundTruth(t *testing.T, src, tgt *dtd.DTD, att *embedding.SimMatrix) *embedding.Embedding {
+	t.Helper()
+	res, err := search.Find(src, tgt, att, search.Options{Heuristic: search.QualityOrdered, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Embedding == nil {
+		t.Fatal("no second-hop embedding found")
+	}
+	return res.Embedding
+}
+
+// TestComposeFigure1Chain: σ1 (class → school) composed with a found
+// school → archive embedding yields a direct class → archive embedding
+// with all guarantees.
+func TestComposeFigure1Chain(t *testing.T) {
+	s1 := workload.ClassEmbedding()
+	s2, archive := chainSecondHop(t)
+	composed, err := embedding.Compose(s1, s2)
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	if composed.Source != s1.Source || !composed.Target.Equal(archive) {
+		t.Fatal("composed endpoints wrong")
+	}
+	// λ composes pointwise.
+	for _, a := range s1.Source.Types {
+		if composed.Lambda[a] != s2.Lambda[s1.Lambda[a]] {
+			t.Errorf("λ(%s) = %s, want λ2(λ1(%s))", a, composed.Lambda[a], a)
+		}
+	}
+	// Full pipeline on the composed embedding.
+	roundTripAll(t, composed, 25)
+}
+
+// TestComposeSequentialAgreement: inverting the two hops sequentially
+// recovers the original from the sequentially mapped document, and the
+// composed mapping round-trips on its own — both roads lead home.
+func TestComposeSequentialAgreement(t *testing.T) {
+	s1 := workload.ClassEmbedding()
+	s2, _ := chainSecondHop(t)
+	composed, err := embedding.Compose(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := xmltree.MustGenerate(s1.Source, r, xmltree.GenOptions{})
+		// Sequential: σ2d(σ1d(T)) then invert twice.
+		hop1, err := s1.Apply(doc)
+		if err != nil {
+			return false
+		}
+		hop2, err := s2.Apply(hop1.Tree)
+		if err != nil {
+			t.Logf("seed %d: hop2: %v", seed, err)
+			return false
+		}
+		mid, err := s2.Invert(hop2.Tree)
+		if err != nil || !xmltree.Equal(mid, hop1.Tree) {
+			t.Logf("seed %d: hop2 inverse: %v", seed, err)
+			return false
+		}
+		back, err := s1.Invert(mid)
+		if err != nil || !xmltree.Equal(back, doc) {
+			t.Logf("seed %d: hop1 inverse: %v", seed, err)
+			return false
+		}
+		// Direct: σd then σd⁻¹.
+		direct, err := composed.Apply(doc)
+		if err != nil {
+			t.Logf("seed %d: composed apply: %v", seed, err)
+			return false
+		}
+		back2, err := composed.Invert(direct.Tree)
+		if err != nil || !xmltree.Equal(back2, doc) {
+			t.Logf("seed %d: composed inverse: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComposeMismatchedSchemas(t *testing.T) {
+	s1 := workload.ClassEmbedding()
+	s2 := workload.StudentEmbedding()
+	if _, err := embedding.Compose(s1, s2); err == nil || !strings.Contains(err.Error(), "differs") {
+		t.Errorf("mismatched composition: %v", err)
+	}
+}

@@ -1,0 +1,84 @@
+package embedding_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/embedding"
+	"repro/internal/workload"
+)
+
+func TestEmbeddingString(t *testing.T) {
+	s := workload.ClassEmbedding().String()
+	for _, want := range []string{
+		"λ(db) = school",
+		"path(db, class) = courses/current/course",
+		"path(cno, #str) = text()",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() lacks %q", want)
+		}
+	}
+}
+
+func TestPathSize(t *testing.T) {
+	e := workload.StudentEmbedding()
+	// students/student(2) + ssn + name + taking + cno + 3 text() = 9.
+	if got := e.PathSize(); got != 9 {
+		t.Errorf("PathSize = %d, want 9", got)
+	}
+}
+
+func TestSimMatrixHelpers(t *testing.T) {
+	m := embedding.NewSimMatrix()
+	m.Set("a", "x", 0.5)
+	m.Set("a", "y", 0.9)
+	m.Set("a", "z", 2.0)  // clamped to 1
+	m.Set("b", "x", -0.5) // clamped to 0 = deleted
+	if got := m.Candidates("a"); len(got) != 3 || got[0] != "z" || got[1] != "y" {
+		t.Errorf("Candidates = %v, want score-descending [z y x]", got)
+	}
+	if m.Pairs() != 3 {
+		t.Errorf("Pairs = %d", m.Pairs())
+	}
+	if !strings.Contains(m.String(), "3 pairs") {
+		t.Errorf("String = %q", m.String())
+	}
+	var nilM *embedding.SimMatrix
+	if nilM.Get("a", "b") != 1 {
+		t.Error("nil matrix must be unrestricted")
+	}
+	m.Set("a", "z", 0)
+	if m.Pairs() != 2 {
+		t.Error("Set(0) should delete the pair")
+	}
+}
+
+func TestMinDefDepth(t *testing.T) {
+	md, err := embedding.MinDef(workload.SchoolDTD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := md.Depth("prereq"); d != 1 {
+		t.Errorf("Depth(prereq) = %d, want 1", d)
+	}
+	if d := md.Depth("cno"); d != 2 {
+		t.Errorf("Depth(cno) = %d, want 2 (element + text)", d)
+	}
+	if d := md.Depth("student"); d != 3 {
+		t.Errorf("Depth(student) = %d, want 3", d)
+	}
+	if d := md.Depth("nosuch"); d != 0 {
+		t.Errorf("Depth(nosuch) = %d, want 0", d)
+	}
+}
+
+func TestEdgeRefString(t *testing.T) {
+	if s := embedding.Ref("a", "b").String(); s != "(a, b)" {
+		t.Errorf("Ref.String = %q", s)
+	}
+	r := embedding.EdgeRef{Parent: "a", Child: "b", Occ: 3}
+	if r.String() != "(a, b#3)" {
+		t.Errorf("occ String = %q", r.String())
+	}
+}

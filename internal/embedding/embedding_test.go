@@ -1,0 +1,638 @@
+package embedding_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dtd"
+	"repro/internal/embedding"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+// TestFigure1Embeddings verifies σ1 (Example 4.2) and σ2 (Example 4.9):
+// both Figure 1 sources embed into the school target.
+func TestFigure1Embeddings(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		emb  *embedding.Embedding
+	}{
+		{"sigma1-class", workload.ClassEmbedding()},
+		{"sigma2-student", workload.StudentEmbedding()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.emb.Validate(nil); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			att := embedding.UniformSim(tc.emb.Source, tc.emb.Target)
+			if err := tc.emb.Validate(att); err != nil {
+				t.Fatalf("Validate w.r.t. uniform att: %v", err)
+			}
+			if q := tc.emb.Quality(att); q != float64(tc.emb.Source.Size()) {
+				t.Errorf("Quality = %v, want %v (all att = 1)", q, tc.emb.Source.Size())
+			}
+		})
+	}
+}
+
+// TestFigure3Scenarios checks the validity verdicts of Figure 3(a)-(e).
+func TestFigure3Scenarios(t *testing.T) {
+	for _, sc := range workload.Figure3() {
+		t.Run(sc.Name, func(t *testing.T) {
+			err := sc.Build().Validate(nil)
+			if sc.Valid && err != nil {
+				t.Errorf("scenario should be valid, got %v", err)
+			}
+			if !sc.Valid && err == nil {
+				t.Errorf("scenario should be invalid, Validate succeeded")
+			}
+		})
+	}
+}
+
+// TestFigure2Mapping: the Figure 2 arrow mapping is not a valid schema
+// embedding — its concatenation edges map to OR paths — matching the
+// paper's use of it as an invertible-but-not-query-preserving mapping.
+func TestFigure2Mapping(t *testing.T) {
+	err := workload.Figure2Mapping().Validate(nil)
+	if err == nil {
+		t.Fatal("Figure 2 mapping validated; it should violate the path type condition")
+	}
+	if !strings.Contains(err.Error(), "OR") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestMinDefExamples checks Example 4.3's minimum default instances.
+func TestMinDefExamples(t *testing.T) {
+	school := workload.SchoolDTD()
+	md, err := embedding.MinDef(school)
+	if err != nil {
+		t.Fatalf("MinDef: %v", err)
+	}
+	tr := &xmltree.Tree{}
+
+	student, err := md.Instantiate(tr, "student")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLabels := []string{"ssn", "name", "gpa", "taking"}
+	if len(student.Children) != 4 {
+		t.Fatalf("mindef(student) has %d children, want 4", len(student.Children))
+	}
+	for i, w := range wantLabels {
+		if student.Children[i].Label != w {
+			t.Errorf("mindef(student) child %d = %q, want %q", i, student.Children[i].Label, w)
+		}
+	}
+	if v, _ := student.Children[0].Value(); v != embedding.DefaultText {
+		t.Errorf("mindef ssn value = %q, want %q", v, embedding.DefaultText)
+	}
+	if len(student.Children[3].Children) != 0 {
+		t.Error("mindef(taking) must be empty (star)")
+	}
+
+	prereq, _ := md.Instantiate(tr, "prereq")
+	if len(prereq.Children) != 0 {
+		t.Error("mindef(prereq) must be a childless node")
+	}
+
+	// category is a disjunction: the smallest rank-0 disjunct in
+	// declaration order is mandatory (whose own default is lab).
+	category, _ := md.Instantiate(tr, "category")
+	if len(category.Children) != 1 || category.Children[0].Label != "mandatory" {
+		t.Fatalf("mindef(category) child = %v", category.Children)
+	}
+	if category.Children[0].Children[0].Label != "lab" {
+		t.Errorf("mindef(mandatory) child = %q, want lab", category.Children[0].Children[0].Label)
+	}
+}
+
+// TestMinDefConformsProperty: for every type A of a consistent DTD,
+// mindef(A) validates against the DTD rooted at A.
+func TestMinDefConformsProperty(t *testing.T) {
+	for _, d := range []*dtd.DTD{workload.ClassDTD(), workload.StudentDTD(), workload.SchoolDTD()} {
+		md, err := embedding.MinDef(d)
+		if err != nil {
+			t.Fatalf("MinDef: %v", err)
+		}
+		for _, a := range d.Types {
+			tr := &xmltree.Tree{}
+			n, err := md.Instantiate(tr, a)
+			if err != nil {
+				t.Fatalf("Instantiate(%s): %v", a, err)
+			}
+			tr.Root = n
+			sub := d.Clone()
+			sub.Root = a
+			if err := tr.Validate(sub); err != nil {
+				t.Errorf("mindef(%s) does not conform: %v", a, err)
+			}
+		}
+	}
+}
+
+func TestMinDefInconsistentDTD(t *testing.T) {
+	d := dtd.MustNew("r", dtd.D("r", dtd.Disj("a", "x")), dtd.D("a", dtd.Str()), dtd.D("x", dtd.Concat("x")))
+	if _, err := embedding.MinDef(d); err == nil {
+		t.Error("MinDef over an inconsistent DTD should fail")
+	}
+}
+
+// classDoc builds a small class document used by the Figure 4 tests.
+func classDoc(t *testing.T) *xmltree.Tree {
+	t.Helper()
+	tr, err := xmltree.ParseString(`
+<db>
+  <class>
+    <cno>CS331</cno>
+    <title>Databases</title>
+    <type>
+      <regular>
+        <prereq>
+          <class>
+            <cno>CS210</cno>
+            <title>Algorithms</title>
+            <type><project>solo</project></type>
+          </class>
+        </prereq>
+      </regular>
+    </type>
+  </class>
+  <class>
+    <cno>CS100</cno>
+    <title>Intro</title>
+    <type><project>maze</project></type>
+  </class>
+</db>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestFigure4ProductionFragment checks the Example 4.4 mapping: the
+// class production fragment shape of Figure 4, with credit, year, term
+// and instructor filled by minimum defaults.
+func TestFigure4ProductionFragment(t *testing.T) {
+	emb := workload.ClassEmbedding()
+	src := classDoc(t)
+	res, err := emb.Apply(src)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := res.Tree.Validate(emb.Target); err != nil {
+		t.Fatalf("σd(T) does not conform to the target schema: %v\n%s", err, res.Tree)
+	}
+	school := res.Tree.Root
+	if school.Label != "school" {
+		t.Fatalf("root = %q", school.Label)
+	}
+	courses := school.Children[0]
+	current := courses.Children[0]
+	if len(current.Children) != 2 {
+		t.Fatalf("current has %d courses, want 2", len(current.Children))
+	}
+	// history is required by the target and filled with its default: a
+	// childless star node.
+	history := courses.Children[1]
+	if history.Label != "history" || len(history.Children) != 0 {
+		t.Errorf("history fill = %q with %d children", history.Label, len(history.Children))
+	}
+	course := current.Children[0]
+	basic := course.Children[0]
+	if got := childLabels(basic); got != "cno,credit,class" {
+		t.Fatalf("basic children = %s", got)
+	}
+	if v, _ := basic.Children[0].Value(); v != "CS331" {
+		t.Errorf("cno = %q", v)
+	}
+	if v, _ := basic.Children[1].Value(); v != embedding.DefaultText {
+		t.Errorf("credit default = %q", v)
+	}
+	if !res.Default[basic.Children[1].ID] {
+		t.Error("credit not marked as default content")
+	}
+	sem := basic.Children[2].Children[0]
+	if got := childLabels(sem); got != "title,year,term,instructor" {
+		t.Fatalf("semester children = %s", got)
+	}
+	if v, _ := sem.Children[0].Value(); v != "Databases" {
+		t.Errorf("title = %q", v)
+	}
+	if v, _ := sem.Children[1].Value(); v != embedding.DefaultText {
+		t.Errorf("year default = %q", v)
+	}
+	// The category disjunct follows the OR path mandatory/regular.
+	category := course.Children[1]
+	if category.Children[0].Label != "mandatory" || category.Children[0].Children[0].Label != "regular" {
+		t.Errorf("category path = %s/%s", category.Children[0].Label, category.Children[0].Children[0].Label)
+	}
+	// idM maps the course node back to the class node.
+	srcClass := src.Root.Children[0]
+	if res.IDM[course.ID] != srcClass.ID {
+		t.Errorf("idM(course) = %d, want class id %d", res.IDM[course.ID], srcClass.ID)
+	}
+	if res.Fwd[srcClass.ID] != course.ID {
+		t.Errorf("Fwd(class) = %d, want course id %d", res.Fwd[srcClass.ID], course.ID)
+	}
+}
+
+func childLabels(n *xmltree.Node) string {
+	var out []string
+	for _, c := range n.Children {
+		out = append(out, c.Label)
+	}
+	return strings.Join(out, ",")
+}
+
+// TestApplyInjective: σd maps distinct source nodes to distinct target
+// nodes (Theorem 4.1).
+func TestApplyInjective(t *testing.T) {
+	emb := workload.ClassEmbedding()
+	src := classDoc(t)
+	res, err := emb.Apply(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fwd) != src.Size() {
+		t.Errorf("Fwd covers %d source nodes, want all %d", len(res.Fwd), src.Size())
+	}
+	seen := map[xmltree.NodeID]bool{}
+	for _, tgt := range res.Fwd {
+		if seen[tgt] {
+			t.Fatalf("two source nodes map to target node %d", tgt)
+		}
+		seen[tgt] = true
+	}
+}
+
+// TestRoundTrip: σd⁻¹(σd(T)) = T on the Figure 1 examples.
+func TestRoundTrip(t *testing.T) {
+	emb := workload.ClassEmbedding()
+	src := classDoc(t)
+	res, err := emb.Apply(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := emb.Invert(res.Tree)
+	if err != nil {
+		t.Fatalf("Invert: %v", err)
+	}
+	if !xmltree.Equal(src, back) {
+		t.Errorf("round trip mismatch: %s", xmltree.Diff(src, back))
+	}
+}
+
+// TestRoundTripProperty: type safety, injectivity and invertibility on
+// random instances of both Figure 1 sources (Theorems 4.1, 4.3a).
+func TestRoundTripProperty(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		emb  *embedding.Embedding
+	}{
+		{"sigma1", workload.ClassEmbedding()},
+		{"sigma2", workload.StudentEmbedding()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			prop := func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				src := xmltree.MustGenerate(tc.emb.Source, r, xmltree.GenOptions{})
+				res, err := tc.emb.Apply(src)
+				if err != nil {
+					t.Logf("seed %d: Apply: %v", seed, err)
+					return false
+				}
+				if err := res.Tree.Validate(tc.emb.Target); err != nil {
+					t.Logf("seed %d: type safety violated: %v", seed, err)
+					return false
+				}
+				back, err := tc.emb.Invert(res.Tree)
+				if err != nil {
+					t.Logf("seed %d: Invert: %v", seed, err)
+					return false
+				}
+				if !xmltree.Equal(src, back) {
+					t.Logf("seed %d: %s", seed, xmltree.Diff(src, back))
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(1))}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestFigure3cInstanceMapping: two source types sharing one target type,
+// distinguished by position qualifiers, still round-trip.
+func TestFigure3cInstanceMapping(t *testing.T) {
+	var scen workload.Fig3Scenario
+	for _, sc := range workload.Figure3() {
+		if strings.HasPrefix(sc.Name, "c-") {
+			scen = sc
+		}
+	}
+	emb := scen.Build()
+	src, err := xmltree.ParseString(`<A><B/><C/></A>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := emb.Apply(src)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := res.Tree.Validate(emb.Target); err != nil {
+		t.Fatalf("conformance: %v", err)
+	}
+	back, err := emb.Invert(res.Tree)
+	if err != nil {
+		t.Fatalf("Invert: %v", err)
+	}
+	if !xmltree.Equal(src, back) {
+		t.Errorf("round trip: %s", xmltree.Diff(src, back))
+	}
+}
+
+// TestFigure3eInstanceMapping: the cycle-unfolding embedding maps and
+// inverts correctly.
+func TestFigure3eInstanceMapping(t *testing.T) {
+	var scen workload.Fig3Scenario
+	for _, sc := range workload.Figure3() {
+		if strings.HasPrefix(sc.Name, "e-") {
+			scen = sc
+		}
+	}
+	emb := scen.Build()
+	src, _ := xmltree.ParseString(`<A><B/><C/></A>`)
+	res, err := emb.Apply(src)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := res.Tree.Validate(emb.Target); err != nil {
+		t.Fatalf("conformance: %v\n%s", err, res.Tree)
+	}
+	back, err := emb.Invert(res.Tree)
+	if err != nil {
+		t.Fatalf("Invert: %v", err)
+	}
+	if !xmltree.Equal(src, back) {
+		t.Errorf("round trip: %s", xmltree.Diff(src, back))
+	}
+}
+
+// TestValidateErrors exercises each validity condition.
+func TestValidateErrors(t *testing.T) {
+	base := func() *embedding.Embedding { return workload.ClassEmbedding() }
+	cases := []struct {
+		name string
+		mod  func(*embedding.Embedding)
+		want string
+	}{
+		{"non-root lambda", func(e *embedding.Embedding) { e.MapType("db", "courses") }, "target root"},
+		{"missing lambda", func(e *embedding.Embedding) { delete(e.Lambda, "title") }, "not total"},
+		{"unknown target type", func(e *embedding.Embedding) { e.MapType("title", "nosuch") }, "not a target type"},
+		{"missing path", func(e *embedding.Embedding) { delete(e.Paths, embedding.Ref("class", "cno")) }, "no path"},
+		{"wrong end label", func(e *embedding.Embedding) { e.SetPath(embedding.Ref("class", "cno"), "basic/credit") }, "ends at"},
+		{"not a child", func(e *embedding.Embedding) { e.SetPath(embedding.Ref("class", "cno"), "basic/zzz") }, "not a child"},
+		{"or path for concat", func(e *embedding.Embedding) {
+			e.MapType("cno", "lab")
+			e.SetPath(embedding.Ref("class", "cno"), "category/mandatory/lab")
+			e.SetPath(embedding.Ref("cno", embedding.StrChild), "text()")
+		}, "OR edge"},
+		{"star path fully pinned", func(e *embedding.Embedding) {
+			e.MapType("class", "basic").
+				SetPath(embedding.Ref("db", "class"), "courses/current/course[position() = 1]/basic")
+		}, "unpinned"},
+		{"star path missing star", func(e *embedding.Embedding) {
+			e.MapType("class", "history").
+				SetPath(embedding.Ref("db", "class"), "courses/history")
+		}, "STAR path"},
+		{"str path to non-str", func(e *embedding.Embedding) {
+			e.SetPath(embedding.Ref("cno", embedding.StrChild), "text()")
+			e.MapType("cno", "basic")
+		}, ""},
+		{"element path with text", func(e *embedding.Embedding) { e.SetPath(embedding.Ref("class", "cno"), "basic/cno/text()") }, "text()"},
+		{"prefix violation", func(e *embedding.Embedding) {
+			e.MapType("cno", "basic").
+				SetPath(embedding.Ref("class", "cno"), "basic").
+				SetPath(embedding.Ref("cno", embedding.StrChild), "cno/text()")
+		}, "prefix-free"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := base()
+			tc.mod(e)
+			err := e.Validate(nil)
+			if err == nil {
+				t.Fatal("Validate succeeded, want error")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateDisjunctNeedsORPath: a disjunction edge mapped to a path
+// with no OR edge violates the path type condition.
+func TestValidateDisjunctNeedsORPath(t *testing.T) {
+	src := dtd.MustNew("A", dtd.D("A", dtd.Disj("B", "C")), dtd.D("B", dtd.Empty()), dtd.D("C", dtd.Empty()))
+	tgt := dtd.MustNew("A1", dtd.D("A1", dtd.Concat("B1", "C1")), dtd.D("B1", dtd.Empty()), dtd.D("C1", dtd.Empty()))
+	e := embedding.New(src, tgt)
+	e.MapType("A", "A1").MapType("B", "B1").MapType("C", "C1")
+	e.SetPath(embedding.Ref("A", "B"), "B1").SetPath(embedding.Ref("A", "C"), "C1")
+	err := e.Validate(nil)
+	if err == nil || !strings.Contains(err.Error(), "OR path") {
+		t.Errorf("disjunction edge on AND path: err = %v", err)
+	}
+}
+
+// TestValidateAmbiguousOccurrence: a step to a repeated concat child
+// without a position qualifier is rejected; with one it resolves.
+func TestValidateAmbiguousOccurrence(t *testing.T) {
+	src := dtd.MustNew("A", dtd.D("A", dtd.Concat("B")), dtd.D("B", dtd.Empty()))
+	tgt := dtd.MustNew("A1", dtd.D("A1", dtd.Concat("B1", "B1")), dtd.D("B1", dtd.Empty()))
+	e := embedding.New(src, tgt)
+	e.MapType("A", "A1").MapType("B", "B1")
+	e.SetPath(embedding.Ref("A", "B"), "B1")
+	if err := e.Validate(nil); err == nil || !strings.Contains(err.Error(), "position qualifier is required") {
+		t.Errorf("ambiguous occurrence: err = %v", err)
+	}
+	e.SetPath(embedding.Ref("A", "B"), "B1[position() = 2]")
+	if err := e.Validate(nil); err != nil {
+		t.Errorf("pinned occurrence rejected: %v", err)
+	}
+	e.SetPath(embedding.Ref("A", "B"), "B1[position() = 3]")
+	if err := e.Validate(nil); err == nil {
+		t.Error("position beyond occurrences accepted")
+	}
+}
+
+// TestValidateDisjunctDivergence: sibling disjunct paths must diverge
+// at an OR edge (the invertibility strengthening).
+func TestValidateDisjunctDivergence(t *testing.T) {
+	src := dtd.MustNew("A",
+		dtd.D("A", dtd.Disj("B", "C")),
+		dtd.D("B", dtd.Empty()), dtd.D("C", dtd.Empty()))
+	tgt := dtd.MustNew("A1",
+		dtd.D("A1", dtd.Concat("U", "W")),
+		dtd.D("U", dtd.Disj("B1", "Z1")),
+		dtd.D("W", dtd.Disj("C1", "Z2")),
+		dtd.D("B1", dtd.Empty()), dtd.D("C1", dtd.Empty()),
+		dtd.D("Z1", dtd.Empty()), dtd.D("Z2", dtd.Empty()))
+	e := embedding.New(src, tgt)
+	e.MapType("A", "A1").MapType("B", "B1").MapType("C", "C1")
+	e.SetPath(embedding.Ref("A", "B"), "U/B1").SetPath(embedding.Ref("A", "C"), "W/C1")
+	err := e.Validate(nil)
+	if err == nil || !strings.Contains(err.Error(), "diverge at a non-OR edge") {
+		t.Errorf("divergence at AND edges accepted: %v", err)
+	}
+	// Diverging at the OR edges under a shared AND prefix is fine.
+	tgt2 := dtd.MustNew("A1",
+		dtd.D("A1", dtd.Concat("U")),
+		dtd.D("U", dtd.Disj("B1", "C1")),
+		dtd.D("B1", dtd.Empty()), dtd.D("C1", dtd.Empty()))
+	e2 := embedding.New(src, tgt2)
+	e2.MapType("A", "A1").MapType("B", "B1").MapType("C", "C1")
+	e2.SetPath(embedding.Ref("A", "B"), "U/B1").SetPath(embedding.Ref("A", "C"), "U/C1")
+	if err := e2.Validate(nil); err != nil {
+		t.Errorf("valid disjunct embedding rejected: %v", err)
+	}
+}
+
+// TestValidateAtt: λ must respect the similarity matrix.
+func TestValidateAtt(t *testing.T) {
+	e := workload.ClassEmbedding()
+	att := embedding.UniformSim(e.Source, e.Target)
+	att.Set("title", "title", 0)
+	err := e.Validate(att)
+	if err == nil || !strings.Contains(err.Error(), "att") {
+		t.Errorf("zero-similarity mapping accepted: %v", err)
+	}
+}
+
+// TestEmptySourceCompletion: an ε source type whose λ image requires
+// structure gets a conforming default subtree, and still inverts.
+func TestEmptySourceCompletion(t *testing.T) {
+	src := dtd.MustNew("r", dtd.D("r", dtd.Concat("a")), dtd.D("a", dtd.Empty()))
+	tgt := dtd.MustNew("r1",
+		dtd.D("r1", dtd.Concat("a1")),
+		dtd.D("a1", dtd.Concat("x", "y")),
+		dtd.D("x", dtd.Str()),
+		dtd.D("y", dtd.Star("x")))
+	e := embedding.New(src, tgt)
+	e.MapType("r", "r1").MapType("a", "a1")
+	e.SetPath(embedding.Ref("r", "a"), "a1")
+	if err := e.Validate(nil); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	srcDoc, _ := xmltree.ParseString(`<r><a/></r>`)
+	res, err := e.Apply(srcDoc)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := res.Tree.Validate(tgt); err != nil {
+		t.Fatalf("conformance: %v", err)
+	}
+	back, err := e.Invert(res.Tree)
+	if err != nil {
+		t.Fatalf("Invert: %v", err)
+	}
+	if !xmltree.Equal(srcDoc, back) {
+		t.Errorf("round trip: %s", xmltree.Diff(srcDoc, back))
+	}
+}
+
+// TestApplyRejectsInvalidSource: documents not conforming to the source
+// schema are rejected.
+func TestApplyRejectsInvalidSource(t *testing.T) {
+	emb := workload.ClassEmbedding()
+	bad, _ := xmltree.ParseString(`<db><zebra/></db>`)
+	if _, err := emb.Apply(bad); err == nil {
+		t.Error("Apply accepted a non-conforming source document")
+	}
+}
+
+// TestInvertRejectsForeignDocument: a target document outside the image
+// of σd fails inversion.
+func TestInvertRejectsForeignDocument(t *testing.T) {
+	emb := workload.ClassEmbedding()
+	md, err := embedding.MinDef(emb.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &xmltree.Tree{}
+	// mindef(school) conforms to the target but its courses/current is
+	// empty, which is fine (zero classes) — craft a corrupted document
+	// instead: wrong root.
+	n, _ := md.Instantiate(tr, "courses")
+	tr.Root = n
+	if _, err := emb.Invert(tr); err == nil {
+		t.Error("Invert accepted a document with the wrong root")
+	}
+}
+
+// TestInvertZeroChildrenStar: the empty source document (zero classes)
+// round-trips; the star prefix is default-filled and yields no children.
+func TestInvertZeroChildrenStar(t *testing.T) {
+	emb := workload.ClassEmbedding()
+	src, _ := xmltree.ParseString(`<db/>`)
+	res, err := emb.Apply(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := emb.Invert(res.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(src, back) {
+		t.Errorf("round trip: %s", xmltree.Diff(src, back))
+	}
+}
+
+// TestSourceEdges enumerates graph plus str edges.
+func TestSourceEdges(t *testing.T) {
+	refs := embedding.SourceEdges(workload.ClassDTD())
+	want := map[string]bool{
+		"(db, class)": true, "(class, cno)": true, "(class, title)": true,
+		"(class, type)": true, "(cno, #str)": true, "(title, #str)": true,
+		"(type, regular)": true, "(type, project)": true,
+		"(regular, prereq)": true, "(project, #str)": true, "(prereq, class)": true,
+	}
+	if len(refs) != len(want) {
+		t.Fatalf("got %d edges, want %d: %v", len(refs), len(want), refs)
+	}
+	for _, r := range refs {
+		if !want[r.String()] {
+			t.Errorf("unexpected edge %s", r)
+		}
+	}
+}
+
+// TestResolvedKinds: the σ1 paths traverse the expected edge kinds.
+func TestResolvedKinds(t *testing.T) {
+	e := workload.ClassEmbedding()
+	kinds, err := e.ResolvedKinds(embedding.Ref("db", "class"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, len(kinds))
+	for i, k := range kinds {
+		got[i] = k.String()
+	}
+	if strings.Join(got, ",") != "AND,AND,STAR" {
+		t.Errorf("courses/current/course kinds = %v", got)
+	}
+	kinds, _ = e.ResolvedKinds(embedding.Ref("type", "regular"))
+	got = got[:0]
+	for _, k := range kinds {
+		got = append(got, k.String())
+	}
+	if strings.Join(got, ",") != "OR,OR" {
+		t.Errorf("mandatory/regular kinds = %v", got)
+	}
+}

@@ -1,0 +1,156 @@
+package embedding
+
+import (
+	"fmt"
+
+	"repro/internal/dtd"
+	"repro/internal/xmltree"
+)
+
+// Invert computes σd⁻¹(tgt): it reconstructs the unique source document
+// T with σd(T) = tgt, expanding T top-down and recovering the children
+// of each node from its source production and the embedded paths
+// (Theorem 3.3's algorithm, specialized to embeddings; quadratic in
+// |σd(T)| in the worst case, Theorem 4.3a). It fails when tgt is not in
+// the image of σd.
+func (e *Embedding) Invert(tgt *xmltree.Tree) (*xmltree.Tree, error) {
+	if err := e.ensureResolved(); err != nil {
+		return nil, err
+	}
+	if err := e.checkPrefixFreedom(); err != nil {
+		return nil, err
+	}
+	if tgt.Root == nil {
+		return nil, fmt.Errorf("embedding: empty target document")
+	}
+	if tgt.Root.Label != e.Target.Root {
+		return nil, fmt.Errorf("embedding: target root is %q, want %q", tgt.Root.Label, e.Target.Root)
+	}
+	inv := &inverter{e: e, t: &xmltree.Tree{}}
+	root, err := inv.reconstruct(tgt.Root, e.Source.Root)
+	if err != nil {
+		return nil, err
+	}
+	inv.t.Root = root
+	return inv.t, nil
+}
+
+type inverter struct {
+	e *Embedding
+	t *xmltree.Tree
+}
+
+// reconstruct recovers the source node of type a that was mapped to
+// target node w.
+func (inv *inverter) reconstruct(w *xmltree.Node, a string) (*xmltree.Node, error) {
+	n := inv.t.NewElement(a)
+	prod := inv.e.Source.Prods[a]
+	switch prod.Kind {
+	case dtd.KindStr:
+		steps := inv.e.resolved[EdgeRef{Parent: a, Child: StrChild, Occ: 1}]
+		end, err := navigate(w, steps)
+		if err != nil {
+			return nil, fmt.Errorf("embedding: invert %s: %w", a, err)
+		}
+		val, ok := end.Value()
+		if !ok {
+			return nil, fmt.Errorf("embedding: invert %s: target %q has no text", a, end.Label)
+		}
+		xmltree.Append(n, inv.t.NewText(val))
+
+	case dtd.KindEmpty:
+
+	case dtd.KindConcat:
+		occ := make(map[string]int, len(prod.Children))
+		for _, c := range prod.Children {
+			occ[c]++
+			ref := EdgeRef{Parent: a, Child: c, Occ: occ[c]}
+			v, err := navigate(w, inv.e.resolved[ref])
+			if err != nil {
+				return nil, fmt.Errorf("embedding: invert edge %s: %w", ref, err)
+			}
+			sub, err := inv.reconstruct(v, c)
+			if err != nil {
+				return nil, err
+			}
+			xmltree.Append(n, sub)
+		}
+
+	case dtd.KindDisj:
+		// Exactly one disjunct path is navigable: sibling paths diverge
+		// at an OR edge, whose target node has a single child.
+		var present string
+		var at *xmltree.Node
+		for _, c := range prod.Children {
+			ref := EdgeRef{Parent: a, Child: c, Occ: 1}
+			if v, err := navigate(w, inv.e.resolved[ref]); err == nil {
+				if present != "" {
+					return nil, fmt.Errorf("embedding: invert %s: both %q and %q paths present", a, present, c)
+				}
+				present, at = c, v
+			}
+		}
+		if present == "" {
+			return nil, fmt.Errorf("embedding: invert %s: no disjunct path present under %q", a, w.Label)
+		}
+		sub, err := inv.reconstruct(at, present)
+		if err != nil {
+			return nil, err
+		}
+		xmltree.Append(n, sub)
+
+	case dtd.KindStar:
+		ref := EdgeRef{Parent: a, Child: prod.Children[0], Occ: 1}
+		steps := inv.e.resolved[ref]
+		it := iteratorIndex(steps)
+		prefixEnd, err := navigate(w, steps[:it])
+		if err != nil {
+			// The prefix exists whenever at least one child was mapped;
+			// a missing prefix means zero children.
+			return n, nil
+		}
+		iterLabel := steps[it].label
+		for _, ch := range prefixEnd.Children {
+			if ch.Label != iterLabel {
+				return nil, fmt.Errorf("embedding: invert %s: unexpected %q under star node %q", a, ch.Label, prefixEnd.Label)
+			}
+			v, err := navigate(ch, steps[it+1:])
+			if err != nil {
+				return nil, fmt.Errorf("embedding: invert %s: broken star suffix: %w", a, err)
+			}
+			sub, err := inv.reconstruct(v, prod.Children[0])
+			if err != nil {
+				return nil, err
+			}
+			xmltree.Append(n, sub)
+		}
+	}
+	return n, nil
+}
+
+// navigate follows resolved steps from cur: each step selects the
+// occ-th same-label child. Iterator steps must not appear (callers
+// split star paths around the iterator).
+func navigate(cur *xmltree.Node, steps []resolvedStep) (*xmltree.Node, error) {
+	for _, s := range steps {
+		if s.occ == 0 {
+			return nil, fmt.Errorf("internal: navigate across an iterator step %q", s.label)
+		}
+		var next *xmltree.Node
+		seen := 0
+		for _, ch := range cur.Children {
+			if ch.Label == s.label {
+				seen++
+				if seen == s.occ {
+					next = ch
+					break
+				}
+			}
+		}
+		if next == nil {
+			return nil, fmt.Errorf("no %s child #%d under %q", s.label, s.occ, cur.Label)
+		}
+		cur = next
+	}
+	return cur, nil
+}

@@ -1,0 +1,87 @@
+package embedding_test
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// TestAuctionEmbedding runs the second large worked embedding
+// (auction → marketplace, ~36 source types) through the full gauntlet:
+// validity, σd/σd⁻¹ round trips directly and via XSLT, and query
+// preservation over random documents.
+func TestAuctionEmbedding(t *testing.T) {
+	roundTripAll(t, workload.AuctionEmbedding(), 30)
+}
+
+// TestAuctionEmbeddingSharedTypes: the shared description disjunction
+// and the shared date leaf map consistently from both their contexts.
+func TestAuctionEmbeddingSharedTypes(t *testing.T) {
+	emb := workload.AuctionEmbedding()
+	doc, err := xmltree.ParseString(`
+<site>
+  <regions>
+    <africa>
+      <item>
+        <itemname>mask</itemname><location>Accra</location><quantity>1</quantity>
+        <description><parlist><listitem>carved</listitem><listitem>wood</listitem></parlist></description>
+      </item>
+    </africa>
+    <asia/><europe/>
+  </regions>
+  <categories>
+    <category><catname>art</catname><description><text>artworks</text></description></category>
+  </categories>
+  <people>
+    <person><personname>Ada</personname><emailaddress>ada@x</emailaddress>
+      <profile><interest><category_ref>art</category_ref></interest>
+        <education>PhD</education><income>9</income></profile>
+    </person>
+  </people>
+  <open_auctions>
+    <open_auction><initial>10</initial>
+      <bidder><bid><date>2026-01-01</date><increase>5</increase></bid></bidder>
+      <current>15</current><itemref>mask</itemref>
+    </open_auction>
+  </open_auctions>
+  <closed_auctions>
+    <closed_auction><seller>Ada</seller><buyer>Bob</buyer><price>20</price><date>2026-02-02</date></closed_auction>
+  </closed_auctions>
+</site>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := emb.Apply(doc)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := res.Tree.Validate(emb.Target); err != nil {
+		t.Fatalf("conformance: %v", err)
+	}
+	// description under item became product/blurb/structured; under
+	// category it became blurb/plain.
+	pts := xpath.Strings(xpath.Eval(xpath.MustParse(
+		"catalog/sections/zoneAfrica/listing/product/blurb/structured/point/text()"), res.Tree.Root))
+	if len(pts) != 2 || pts[0] != "carved" {
+		t.Errorf("structured description = %v", pts)
+	}
+	cat := xpath.Strings(xpath.Eval(xpath.MustParse(
+		"catalog/taxonomy/topic/blurb/plain/text()"), res.Tree.Root))
+	if len(cat) != 1 || cat[0] != "artworks" {
+		t.Errorf("category description = %v", cat)
+	}
+	// The shared date type landed under both offer and deal.
+	when := xpath.Strings(xpath.Eval(xpath.MustParse(".//when/text()"), res.Tree.Root))
+	if len(when) != 2 {
+		t.Errorf("shared date images = %v", when)
+	}
+	back, err := emb.Invert(res.Tree)
+	if err != nil {
+		t.Fatalf("Invert: %v", err)
+	}
+	if !xmltree.Equal(doc, back) {
+		t.Errorf("round trip: %s", xmltree.Diff(doc, back))
+	}
+}

@@ -1,0 +1,152 @@
+package embedding
+
+import (
+	"fmt"
+
+	"repro/internal/dtd"
+	"repro/internal/xmltree"
+)
+
+// DefaultText is the fixed string value #s carried by text nodes of
+// minimum default instances (§4.2).
+const DefaultText = "#s"
+
+// MinDef computes the minimum default instances mindef(A) for every
+// element type of a consistent DTD, following the rank-based procedure
+// of §4.2 with the declaration order of d.Types as the fixed order on
+// types:
+//
+//	(1) P(A) = str:  an A node with a text child carrying #s.
+//	(2) P(A) = B*:   a single A node without children.
+//	(3) P(A) = B1,...,Bn once all Bi have rank 0: an A node with
+//	    children mindef(B1), ..., mindef(Bn).
+//	(4) P(A) = B1+...+Bn once some Bi has rank 0: an A node whose only
+//	    child is mindef(Bj) for the smallest such Bj in the fixed order.
+//	(5) P(A) = ε:    an A node without children (a degenerate case of 3).
+//
+// The returned templates share subtrees; instantiate them with
+// MinDefs.Instantiate, which deep-copies with fresh node ids.
+func MinDef(d *dtd.DTD) (MinDefs, error) {
+	order := make(map[string]int, len(d.Types))
+	for i, a := range d.Types {
+		order[a] = i
+	}
+	rank := make(map[string]int, len(d.Types)) // 1 until resolved
+	tpl := make(map[string]*defTemplate, len(d.Types))
+	for _, a := range d.Types {
+		rank[a] = 1
+	}
+	// Base cases.
+	for _, a := range d.Types {
+		switch p := d.Prods[a]; p.Kind {
+		case dtd.KindStr:
+			tpl[a] = &defTemplate{label: a, text: true}
+			rank[a] = 0
+		case dtd.KindStar, dtd.KindEmpty:
+			tpl[a] = &defTemplate{label: a}
+			rank[a] = 0
+		}
+	}
+	// Iterate until fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, a := range d.Types {
+			if rank[a] == 0 {
+				continue
+			}
+			p := d.Prods[a]
+			switch p.Kind {
+			case dtd.KindConcat:
+				ready := true
+				for _, c := range p.Children {
+					if rank[c] != 0 {
+						ready = false
+						break
+					}
+				}
+				if !ready {
+					continue
+				}
+				t := &defTemplate{label: a}
+				for _, c := range p.Children {
+					t.children = append(t.children, tpl[c])
+				}
+				tpl[a] = t
+				rank[a] = 0
+				changed = true
+			case dtd.KindDisj:
+				best := ""
+				for _, c := range p.Children {
+					if rank[c] == 0 && (best == "" || order[c] < order[best]) {
+						best = c
+					}
+				}
+				if best == "" {
+					continue
+				}
+				tpl[a] = &defTemplate{label: a, children: []*defTemplate{tpl[best]}}
+				rank[a] = 0
+				changed = true
+			}
+		}
+	}
+	for _, a := range d.Types {
+		if rank[a] != 0 {
+			return nil, fmt.Errorf("embedding: mindef undefined for useless type %q; the DTD is not consistent", a)
+		}
+	}
+	return MinDefs(tpl), nil
+}
+
+// MinDefs maps element types to their minimum default instance
+// templates.
+type MinDefs map[string]*defTemplate
+
+type defTemplate struct {
+	label    string
+	text     bool
+	children []*defTemplate
+}
+
+// Instantiate materializes mindef(a) as a fresh subtree of t, with node
+// ids allocated from t.
+func (m MinDefs) Instantiate(t *xmltree.Tree, a string) (*xmltree.Node, error) {
+	tpl, ok := m[a]
+	if !ok {
+		return nil, fmt.Errorf("embedding: no minimum default instance for type %q", a)
+	}
+	return instantiate(t, tpl), nil
+}
+
+func instantiate(t *xmltree.Tree, tpl *defTemplate) *xmltree.Node {
+	n := t.NewElement(tpl.label)
+	if tpl.text {
+		xmltree.Append(n, t.NewText(DefaultText))
+	}
+	for _, c := range tpl.children {
+		xmltree.Append(n, instantiate(t, c))
+	}
+	return n
+}
+
+// Depth returns the height of mindef(a) in nodes, for tests.
+func (m MinDefs) Depth(a string) int {
+	tpl, ok := m[a]
+	if !ok {
+		return 0
+	}
+	return tplDepth(tpl)
+}
+
+func tplDepth(t *defTemplate) int {
+	d := 0
+	for _, c := range t.children {
+		if cd := tplDepth(c); cd > d {
+			d = cd
+		}
+	}
+	if t.text && d < 1 {
+		d = 1
+	}
+	return d + 1
+}

@@ -1,0 +1,234 @@
+package embedding
+
+import (
+	"fmt"
+
+	"repro/internal/dtd"
+	"repro/internal/xmltree"
+)
+
+// MergeSources builds the single source DTD S' of §4.5 from multiple
+// source schemas with pairwise-disjoint element type sets: a fresh root
+// whose production concatenates the source roots, each keeping its own
+// definitions. An embedding of S' into a target decomposes into
+// embeddings of the individual sources.
+func MergeSources(rootName string, sources ...*dtd.DTD) (*dtd.DTD, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("embedding: MergeSources needs at least one source")
+	}
+	seen := map[string]string{}
+	var defs []dtd.Def
+	var rootKids []string
+	for i, s := range sources {
+		for _, a := range s.Types {
+			if prev, dup := seen[a]; dup {
+				return nil, fmt.Errorf("embedding: type %q defined by both source %s and source %d; disjoint type sets required (use specialized DTDs otherwise)", a, prev, i+1)
+			}
+			seen[a] = fmt.Sprintf("%d", i+1)
+			defs = append(defs, dtd.D(a, s.Prods[a]))
+		}
+		rootKids = append(rootKids, s.Root)
+	}
+	if _, dup := seen[rootName]; dup || rootName == "" {
+		return nil, fmt.Errorf("embedding: merged root name %q collides with a source type", rootName)
+	}
+	defs = append([]dtd.Def{dtd.D(rootName, dtd.Concat(rootKids...))}, defs...)
+	return dtd.New(rootName, defs...)
+}
+
+// MultiApply integrates one document per source into a single target
+// document (Example 4.9: a class document and a student document become
+// one school instance). Each σi must target the same schema; the
+// documents are mapped independently by InstMap and the results are
+// superimposed, preferring mapped content over minimum-default fills.
+// Sources whose mapped content collides on the same target region
+// (both non-default, structurally different) are rejected.
+//
+// The combined node id mapping keeps every source's nodes recoverable:
+// IDM maps target ids to (source index, source id) pairs.
+func MultiApply(embs []*Embedding, docs []*xmltree.Tree) (*MultiResult, error) {
+	if len(embs) == 0 || len(embs) != len(docs) {
+		return nil, fmt.Errorf("embedding: MultiApply needs one document per embedding")
+	}
+	target := embs[0].Target
+	for i, e := range embs[1:] {
+		if !e.Target.Equal(target) {
+			return nil, fmt.Errorf("embedding: embedding %d targets a different schema", i+2)
+		}
+	}
+	results := make([]*Result, len(embs))
+	for i, e := range embs {
+		r, err := e.Apply(docs[i])
+		if err != nil {
+			return nil, fmt.Errorf("embedding: source %d: %w", i+1, err)
+		}
+		results[i] = r
+	}
+	mr := &MultiResult{IDM: map[xmltree.NodeID]SourceNode{}}
+	merged := results[0]
+	out := &xmltree.Tree{}
+	// Rebuild into a fresh tree so ids are dense; record provenance.
+	root, err := mergeTrees(out, mr, results, merged.Tree.Root, collectAt(results, 0))
+	if err != nil {
+		return nil, err
+	}
+	out.Root = root
+	mr.Tree = out
+	if err := out.Validate(target); err != nil {
+		return nil, fmt.Errorf("embedding: merged document does not conform: %w", err)
+	}
+	return mr, nil
+}
+
+// MultiResult is the outcome of MultiApply.
+type MultiResult struct {
+	Tree *xmltree.Tree
+	// IDM maps merged-tree node ids back to their originating source
+	// document and node.
+	IDM map[xmltree.NodeID]SourceNode
+}
+
+// SourceNode locates a node in one of the integrated sources.
+type SourceNode struct {
+	Source int // 0-based index into the MultiApply arguments
+	ID     xmltree.NodeID
+}
+
+// slotRef identifies corresponding nodes across the per-source mapped
+// trees during the merge.
+type slotRef struct {
+	srcIdx int
+	node   *xmltree.Node
+}
+
+func collectAt(results []*Result, _ int) []slotRef {
+	refs := make([]slotRef, len(results))
+	for i, r := range results {
+		refs[i] = slotRef{srcIdx: i, node: r.Tree.Root}
+	}
+	return refs
+}
+
+// mergeTrees superimposes the corresponding nodes refs (all carrying
+// the same label) from the per-source mapped trees.
+func mergeTrees(out *xmltree.Tree, mr *MultiResult, results []*Result, proto *xmltree.Node, refs []slotRef) (*xmltree.Node, error) {
+	label := refs[0].node.Label
+	for _, r := range refs[1:] {
+		if r.node.Label != label {
+			return nil, fmt.Errorf("embedding: merge conflict: %q vs %q", label, r.node.Label)
+		}
+	}
+	_ = proto
+	// Real (non-default) owners of this region.
+	var real []slotRef
+	for _, r := range refs {
+		if !results[r.srcIdx].Default[r.node.ID] {
+			real = append(real, r)
+		}
+	}
+	n := out.NewElement(label)
+	// Provenance: every real owner's node maps here.
+	for _, r := range real {
+		if srcID, ok := results[r.srcIdx].IDM[r.node.ID]; ok {
+			mr.IDM[n.ID] = SourceNode{Source: r.srcIdx, ID: srcID}
+		}
+	}
+	owners := refs
+	if len(real) > 0 {
+		owners = real
+	}
+
+	// Text content: take the first real text.
+	if txt, ok := textOf(owners[0].node); ok {
+		for _, r := range owners[1:] {
+			if t2, ok2 := textOf(r.node); !ok2 || t2 != txt {
+				return nil, fmt.Errorf("embedding: merge conflict on text of %q", label)
+			}
+		}
+		tn := out.NewText(txt)
+		if srcID, ok := results[owners[0].srcIdx].IDM[textNode(owners[0].node).ID]; ok {
+			mr.IDM[tn.ID] = SourceNode{Source: owners[0].srcIdx, ID: srcID}
+		}
+		xmltree.Append(n, tn)
+		return n, nil
+	}
+
+	// Children: group corresponding children across owners. For
+	// star-typed regions owned by several sources, children are
+	// concatenated source by source; otherwise they are merged
+	// positionally.
+	if allSameChildShape(owners) {
+		for i := range owners[0].node.Children {
+			sub := make([]slotRef, len(owners))
+			for j, r := range owners {
+				sub[j] = slotRef{srcIdx: r.srcIdx, node: r.node.Children[i]}
+			}
+			c, err := mergeTrees(out, mr, results, nil, sub)
+			if err != nil {
+				return nil, err
+			}
+			xmltree.Append(n, c)
+		}
+		return n, nil
+	}
+	// Shapes differ: legal only when at most one owner has content
+	// (others defaulted), or the region is star-like and children can
+	// be concatenated.
+	nonEmpty := owners[:0:0]
+	for _, r := range owners {
+		if len(r.node.Children) > 0 {
+			nonEmpty = append(nonEmpty, r)
+		}
+	}
+	if len(nonEmpty) == 1 {
+		for _, ch := range nonEmpty[0].node.Children {
+			c, err := mergeTrees(out, mr, results, nil, []slotRef{{srcIdx: nonEmpty[0].srcIdx, node: ch}})
+			if err != nil {
+				return nil, err
+			}
+			xmltree.Append(n, c)
+		}
+		return n, nil
+	}
+	// Concatenate children across owners (star regions).
+	for _, r := range nonEmpty {
+		for _, ch := range r.node.Children {
+			c, err := mergeTrees(out, mr, results, nil, []slotRef{{srcIdx: r.srcIdx, node: ch}})
+			if err != nil {
+				return nil, err
+			}
+			xmltree.Append(n, c)
+		}
+	}
+	return n, nil
+}
+
+func textOf(n *xmltree.Node) (string, bool) {
+	return n.Value()
+}
+
+func textNode(n *xmltree.Node) *xmltree.Node {
+	for _, c := range n.Children {
+		if c.IsText() {
+			return c
+		}
+	}
+	return nil
+}
+
+// allSameChildShape reports whether every owner has the same child
+// label sequence (so positional merging is well defined).
+func allSameChildShape(owners []slotRef) bool {
+	first := owners[0].node
+	for _, r := range owners[1:] {
+		if len(r.node.Children) != len(first.Children) {
+			return false
+		}
+		for i, c := range r.node.Children {
+			if c.Label != first.Children[i].Label || c.IsText() != first.Children[i].IsText() {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,45 @@
+package embedding_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/embedding"
+	"repro/internal/xmltree"
+)
+
+// TestMultiApplyTextConflict: two sources claiming the same str region
+// with different values must be rejected, not silently merged.
+func TestMultiApplyTextConflict(t *testing.T) {
+	src := dtd.MustNew("r", dtd.D("r", dtd.Concat("v")), dtd.D("v", dtd.Str()))
+	tgt := dtd.MustNew("r1", dtd.D("r1", dtd.Concat("v1")), dtd.D("v1", dtd.Str()))
+	mk := func() *embedding.Embedding {
+		e := embedding.New(src, tgt)
+		e.MapType("r", "r1").MapType("v", "v1")
+		e.SetPath(embedding.Ref("r", "v"), "v1").
+			SetPath(embedding.Ref("v", embedding.StrChild), "text()")
+		return e
+	}
+	d1, _ := xmltree.ParseString(`<r><v>one</v></r>`)
+	d2, _ := xmltree.ParseString(`<r><v>two</v></r>`)
+	_, err := embedding.MultiApply(
+		[]*embedding.Embedding{mk(), mk()},
+		[]*xmltree.Tree{d1, d2},
+	)
+	if err == nil || !strings.Contains(err.Error(), "conflict") {
+		t.Errorf("conflicting text merge: %v", err)
+	}
+	// Identical values are fine.
+	d3, _ := xmltree.ParseString(`<r><v>one</v></r>`)
+	res, err := embedding.MultiApply(
+		[]*embedding.Embedding{mk(), mk()},
+		[]*xmltree.Tree{d1, d3},
+	)
+	if err != nil {
+		t.Fatalf("agreeing sources rejected: %v", err)
+	}
+	if v, _ := res.Tree.Root.Children[0].Value(); v != "one" {
+		t.Errorf("merged value = %q", v)
+	}
+}

@@ -1,0 +1,107 @@
+package embedding_test
+
+import (
+	"testing"
+
+	"repro/internal/embedding"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// TestMultiApplyIntegration reproduces Example 4.9: a class document
+// (σ1) and a student document (σ2) integrate into a single school
+// instance that conforms to the target schema and carries both sources'
+// data.
+func TestMultiApplyIntegration(t *testing.T) {
+	classes, err := xmltree.ParseString(`
+<db>
+  <class><cno>CS331</cno><title>DB</title><type><project>p</project></type></class>
+</db>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	students, err := xmltree.ParseString(`
+<db>
+  <student><ssn>1</ssn><name>Ann</name><taking><cno>CS331</cno></taking></student>
+  <student><ssn>2</ssn><name>Bob</name><taking/></student>
+</db>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma1 := workload.ClassEmbedding()
+	sigma2 := workload.StudentEmbedding()
+	res, err := embedding.MultiApply(
+		[]*embedding.Embedding{sigma1, sigma2},
+		[]*xmltree.Tree{classes, students},
+	)
+	if err != nil {
+		t.Fatalf("MultiApply: %v", err)
+	}
+	if err := res.Tree.Validate(sigma1.Target); err != nil {
+		t.Fatalf("integrated document does not conform: %v\n%s", err, res.Tree)
+	}
+	// Both regions are populated.
+	courses := xpath.Eval(xpath.MustParse("courses/current/course"), res.Tree.Root)
+	if len(courses) != 1 {
+		t.Errorf("integrated document has %d courses, want 1", len(courses))
+	}
+	studs := xpath.Eval(xpath.MustParse("students/student"), res.Tree.Root)
+	if len(studs) != 2 {
+		t.Errorf("integrated document has %d students, want 2", len(studs))
+	}
+	// Values survive.
+	names := xpath.Strings(xpath.Eval(xpath.MustParse("students/student/name/text()"), res.Tree.Root))
+	if len(names) != 2 || names[0] != "Ann" || names[1] != "Bob" {
+		t.Errorf("student names = %v", names)
+	}
+	cno := xpath.Strings(xpath.Eval(xpath.MustParse("courses/current/course/basic/cno/text()"), res.Tree.Root))
+	if len(cno) != 1 || cno[0] != "CS331" {
+		t.Errorf("course numbers = %v", cno)
+	}
+	// Provenance: at least one node traces to each source.
+	bySource := map[int]int{}
+	for _, sn := range res.IDM {
+		bySource[sn.Source]++
+	}
+	if bySource[0] == 0 || bySource[1] == 0 {
+		t.Errorf("provenance map misses a source: %v", bySource)
+	}
+}
+
+func TestMultiApplyArgErrors(t *testing.T) {
+	sigma1 := workload.ClassEmbedding()
+	doc, _ := xmltree.ParseString(`<db/>`)
+	if _, err := embedding.MultiApply(nil, nil); err == nil {
+		t.Error("empty MultiApply accepted")
+	}
+	if _, err := embedding.MultiApply([]*embedding.Embedding{sigma1}, nil); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	// Different targets are rejected.
+	other := workload.Figure3()[2].Build()
+	doc2, _ := xmltree.ParseString(`<A><B/><C/></A>`)
+	if _, err := embedding.MultiApply(
+		[]*embedding.Embedding{sigma1, other},
+		[]*xmltree.Tree{doc, doc2},
+	); err == nil {
+		t.Error("mixed targets accepted")
+	}
+}
+
+// TestMultiApplySingleSource degenerates to Apply.
+func TestMultiApplySingleSource(t *testing.T) {
+	sigma2 := workload.StudentEmbedding()
+	doc, _ := xmltree.ParseString(`<db><student><ssn>7</ssn><name>Cy</name><taking/></student></db>`)
+	multi, err := embedding.MultiApply([]*embedding.Embedding{sigma2}, []*xmltree.Tree{doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sigma2.Apply(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(multi.Tree, direct.Tree) {
+		t.Errorf("single-source MultiApply differs from Apply: %s", xmltree.Diff(direct.Tree, multi.Tree))
+	}
+}

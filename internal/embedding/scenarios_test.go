@@ -1,0 +1,240 @@
+package embedding_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dtd"
+	"repro/internal/embedding"
+	"repro/internal/translate"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+	"repro/internal/xslt"
+)
+
+// roundTripAll exercises one embedding end to end: direct σd/σd⁻¹,
+// XSLT-compiled σd/σd⁻¹, and query preservation over random documents
+// and random translatable queries.
+func roundTripAll(t *testing.T, emb *embedding.Embedding, seeds int) {
+	t.Helper()
+	if err := emb.Validate(nil); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	fwd, err := xslt.ForwardStylesheet(emb)
+	if err != nil {
+		t.Fatalf("ForwardStylesheet: %v", err)
+	}
+	inv, err := xslt.InverseStylesheet(emb)
+	if err != nil {
+		t.Fatalf("InverseStylesheet: %v", err)
+	}
+	tr, err := translate.New(emb)
+	if err != nil {
+		t.Fatalf("translate.New: %v", err)
+	}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := xmltree.MustGenerate(emb.Source, r, xmltree.GenOptions{})
+		res, err := emb.Apply(src)
+		if err != nil {
+			t.Logf("seed %d: Apply: %v", seed, err)
+			return false
+		}
+		if err := res.Tree.Validate(emb.Target); err != nil {
+			t.Logf("seed %d: conformance: %v", seed, err)
+			return false
+		}
+		back, err := emb.Invert(res.Tree)
+		if err != nil || !xmltree.Equal(src, back) {
+			t.Logf("seed %d: direct round trip failed: %v", seed, err)
+			return false
+		}
+		viaXSLT, err := fwd.Run(src)
+		if err != nil || !xmltree.Equal(viaXSLT, res.Tree) {
+			t.Logf("seed %d: XSLT forward mismatch: %v", seed, err)
+			return false
+		}
+		backXSLT, err := inv.Run(viaXSLT)
+		if err != nil || !xmltree.Equal(src, backXSLT) {
+			t.Logf("seed %d: XSLT round trip failed: %v", seed, err)
+			return false
+		}
+		q := xpath.RandomQuery(r, emb.Source, xpath.GenOptions{TranslatableOnly: true})
+		auto, err := tr.Translate(q)
+		if err != nil {
+			t.Logf("seed %d: translate %s: %v", seed, xpath.String(q), err)
+			return false
+		}
+		want := xpath.Eval(q, src.Root)
+		got := auto.Eval(res.Tree.Root)
+		if len(want) != len(got) {
+			t.Logf("seed %d: query %s: %d vs %d answers", seed, xpath.String(q), len(want), len(got))
+			return false
+		}
+		seen := map[xmltree.NodeID]int{}
+		for _, n := range want {
+			seen[n.ID]++
+		}
+		for _, n := range got {
+			id, ok := res.IDM[n.ID]
+			if !ok || seen[id] == 0 {
+				t.Logf("seed %d: query %s: answer outside idM", seed, xpath.String(q))
+				return false
+			}
+			seen[id]--
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: seeds, Rand: rand.New(rand.NewSource(99))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStarPathWithSuffix: the iterator is not the last step — each
+// source child owns a suffix chain below its iterator node (the XSLT
+// prefix/suffix rule pair with a non-trivial suffix).
+func TestStarPathWithSuffix(t *testing.T) {
+	src := dtd.MustNew("r",
+		dtd.D("r", dtd.Star("item")),
+		dtd.D("item", dtd.Str()))
+	tgt := dtd.MustNew("r1",
+		dtd.D("r1", dtd.Concat("list")),
+		dtd.D("list", dtd.Star("entry")),
+		dtd.D("entry", dtd.Concat("wrap")),
+		dtd.D("wrap", dtd.Concat("payload", "flag")),
+		dtd.D("payload", dtd.Str()),
+		dtd.D("flag", dtd.Str()))
+	emb := embedding.New(src, tgt)
+	emb.MapType("r", "r1").MapType("item", "payload")
+	emb.SetPath(embedding.Ref("r", "item"), "list/entry/wrap/payload").
+		SetPath(embedding.Ref("item", embedding.StrChild), "text()")
+	roundTripAll(t, emb, 40)
+
+	// Shape check: three items yield three entry chains, each with a
+	// default-filled flag sibling.
+	doc, _ := xmltree.ParseString(`<r><item>a</item><item>b</item><item>c</item></r>`)
+	res, err := emb.Apply(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := xpath.Eval(xpath.MustParse("list/entry"), res.Tree.Root)
+	if len(entries) != 3 {
+		t.Fatalf("%d entries, want 3\n%s", len(entries), res.Tree)
+	}
+	flags := xpath.Eval(xpath.MustParse("list/entry/wrap/flag/text()"), res.Tree.Root)
+	if len(flags) != 3 || flags[0].Text != embedding.DefaultText {
+		t.Errorf("default flags = %v", xpath.Strings(flags))
+	}
+}
+
+// TestPinnedStarHoleFilling: an AND path pins star position 2; position
+// 1 must be hole-filled with a default instance, and navigation stays
+// position-directed.
+func TestPinnedStarHoleFilling(t *testing.T) {
+	src := dtd.MustNew("a",
+		dtd.D("a", dtd.Concat("b")),
+		dtd.D("b", dtd.Str()))
+	tgt := dtd.MustNew("a1",
+		dtd.D("a1", dtd.Concat("list")),
+		dtd.D("list", dtd.Star("c")),
+		dtd.D("c", dtd.Concat("x")),
+		dtd.D("x", dtd.Str()))
+	emb := embedding.New(src, tgt)
+	emb.MapType("a", "a1").MapType("b", "x")
+	emb.SetPath(embedding.Ref("a", "b"), "list/c[position() = 2]/x").
+		SetPath(embedding.Ref("b", embedding.StrChild), "text()")
+	roundTripAll(t, emb, 20)
+
+	doc, _ := xmltree.ParseString(`<a><b>payload</b></a>`)
+	res, err := emb.Apply(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := xpath.Eval(xpath.MustParse("list/c"), res.Tree.Root)
+	if len(cs) != 2 {
+		t.Fatalf("%d star children, want 2 (hole filled)\n%s", len(cs), res.Tree)
+	}
+	if v, _ := cs[0].Children[0].Value(); v != embedding.DefaultText {
+		t.Errorf("hole fill value = %q", v)
+	}
+	if v, _ := cs[1].Children[0].Value(); v != "payload" {
+		t.Errorf("payload landed at %q", v)
+	}
+}
+
+// TestRepeatedChildViaStarPositions: a source type with the same child
+// three times, disambiguated by pinned star positions (the Figure 3(c)
+// idea through a star node).
+func TestRepeatedChildViaStarPositions(t *testing.T) {
+	src := dtd.MustNew("row",
+		dtd.D("row", dtd.Concat("cell", "cell", "cell")),
+		dtd.D("cell", dtd.Str()))
+	tgt := dtd.MustNew("row1",
+		dtd.D("row1", dtd.Concat("cells")),
+		dtd.D("cells", dtd.Star("cell1")),
+		dtd.D("cell1", dtd.Str()))
+	emb := embedding.New(src, tgt)
+	emb.MapType("row", "row1").MapType("cell", "cell1")
+	for occ := 1; occ <= 3; occ++ {
+		emb.Paths[embedding.EdgeRef{Parent: "row", Child: "cell", Occ: occ}] =
+			xpath.MustParsePath("cells/cell1[" + string(rune('0'+occ)) + "]")
+	}
+	emb.SetPath(embedding.Ref("cell", embedding.StrChild), "text()")
+	roundTripAll(t, emb, 20)
+
+	doc, _ := xmltree.ParseString(`<row><cell>x</cell><cell>y</cell><cell>z</cell></row>`)
+	res, err := emb.Apply(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := xpath.Strings(xpath.Eval(xpath.MustParse("cells/cell1/text()"), res.Tree.Root))
+	if len(got) != 3 || got[0] != "x" || got[2] != "z" {
+		t.Errorf("cell order = %v", got)
+	}
+}
+
+// TestOptionalDisjunct: the footnote-1 pattern A → B + ε after
+// normalization, mapped to a structurally different optional in the
+// target.
+func TestOptionalDisjunct(t *testing.T) {
+	src, err := dtd.Parse(`
+<!ELEMENT doc (head, body?)>
+<!ELEMENT head (#PCDATA)>
+<!ELEMENT body (#PCDATA)>`, "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := dtd.Parse(`
+<!ELEMENT page (title, content)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT content (text | absent)>
+<!ELEMENT text (#PCDATA)>
+<!ELEMENT absent EMPTY>`, "page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The normalized source has a fresh disjunction doc.1 → (body | doc.2).
+	optType := src.Prods["doc"].Children[1]
+	epsType := src.Prods[optType].Children[1]
+	emb := embedding.New(src, tgt)
+	emb.MapType("doc", "page").
+		MapType("head", "title").
+		MapType("body", "text").
+		MapType(optType, "content").
+		MapType(epsType, "absent")
+	emb.SetPath(embedding.Ref("doc", "head"), "title").
+		SetPath(embedding.Ref("doc", optType), "content").
+		SetPath(embedding.Ref(optType, "body"), "text").
+		SetPath(embedding.Ref(optType, epsType), "absent").
+		SetPath(embedding.Ref("head", embedding.StrChild), "text()").
+		SetPath(embedding.Ref("body", embedding.StrChild), "text()")
+	roundTripAll(t, emb, 30)
+}
+
+// TestFoundEmbeddingFullPipeline: a searched (not hand-written)
+// embedding from the corpus runs through the same gauntlet.
+func TestSigma2FullPipeline(t *testing.T) {
+	roundTripAll(t, workload.StudentEmbedding(), 30)
+}

@@ -1,0 +1,99 @@
+package embedding
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dtd"
+	"repro/internal/xpath"
+)
+
+// Marshal renders the embedding in a line-oriented text format suitable
+// for storage and for the command-line tools:
+//
+//	# comment
+//	type <source-type> -> <target-type>
+//	path <parent>/<child>[#occ] -> <X_R path>
+//	path <parent>/#str -> <X_R path>
+//
+// Unmarshal parses it back given the two schemas.
+func (e *Embedding) Marshal() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# schema embedding: %s -> %s\n", e.Source.Root, e.Target.Root)
+	types := append([]string(nil), e.Source.Types...)
+	sort.Strings(types)
+	for _, a := range types {
+		fmt.Fprintf(&b, "type %s -> %s\n", a, e.Lambda[a])
+	}
+	refs := SourceEdges(e.Source)
+	for _, ref := range refs {
+		p, ok := e.Paths[ref]
+		if !ok {
+			continue
+		}
+		if ref.Occ > 1 {
+			fmt.Fprintf(&b, "path %s/%s#%d -> %s\n", ref.Parent, ref.Child, ref.Occ, p)
+		} else {
+			fmt.Fprintf(&b, "path %s/%s -> %s\n", ref.Parent, ref.Child, p)
+		}
+	}
+	return b.String()
+}
+
+// Unmarshal parses the Marshal format against the given schemas. The
+// result is not validated; call Validate.
+func Unmarshal(src string, source, target *dtd.DTD) (*Embedding, error) {
+	e := New(source, target)
+	for lineNo, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.SplitN(line, "->", 2)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("embedding: line %d: missing '->'", lineNo+1)
+		}
+		lhs := strings.TrimSpace(fields[0])
+		rhs := strings.TrimSpace(fields[1])
+		switch {
+		case strings.HasPrefix(lhs, "type "):
+			a := strings.TrimSpace(strings.TrimPrefix(lhs, "type "))
+			e.MapType(a, rhs)
+		case strings.HasPrefix(lhs, "path "):
+			edge := strings.TrimSpace(strings.TrimPrefix(lhs, "path "))
+			ref, err := parseEdgeRef(edge)
+			if err != nil {
+				return nil, fmt.Errorf("embedding: line %d: %w", lineNo+1, err)
+			}
+			p, err := xpath.ParsePath(rhs)
+			if err != nil {
+				return nil, fmt.Errorf("embedding: line %d: %w", lineNo+1, err)
+			}
+			e.Paths[ref] = p
+		default:
+			return nil, fmt.Errorf("embedding: line %d: expected 'type' or 'path', got %q", lineNo+1, lhs)
+		}
+	}
+	return e, nil
+}
+
+func parseEdgeRef(s string) (EdgeRef, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return EdgeRef{}, fmt.Errorf("edge %q lacks '/'", s)
+	}
+	parent := s[:slash]
+	child := s[slash+1:]
+	occ := 1
+	if hash := strings.IndexByte(child, '#'); hash >= 0 && child != StrChild {
+		if _, err := fmt.Sscanf(child[hash+1:], "%d", &occ); err != nil || occ < 1 {
+			return EdgeRef{}, fmt.Errorf("bad occurrence in edge %q", s)
+		}
+		child = child[:hash]
+	}
+	if parent == "" || child == "" {
+		return EdgeRef{}, fmt.Errorf("malformed edge %q", s)
+	}
+	return EdgeRef{Parent: parent, Child: child, Occ: occ}, nil
+}

@@ -1,0 +1,110 @@
+// Package embedding implements XML schema embeddings (Fan & Bohannon,
+// §4): mappings σ = (λ, path) from a source DTD S1 to a target DTD S2
+// where λ maps each source element type to a target type and path maps
+// each source edge to an X_R path in the target, subject to the path
+// type condition and the prefix-free condition. From a valid embedding
+// the package derives the instance-level mapping σd (algorithm InstMap,
+// §4.2) together with the node id mapping idM, and the inverse σd⁻¹
+// (Theorems 3.3/4.3), guaranteeing type safety, injectivity and
+// invertibility.
+package embedding
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dtd"
+)
+
+// SimMatrix is the similarity matrix att of §4.1: for a source type A
+// and target type B, att(A, B) in [0,1] indicates the suitability of
+// mapping A to B, as produced by a human expert or a schema-matching
+// algorithm. Unset pairs have similarity 0. A type mapping λ is valid
+// w.r.t. att when att(A, λ(A)) > 0 for every source type A.
+type SimMatrix struct {
+	m map[[2]string]float64
+}
+
+// NewSimMatrix returns an empty matrix (all pairs 0).
+func NewSimMatrix() *SimMatrix {
+	return &SimMatrix{m: make(map[[2]string]float64)}
+}
+
+// UniformSim returns the unrestricted matrix att(A, B) = 1 for all
+// source types of s and target types of t, as in Example 4.2 where the
+// embedding is decided solely by the DTD structures.
+func UniformSim(s, t *dtd.DTD) *SimMatrix {
+	m := NewSimMatrix()
+	for _, a := range s.Types {
+		for _, b := range t.Types {
+			m.Set(a, b, 1)
+		}
+	}
+	return m
+}
+
+// Set records att(a, b) = score, clamped to [0, 1].
+func (m *SimMatrix) Set(a, b string, score float64) {
+	if score < 0 {
+		score = 0
+	}
+	if score > 1 {
+		score = 1
+	}
+	if score == 0 {
+		delete(m.m, [2]string{a, b})
+		return
+	}
+	m.m[[2]string{a, b}] = score
+}
+
+// Get returns att(a, b), 0 when unset.
+func (m *SimMatrix) Get(a, b string) float64 {
+	if m == nil {
+		return 1 // nil matrix imposes no restriction
+	}
+	return m.m[[2]string{a, b}]
+}
+
+// Candidates returns the target types b with att(a, b) > 0, sorted by
+// decreasing similarity (ties broken by name for determinism).
+func (m *SimMatrix) Candidates(a string) []string {
+	type cand struct {
+		name  string
+		score float64
+	}
+	var cs []cand
+	for k, v := range m.m {
+		if k[0] == a && v > 0 {
+			cs = append(cs, cand{k[1], v})
+		}
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].score != cs[j].score {
+			return cs[i].score > cs[j].score
+		}
+		return cs[i].name < cs[j].name
+	})
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.name
+	}
+	return out
+}
+
+// Pairs returns the number of non-zero entries.
+func (m *SimMatrix) Pairs() int { return len(m.m) }
+
+// Clone returns a deep copy.
+func (m *SimMatrix) Clone() *SimMatrix {
+	c := NewSimMatrix()
+	for k, v := range m.m {
+		c.m[k] = v
+	}
+	return c
+}
+
+// String summarizes the matrix.
+func (m *SimMatrix) String() string {
+	return fmt.Sprintf("SimMatrix(%d pairs)", len(m.m))
+}

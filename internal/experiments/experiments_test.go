@@ -1,0 +1,62 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestAllQuick runs every experiment driver in quick mode and sanity
+// checks the reported shapes against the paper's claims.
+func TestAllQuick(t *testing.T) {
+	cfg := experiments.Config{Seed: 1, Quick: true}
+	tables := experiments.All(cfg)
+	if len(tables) != 7 {
+		t.Fatalf("got %d tables, want 7", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s: empty table", tb.ID)
+		}
+		if s := tb.String(); !strings.Contains(s, tb.ID) {
+			t.Errorf("%s: String() lacks id", tb.ID)
+		}
+	}
+	// E1 at zero noise: success must be 100% for every heuristic.
+	e1 := tables[0]
+	for _, row := range e1.Rows {
+		if row[1] == "0%" && row[3] != "100%" {
+			t.Errorf("E1 zero-noise success = %s for %s, want 100%%", row[3], row[2])
+		}
+	}
+	// E5 round trips must all hold.
+	for _, row := range tables[4].Rows {
+		if row[3] != "true" {
+			t.Errorf("E5 round trip failed: %v", row)
+		}
+	}
+	// E7's 3SAT rows: satisfiable found, unsatisfiable not.
+	for _, row := range tables[6].Rows {
+		if row[0] != "3SAT reduction (exact)" {
+			continue
+		}
+		want := "true"
+		if row[1] == "unsatisfiable" {
+			want = "false"
+		}
+		if row[2] != want {
+			t.Errorf("E7 3SAT %s: found=%s want %s", row[1], row[2], want)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	cfg := experiments.Config{Seed: 1, Quick: true}
+	if _, ok := experiments.ByID("E4", cfg); !ok {
+		t.Error("ByID(E4) not found")
+	}
+	if _, ok := experiments.ByID("e99", cfg); ok {
+		t.Error("ByID(e99) should fail")
+	}
+}

@@ -1,0 +1,176 @@
+// Package match produces similarity matrices (the att of §4.1). The
+// paper assumes an external schema matcher (LSD, Cupid, ...); this
+// substrate provides (a) a lexical matcher combining normalized edit
+// distance and trigram overlap on tag names, good enough to score
+// renamed copies of a schema, and (b) a synthetic generator with
+// controllable accuracy and ambiguity, because the experimental study
+// sweeps att accuracy as an independent variable.
+package match
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/dtd"
+	"repro/internal/embedding"
+)
+
+// NameSimilarity scores two tag names in [0, 1] as the maximum of
+// normalized edit similarity and trigram (Jaccard) overlap of the
+// lower-cased names. Identical names score 1.
+func NameSimilarity(a, b string) float64 {
+	a, b = normalize(a), normalize(b)
+	if a == b {
+		return 1
+	}
+	ed := editSimilarity(a, b)
+	tg := trigramSimilarity(a, b)
+	if tg > ed {
+		return tg
+	}
+	return ed
+}
+
+func normalize(s string) string {
+	s = strings.ToLower(s)
+	s = strings.Map(func(r rune) rune {
+		switch r {
+		case '-', '_', '.', ':':
+			return -1
+		}
+		return r
+	}, s)
+	return s
+}
+
+// editSimilarity is 1 - levenshtein/maxlen.
+func editSimilarity(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	d := levenshtein(a, b)
+	max := len(a)
+	if len(b) > max {
+		max = len(b)
+	}
+	return 1 - float64(d)/float64(max)
+}
+
+func levenshtein(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func trigramSimilarity(a, b string) float64 {
+	ta, tb := trigrams(a), trigrams(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	inter := 0
+	for g := range ta {
+		if tb[g] {
+			inter++
+		}
+	}
+	union := len(ta) + len(tb) - inter
+	return float64(inter) / float64(union)
+}
+
+func trigrams(s string) map[string]bool {
+	s = "  " + s + " "
+	out := map[string]bool{}
+	for i := 0; i+3 <= len(s); i++ {
+		out[s[i:i+3]] = true
+	}
+	return out
+}
+
+// Lexical builds att by scoring every (source, target) tag pair with
+// NameSimilarity, zeroing scores below threshold.
+func Lexical(src, tgt *dtd.DTD, threshold float64) *embedding.SimMatrix {
+	m := embedding.NewSimMatrix()
+	for _, a := range src.Types {
+		for _, b := range tgt.Types {
+			if s := NameSimilarity(a, b); s >= threshold {
+				m.Set(a, b, s)
+			}
+		}
+	}
+	return m
+}
+
+// SyntheticOptions controls synthetic att generation around a known
+// ground-truth type mapping.
+type SyntheticOptions struct {
+	// Accuracy is the probability that the ground-truth pair receives
+	// the highest score for its source type. At 1.0 the truth always
+	// wins; lower values let a decoy outrank it.
+	Accuracy float64
+	// Ambiguity is the number of candidate target types per source type
+	// (including the truth). 1 reproduces the unambiguous case in which
+	// embedding is PTIME (§5.2).
+	Ambiguity int
+}
+
+// Synthetic builds att for a known ground truth λ: each source type
+// gets the true pair plus Ambiguity-1 random decoys; with probability
+// 1-Accuracy a decoy receives a higher score than the truth. It models
+// the output of an imperfect matcher with a tunable accuracy knob.
+func Synthetic(src, tgt *dtd.DTD, truth map[string]string, opts SyntheticOptions, r *rand.Rand) *embedding.SimMatrix {
+	if opts.Ambiguity < 1 {
+		opts.Ambiguity = 1
+	}
+	m := embedding.NewSimMatrix()
+	for _, a := range src.Types {
+		t, ok := truth[a]
+		if !ok {
+			continue
+		}
+		truthScore := 0.7 + 0.3*r.Float64()
+		m.Set(a, t, truthScore)
+		decoys := opts.Ambiguity - 1
+		pool := append([]string(nil), tgt.Types...)
+		r.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		for _, b := range pool {
+			if decoys == 0 {
+				break
+			}
+			if b == t {
+				continue
+			}
+			score := truthScore * (0.3 + 0.6*r.Float64())
+			if r.Float64() >= opts.Accuracy {
+				// An inaccurate matcher ranks this decoy above the truth.
+				score = truthScore + (1-truthScore)*r.Float64()
+			}
+			m.Set(a, b, score)
+			decoys--
+		}
+	}
+	return m
+}

@@ -1,0 +1,122 @@
+package match_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/match"
+	"repro/internal/workload"
+)
+
+func TestNameSimilarityBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		min  float64
+		max  float64
+	}{
+		{"class", "class", 1, 1},
+		{"class", "Class", 1, 1},
+		{"order_id", "orderid", 1, 1},
+		{"class", "klass", 0.5, 0.99},
+		{"cno", "course-number", 0.0, 0.5},
+		{"instructor", "instructors", 0.8, 0.999},
+		{"a", "zzzz", 0, 0.26},
+	}
+	for _, tc := range cases {
+		got := match.NameSimilarity(tc.a, tc.b)
+		if got < tc.min || got > tc.max {
+			t.Errorf("NameSimilarity(%q, %q) = %v, want in [%v, %v]", tc.a, tc.b, got, tc.min, tc.max)
+		}
+	}
+}
+
+func TestNameSimilaritySymmetricProperty(t *testing.T) {
+	words := []string{"class", "course", "cno", "student", "ssn", "name", "taking", "x", ""}
+	prop := func(i, j uint8) bool {
+		a := words[int(i)%len(words)]
+		b := words[int(j)%len(words)]
+		x, y := match.NameSimilarity(a, b), match.NameSimilarity(b, a)
+		return x == y && x >= 0 && x <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLexicalMatrix(t *testing.T) {
+	src := workload.ClassDTD()
+	tgt := workload.SchoolDTD()
+	att := match.Lexical(src, tgt, 0.6)
+	// Identical tag names must survive the threshold with score 1.
+	for _, shared := range []string{"cno", "title", "regular", "project", "prereq"} {
+		if att.Get(shared, shared) != 1 {
+			t.Errorf("att(%s, %s) = %v, want 1", shared, shared, att.Get(shared, shared))
+		}
+	}
+	if att.Get("db", "school") != 0 {
+		t.Errorf("att(db, school) = %v, want 0 (no lexical overlap at 0.6)", att.Get("db", "school"))
+	}
+	if att.Pairs() == 0 {
+		t.Error("empty lexical matrix")
+	}
+}
+
+func TestSyntheticUnambiguous(t *testing.T) {
+	d := workload.StudentDTD()
+	truth := map[string]string{}
+	for _, a := range d.Types {
+		truth[a] = a
+	}
+	att := match.Synthetic(d, d, truth, match.SyntheticOptions{Accuracy: 1, Ambiguity: 1}, rand.New(rand.NewSource(2)))
+	for _, a := range d.Types {
+		cands := att.Candidates(a)
+		if len(cands) != 1 || cands[0] != a {
+			t.Errorf("candidates(%s) = %v, want exactly the truth", a, cands)
+		}
+	}
+}
+
+func TestSyntheticAmbiguityAndAccuracy(t *testing.T) {
+	d := workload.SchoolDTD()
+	truth := map[string]string{}
+	for _, a := range d.Types {
+		truth[a] = a
+	}
+	r := rand.New(rand.NewSource(3))
+	att := match.Synthetic(d, d, truth, match.SyntheticOptions{Accuracy: 1, Ambiguity: 3}, r)
+	topWins := 0
+	for _, a := range d.Types {
+		cands := att.Candidates(a)
+		if len(cands) < 2 || len(cands) > 3 {
+			t.Errorf("candidates(%s) = %d entries, want 2-3 at ambiguity 3", a, len(cands))
+		}
+		if len(cands) > 0 && cands[0] == a {
+			topWins++
+		}
+	}
+	if topWins != len(d.Types) {
+		t.Errorf("at accuracy 1 the truth must rank first for all types; got %d/%d", topWins, len(d.Types))
+	}
+	// At accuracy 0 the truth should frequently lose the top rank.
+	att0 := match.Synthetic(d, d, truth, match.SyntheticOptions{Accuracy: 0, Ambiguity: 3}, r)
+	losses := 0
+	for _, a := range d.Types {
+		if cands := att0.Candidates(a); len(cands) > 0 && cands[0] != a {
+			losses++
+		}
+	}
+	if losses < len(d.Types)/2 {
+		t.Errorf("at accuracy 0 only %d/%d truths were outranked", losses, len(d.Types))
+	}
+}
+
+func TestSimMatrixCloneIndependent(t *testing.T) {
+	d := workload.StudentDTD()
+	att := match.Lexical(d, d, 0.5)
+	c := att.Clone()
+	c.Set("ssn", "ssn", 0)
+	if att.Get("ssn", "ssn") == 0 {
+		t.Error("Clone shares storage")
+	}
+}

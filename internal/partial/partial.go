@@ -1,0 +1,222 @@
+// Package partial implements the extension sketched in the paper's
+// §7 (Conclusions): partial information preservation. Full information
+// preservation is sometimes too strong — "one often wants to select
+// part of the source data and require this part of data to be
+// transformed to a target document without loss of information".
+//
+// The user selects the source element types worth keeping. Prune
+// restricts the source schema to that selection (disjunctions keep an
+// explicit ε alternative so that documents whose chosen disjunct was
+// dropped still conform), Project applies the corresponding instance
+// projection π, and Mapping composes π with a schema embedding of the
+// pruned schema: σd ∘ π is type safe, and σd⁻¹ recovers exactly π(T) —
+// the selected information survives the round trip while the rest is
+// deliberately dropped.
+package partial
+
+import (
+	"fmt"
+
+	"repro/internal/dtd"
+	"repro/internal/embedding"
+	"repro/internal/xmltree"
+)
+
+// Selection is the set of source element types to preserve.
+type Selection map[string]bool
+
+// NewSelection builds a selection from type names.
+func NewSelection(types ...string) Selection {
+	s := make(Selection, len(types))
+	for _, t := range types {
+		s[t] = true
+	}
+	return s
+}
+
+// noneSuffix names the fresh ε disjunct added when a disjunction loses
+// alternatives to pruning.
+const noneSuffix = ".none"
+
+// Prune restricts the schema to the selected types: dropped children
+// disappear from concatenations, dropped disjuncts are replaced by a
+// single fresh ε alternative, stars over dropped types become ε, and
+// dropped types vanish. The root must be selected and every selected
+// type must stay reachable through selected types.
+func Prune(d *dtd.DTD, keep Selection) (*dtd.DTD, error) {
+	if !keep[d.Root] {
+		return nil, fmt.Errorf("partial: the root type %q must be selected", d.Root)
+	}
+	for t := range keep {
+		if _, ok := d.Prods[t]; !ok {
+			return nil, fmt.Errorf("partial: selected type %q is not in the schema", t)
+		}
+	}
+	out := &dtd.DTD{Root: d.Root, Prods: map[string]dtd.Production{}}
+	for _, a := range d.Types {
+		if !keep[a] {
+			continue
+		}
+		p := d.Prods[a]
+		switch p.Kind {
+		case dtd.KindStr, dtd.KindEmpty:
+			out.Types = append(out.Types, a)
+			out.Prods[a] = p
+		case dtd.KindConcat:
+			var kept []string
+			for _, c := range p.Children {
+				if keep[c] {
+					kept = append(kept, c)
+				}
+			}
+			out.Types = append(out.Types, a)
+			if len(kept) == 0 {
+				out.Prods[a] = dtd.Empty()
+			} else {
+				out.Prods[a] = dtd.Concat(kept...)
+			}
+		case dtd.KindDisj:
+			var kept []string
+			for _, c := range p.Children {
+				if keep[c] {
+					kept = append(kept, c)
+				}
+			}
+			out.Types = append(out.Types, a)
+			switch {
+			case len(kept) == len(p.Children):
+				out.Prods[a] = p
+			case len(kept) == 0:
+				out.Prods[a] = dtd.Empty()
+			default:
+				// Documents whose chosen disjunct was dropped must still
+				// conform: keep an explicit ε alternative.
+				none := freshNone(d, out, a)
+				out.Types = append(out.Types, none)
+				out.Prods[none] = dtd.Empty()
+				out.Prods[a] = dtd.Disj(append(kept, none)...)
+			}
+		case dtd.KindStar:
+			out.Types = append(out.Types, a)
+			if keep[p.Children[0]] {
+				out.Prods[a] = p
+			} else {
+				out.Prods[a] = dtd.Empty()
+			}
+		}
+	}
+	if err := out.Check(); err != nil {
+		return nil, fmt.Errorf("partial: pruned schema malformed: %w", err)
+	}
+	reach := out.Reachable()
+	for t := range keep {
+		if !reach[t] {
+			return nil, fmt.Errorf("partial: selected type %q is unreachable after pruning (select its ancestors too)", t)
+		}
+	}
+	return out, nil
+}
+
+func freshNone(orig, out *dtd.DTD, a string) string {
+	name := a + noneSuffix
+	for i := 2; ; i++ {
+		_, inOrig := orig.Prods[name]
+		_, inOut := out.Prods[name]
+		if !inOrig && !inOut {
+			return name
+		}
+		name = fmt.Sprintf("%s%s%d", a, noneSuffix, i)
+	}
+}
+
+// Project computes π(T): the instance-level projection of a document of
+// d onto the selection. The result conforms to Prune(d, keep).
+func Project(t *xmltree.Tree, d *dtd.DTD, keep Selection) (*xmltree.Tree, error) {
+	if err := t.Validate(d); err != nil {
+		return nil, fmt.Errorf("partial: document does not conform to the source schema: %w", err)
+	}
+	pruned, err := Prune(d, keep)
+	if err != nil {
+		return nil, err
+	}
+	out := &xmltree.Tree{}
+	out.Root = project(out, pruned, d, keep, t.Root)
+	if err := out.Validate(pruned); err != nil {
+		return nil, fmt.Errorf("partial: internal error: projection does not conform: %w", err)
+	}
+	return out, nil
+}
+
+func project(out *xmltree.Tree, pruned, d *dtd.DTD, keep Selection, n *xmltree.Node) *xmltree.Node {
+	m := out.NewElement(n.Label)
+	prod := d.Prods[n.Label]
+	switch prod.Kind {
+	case dtd.KindStr:
+		if v, ok := n.Value(); ok {
+			xmltree.Append(m, out.NewText(v))
+		}
+	case dtd.KindDisj:
+		c := n.Children[0]
+		if keep[c.Label] {
+			xmltree.Append(m, project(out, pruned, d, keep, c))
+			break
+		}
+		// The chosen disjunct was dropped; use the ε alternative if the
+		// pruned production still is a disjunction.
+		pp := pruned.Prods[n.Label]
+		if pp.Kind == dtd.KindDisj {
+			none := pp.Children[len(pp.Children)-1]
+			xmltree.Append(m, out.NewElement(none))
+		}
+	default:
+		for _, c := range n.Children {
+			if !c.IsText() && keep[c.Label] {
+				xmltree.Append(m, project(out, pruned, d, keep, c))
+			}
+		}
+	}
+	return m
+}
+
+// Mapping composes the projection with a schema embedding of the
+// pruned source schema into the target: the paper's partial
+// information preservation.
+type Mapping struct {
+	Source *dtd.DTD
+	Keep   Selection
+	Pruned *dtd.DTD
+	// Sigma embeds Pruned into the target schema.
+	Sigma *embedding.Embedding
+}
+
+// NewMapping prunes the source and pairs it with a user-supplied
+// embedding of the pruned schema (found by search or written by hand).
+func NewMapping(src *dtd.DTD, keep Selection, sigma *embedding.Embedding) (*Mapping, error) {
+	pruned, err := Prune(src, keep)
+	if err != nil {
+		return nil, err
+	}
+	if !sigma.Source.Equal(pruned) {
+		return nil, fmt.Errorf("partial: the embedding's source schema is not the pruned schema")
+	}
+	if err := sigma.Validate(nil); err != nil {
+		return nil, err
+	}
+	return &Mapping{Source: src, Keep: keep, Pruned: pruned, Sigma: sigma}, nil
+}
+
+// Apply computes σd(π(T)): project, then map. The result conforms to
+// the embedding's target schema.
+func (m *Mapping) Apply(t *xmltree.Tree) (*embedding.Result, error) {
+	projected, err := Project(t, m.Source, m.Keep)
+	if err != nil {
+		return nil, err
+	}
+	return m.Sigma.Apply(projected)
+}
+
+// Recover computes σd⁻¹ of a mapped document, returning π(T): the
+// selected part of the original, exactly.
+func (m *Mapping) Recover(tgt *xmltree.Tree) (*xmltree.Tree, error) {
+	return m.Sigma.Invert(tgt)
+}

@@ -1,0 +1,211 @@
+package partial_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dtd"
+	"repro/internal/partial"
+	"repro/internal/search"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// keepAllBut selects every type of d except the listed ones.
+func keepAllBut(d *dtd.DTD, drop ...string) partial.Selection {
+	s := partial.Selection{}
+	for _, a := range d.Types {
+		s[a] = true
+	}
+	for _, a := range drop {
+		delete(s, a)
+	}
+	return s
+}
+
+func TestPruneConcat(t *testing.T) {
+	d := workload.StudentDTD()
+	// Drop names and the taking subtree.
+	keep := keepAllBut(d, "name", "taking", "cno")
+	pruned, err := partial.Prune(d, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pruned.Prods["student"]
+	if p.Kind != dtd.KindConcat || len(p.Children) != 1 || p.Children[0] != "ssn" {
+		t.Errorf("pruned student production = %v, want (ssn)", p)
+	}
+	if _, ok := pruned.Prods["taking"]; ok {
+		t.Error("dropped type survived pruning")
+	}
+}
+
+func TestPruneDisjunctionKeepsNone(t *testing.T) {
+	d := workload.ClassDTD()
+	keep := keepAllBut(d, "project")
+	pruned, err := partial.Prune(d, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pruned.Prods["type"]
+	if p.Kind != dtd.KindDisj || len(p.Children) != 2 {
+		t.Fatalf("pruned type production = %v, want (regular | ε-alternative)", p)
+	}
+	none := p.Children[1]
+	if pruned.Prods[none].Kind != dtd.KindEmpty {
+		t.Errorf("ε alternative %q has production %v", none, pruned.Prods[none])
+	}
+}
+
+func TestPruneStarOverDropped(t *testing.T) {
+	d := workload.StudentDTD()
+	keep := keepAllBut(d, "cno")
+	pruned, err := partial.Prune(d, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := pruned.Prods["taking"]; p.Kind != dtd.KindEmpty {
+		t.Errorf("taking production = %v, want EMPTY", p)
+	}
+}
+
+func TestPruneErrors(t *testing.T) {
+	d := workload.StudentDTD()
+	if _, err := partial.Prune(d, partial.NewSelection("student")); err == nil || !strings.Contains(err.Error(), "root") {
+		t.Errorf("missing root: %v", err)
+	}
+	if _, err := partial.Prune(d, partial.NewSelection("db", "zebra")); err == nil || !strings.Contains(err.Error(), "not in the schema") {
+		t.Errorf("unknown type: %v", err)
+	}
+	// cno is only reachable through taking; dropping taking orphans it.
+	sel := keepAllBut(d, "taking")
+	if _, err := partial.Prune(d, sel); err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("orphaned selection: %v", err)
+	}
+}
+
+func TestProjectBasic(t *testing.T) {
+	d := workload.ClassDTD()
+	doc, _ := xmltree.ParseString(`
+<db>
+  <class><cno>CS331</cno><title>DB</title><type><project>maze</project></type></class>
+  <class><cno>CS210</cno><title>Algo</title><type><regular><prereq/></regular></type></class>
+</db>`)
+	keep := keepAllBut(d, "project")
+	got, err := partial.Project(doc, d, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first class's project disjunct is replaced by the ε
+	// alternative; everything else survives.
+	cnos := xpath.Strings(xpath.Eval(xpath.MustParse("class/cno/text()"), got.Root))
+	if len(cnos) != 2 || cnos[0] != "CS331" {
+		t.Errorf("projected cnos = %v", cnos)
+	}
+	if n := xpath.Eval(xpath.MustParse("class/type/project"), got.Root); len(n) != 0 {
+		t.Error("dropped disjunct survived projection")
+	}
+	if n := xpath.Eval(xpath.MustParse("class/type/regular"), got.Root); len(n) != 1 {
+		t.Error("kept disjunct lost")
+	}
+}
+
+// TestProjectConformsProperty: π(T) always conforms to the pruned
+// schema, over random documents and random selections.
+func TestProjectConformsProperty(t *testing.T) {
+	d := workload.SchoolDTD()
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		keep := partial.Selection{}
+		for _, a := range d.Types {
+			keep[a] = true
+		}
+		// Drop a few random leaf-ward types; retry selections that
+		// orphan something.
+		for i := 0; i < 3; i++ {
+			keep[d.Types[1+r.Intn(d.Size()-1)]] = false
+		}
+		for a, k := range keep {
+			if !k {
+				delete(keep, a)
+			}
+		}
+		pruned, err := partial.Prune(d, keep)
+		if err != nil {
+			return true // inadmissible selection; nothing to check
+		}
+		doc := xmltree.MustGenerate(d, r, xmltree.GenOptions{})
+		projected, err := partial.Project(doc, d, keep)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := projected.Validate(pruned); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPartialMappingRoundTrip: the composed mapping σd ∘ π is type safe
+// and recovers exactly π(T) — the §7 notion of partial information
+// preservation, end to end with a searched embedding.
+func TestPartialMappingRoundTrip(t *testing.T) {
+	src := workload.ClassDTD()
+	tgt := workload.SchoolDTD()
+	// Preserve the course skeleton; drop the prerequisite structure.
+	keep := keepAllBut(src, "regular", "prereq")
+	pruned, err := partial.Prune(src, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := search.Find(pruned, tgt, nil, search.Options{Heuristic: search.Random, Seed: 5, MaxRestarts: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found.Embedding == nil {
+		t.Fatal("no embedding of the pruned schema found")
+	}
+	m, err := partial.NewMapping(src, keep, found.Embedding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 25; i++ {
+		doc := xmltree.MustGenerate(src, r, xmltree.GenOptions{})
+		res, err := m.Apply(doc)
+		if err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		if err := res.Tree.Validate(tgt); err != nil {
+			t.Fatalf("type safety: %v", err)
+		}
+		back, err := m.Recover(res.Tree)
+		if err != nil {
+			t.Fatalf("Recover: %v", err)
+		}
+		want, err := partial.Project(doc, src, keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !xmltree.Equal(want, back) {
+			t.Fatalf("partial round trip: %s", xmltree.Diff(want, back))
+		}
+	}
+}
+
+func TestNewMappingRejectsMismatchedEmbedding(t *testing.T) {
+	src := workload.ClassDTD()
+	keep := keepAllBut(src, "project")
+	// σ1 embeds the full schema, not the pruned one.
+	if _, err := partial.NewMapping(src, keep, workload.ClassEmbedding()); err == nil {
+		t.Error("mismatched embedding accepted")
+	}
+}

@@ -1,0 +1,225 @@
+// Package reduction implements the 3SAT → Schema-Embedding reduction
+// of Theorem 5.1: given a CNF formula φ with clauses C1..Cn over
+// variables x1..xm, it builds nonrecursive, concatenation-only DTDs S1
+// and S2 and a similarity matrix att such that φ is satisfiable iff
+// there is a valid schema embedding from S1 to S2 w.r.t. att. The
+// reduction exercises the NP-hardness machinery end-to-end and supplies
+// adversarial inputs for the search heuristics.
+//
+// Deviation from the paper's construction: Theorem 5.1 uses the
+// unrestricted att and argues from the counts of the Z/W signature
+// leaves that λ(Ci) = Ci and that each Ys lands on Ts or Fs. As stated
+// that counting is not airtight — with att(A, B) = 1 everywhere, the
+// leaf types can cross-map (λ(W) = Z lets a Ys draw its W paths from
+// clause Z pools), and two Ys can occupy the two branches of a single
+// variable, both of which admit valid embeddings for unsatisfiable
+// formulas. This implementation therefore (a) pins the signature types
+// r, Ci, Z and W through att — the Schema-Embedding problem takes att
+// as an input, and Theorem 5.2's own proof restricts candidate sets the
+// same way — and (b) adds a second counter leaf U whose per-variable
+// counts decrease as the W counts increase, so a Ys fits under Tj or Fj
+// only when j = s. With these, both directions are provable:
+//
+//	sat ⇒ embedding: map Ys to Fs when μ(xs) is true (Ts otherwise) and
+//	route each clause through a branch whose literal μ satisfies.
+//	embedding ⇒ sat: λ(Ci) = Ci forces path(r, Ci) = Xj/Vj/Ci with Ci a
+//	child of Vj, i.e. xj occurs in Ci with Vj's polarity; the prefix-free
+//	condition keeps clauses off every branch holding a Ys, so setting
+//	μ(xj) = true iff Yj sits on Fj satisfies every clause.
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/dtd"
+	"repro/internal/embedding"
+)
+
+// Literal is a variable index (1-based) with polarity: +v for x_v, -v
+// for ¬x_v.
+type Literal int
+
+// Clause is a disjunction of literals (typically three).
+type Clause []Literal
+
+// Formula is a CNF formula over variables 1..Vars.
+type Formula struct {
+	Vars    int
+	Clauses []Clause
+}
+
+// Check validates literal ranges.
+func (f Formula) Check() error {
+	if f.Vars < 1 {
+		return fmt.Errorf("reduction: formula needs at least one variable")
+	}
+	if len(f.Clauses) == 0 {
+		return fmt.Errorf("reduction: formula needs at least one clause")
+	}
+	for i, c := range f.Clauses {
+		if len(c) == 0 {
+			return fmt.Errorf("reduction: clause %d is empty", i+1)
+		}
+		for _, l := range c {
+			v := int(l)
+			if v < 0 {
+				v = -v
+			}
+			if v == 0 || v > f.Vars {
+				return fmt.Errorf("reduction: clause %d has out-of-range literal %d", i+1, l)
+			}
+		}
+	}
+	return nil
+}
+
+// Satisfiable decides the formula by brute force (the ground truth for
+// reduction tests; formulas are small).
+func (f Formula) Satisfiable() bool {
+	n := f.Vars
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		if f.eval(mask) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f Formula) eval(mask int) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			v := int(l)
+			neg := false
+			if v < 0 {
+				v, neg = -v, true
+			}
+			val := mask&(1<<uint(v-1)) != 0
+			if val != neg {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Schemas builds (S1, S2, att) per the (repaired) Theorem 5.1
+// construction:
+//
+//	S1: r → C1,...,Cn, Y1,...,Ym     S2: r → X1,...,Xm
+//	    Ci → Z^(n+i)                     Xi → Ti, Fi
+//	    Ys → W^(2n+s), U^(2m-s)          Ti → {Cj : xi ∈ Cj}, W^(2n+i), U^(2m-i)
+//	    Z, W, U → ε                      Fi → {Cj : ¬xi ∈ Cj}, W^(2n+i), U^(2m-i)
+//	                                     Ci → Z^(n+i);  Z, W, U → ε
+//
+// att pins r, every Ci, Z, W and U to their namesakes and leaves the Ys
+// fully ambiguous.
+func Schemas(f Formula) (*dtd.DTD, *dtd.DTD, *embedding.SimMatrix, error) {
+	if err := f.Check(); err != nil {
+		return nil, nil, nil, err
+	}
+	n := len(f.Clauses)
+	m := f.Vars
+
+	clause := func(i int) string { return fmt.Sprintf("C%d", i) } // 1-based
+	yType := func(s int) string { return fmt.Sprintf("Y%d", s) }
+
+	// Source S1.
+	var rootKids []string
+	for i := 1; i <= n; i++ {
+		rootKids = append(rootKids, clause(i))
+	}
+	for s := 1; s <= m; s++ {
+		rootKids = append(rootKids, yType(s))
+	}
+	defs1 := []dtd.Def{dtd.D("r", dtd.Concat(rootKids...))}
+	for i := 1; i <= n; i++ {
+		defs1 = append(defs1, dtd.D(clause(i), dtd.Concat(repeat("Z", n+i)...)))
+	}
+	for s := 1; s <= m; s++ {
+		kids := append(repeat("W", 2*n+s), repeat("U", 2*m-s)...)
+		defs1 = append(defs1, dtd.D(yType(s), dtd.Concat(kids...)))
+	}
+	defs1 = append(defs1, dtd.D("Z", dtd.Empty()), dtd.D("W", dtd.Empty()), dtd.D("U", dtd.Empty()))
+	s1, err := dtd.New("r", defs1...)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("reduction: building S1: %w", err)
+	}
+
+	// Target S2.
+	var xKids []string
+	for i := 1; i <= m; i++ {
+		xKids = append(xKids, fmt.Sprintf("X%d", i))
+	}
+	defs2 := []dtd.Def{dtd.D("r", dtd.Concat(xKids...))}
+	for i := 1; i <= m; i++ {
+		ti, fi := fmt.Sprintf("T%d", i), fmt.Sprintf("F%d", i)
+		defs2 = append(defs2, dtd.D(fmt.Sprintf("X%d", i), dtd.Concat(ti, fi)))
+		var tKids, fKids []string
+		for j, c := range f.Clauses {
+			for _, l := range c {
+				if int(l) == i {
+					tKids = append(tKids, clause(j+1))
+				}
+				if int(l) == -i {
+					fKids = append(fKids, clause(j+1))
+				}
+			}
+		}
+		counters := append(repeat("W", 2*n+i), repeat("U", 2*m-i)...)
+		defs2 = append(defs2, dtd.D(ti, dtd.Concat(append(dedupe(tKids), counters...)...)))
+		defs2 = append(defs2, dtd.D(fi, dtd.Concat(append(dedupe(fKids), counters...)...)))
+	}
+	for i := 1; i <= n; i++ {
+		defs2 = append(defs2, dtd.D(clause(i), dtd.Concat(repeat("Z", n+i)...)))
+	}
+	defs2 = append(defs2, dtd.D("Z", dtd.Empty()), dtd.D("W", dtd.Empty()), dtd.D("U", dtd.Empty()))
+	s2, err := dtd.New("r", defs2...)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("reduction: building S2: %w", err)
+	}
+
+	// att: signature types pinned, Ys ambiguous over everything.
+	att := embedding.NewSimMatrix()
+	pin := map[string]bool{"r": true, "Z": true, "W": true, "U": true}
+	for i := 1; i <= n; i++ {
+		pin[clause(i)] = true
+	}
+	for _, a := range s1.Types {
+		if pin[a] {
+			att.Set(a, a, 1)
+			continue
+		}
+		for _, b := range s2.Types {
+			att.Set(a, b, 1)
+		}
+	}
+	return s1, s2, att, nil
+}
+
+// repeat returns k copies of name.
+func repeat(name string, k int) []string {
+	out := make([]string, k)
+	for i := range out {
+		out[i] = name
+	}
+	return out
+}
+
+// dedupe removes duplicate clause references (a literal occurring twice
+// in a clause must not duplicate the child).
+func dedupe(names []string) []string {
+	seen := map[string]bool{}
+	out := names[:0:0]
+	for _, n := range names {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}

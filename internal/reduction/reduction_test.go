@@ -1,0 +1,176 @@
+package reduction_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/embedding"
+	"repro/internal/reduction"
+)
+
+func TestFormulaCheck(t *testing.T) {
+	cases := []struct {
+		name string
+		f    reduction.Formula
+		want string
+	}{
+		{"ok", reduction.Formula{Vars: 2, Clauses: []reduction.Clause{{1, -2}}}, ""},
+		{"no vars", reduction.Formula{Vars: 0, Clauses: []reduction.Clause{{1}}}, "at least one variable"},
+		{"no clauses", reduction.Formula{Vars: 1}, "at least one clause"},
+		{"empty clause", reduction.Formula{Vars: 1, Clauses: []reduction.Clause{{}}}, "empty"},
+		{"zero literal", reduction.Formula{Vars: 1, Clauses: []reduction.Clause{{0}}}, "out-of-range"},
+		{"big literal", reduction.Formula{Vars: 1, Clauses: []reduction.Clause{{2}}}, "out-of-range"},
+		{"negative ok", reduction.Formula{Vars: 3, Clauses: []reduction.Clause{{-3, 1}}}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.f.Check()
+			if tc.want == "" {
+				if err != nil {
+					t.Errorf("Check() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Check() = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSatisfiable(t *testing.T) {
+	cases := []struct {
+		name string
+		f    reduction.Formula
+		want bool
+	}{
+		{"trivial", reduction.Formula{Vars: 1, Clauses: []reduction.Clause{{1}}}, true},
+		{"contradiction", reduction.Formula{Vars: 1, Clauses: []reduction.Clause{{1}, {-1}}}, false},
+		{"xor-ish", reduction.Formula{Vars: 2, Clauses: []reduction.Clause{{1, 2}, {-1, -2}}}, true},
+		{"all-pairs", reduction.Formula{Vars: 2, Clauses: []reduction.Clause{{1, 2}, {1, -2}, {-1, 2}, {-1, -2}}}, false},
+		{"3sat sat", reduction.Formula{Vars: 3, Clauses: []reduction.Clause{{1, 2, 3}, {-1, -2, -3}}}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.f.Satisfiable(); got != tc.want {
+			t.Errorf("%s: Satisfiable() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSchemasStructure(t *testing.T) {
+	f := reduction.Formula{Vars: 2, Clauses: []reduction.Clause{{1, -2, 1}, {-1, 2}}}
+	s1, s2, att, err := reduction.Schemas(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, m := 2, 2
+	// S1: r, n clauses, m Y's, Z, W, U.
+	if s1.Size() != 1+n+m+3 {
+		t.Errorf("|E1| = %d, want %d", s1.Size(), 1+n+m+3)
+	}
+	// S2: r, m X/T/F triples, n clauses, Z, W, U.
+	if s2.Size() != 1+3*m+n+3 {
+		t.Errorf("|E2| = %d, want %d", s2.Size(), 1+3*m+n+3)
+	}
+	// Clause signature: Ci has n+i Z children in both schemas.
+	for i := 1; i <= n; i++ {
+		name := "C" + string(rune('0'+i))
+		for _, d := range []*dtd.DTD{s1, s2} {
+			if got := d.Prods[name].Occurrences("Z"); got != n+i {
+				t.Errorf("%s has %d Z children, want %d", name, got, n+i)
+			}
+		}
+	}
+	// x1 occurs positively in C1 (twice, deduplicated) and negatively in C2.
+	if got := s2.Prods["T1"].Occurrences("C1"); got != 1 {
+		t.Errorf("T1 hosts C1 %d times, want 1 (duplicate literal deduplicated)", got)
+	}
+	if got := s2.Prods["F1"].Occurrences("C2"); got != 1 {
+		t.Errorf("F1 should host C2")
+	}
+	if got := s2.Prods["T1"].Occurrences("C2"); got != 0 {
+		t.Errorf("T1 must not host C2")
+	}
+	// W/U counters: Ys has 2n+s W's and 2m-s U's.
+	if got := s1.Prods["Y1"].Occurrences("W"); got != 2*n+1 {
+		t.Errorf("Y1 W count = %d", got)
+	}
+	if got := s1.Prods["Y2"].Occurrences("U"); got != 2*m-2 {
+		t.Errorf("Y2 U count = %d", got)
+	}
+	// att pins the signature types and leaves Y's ambiguous.
+	if att.Get("Z", "W") != 0 || att.Get("W", "Z") != 0 || att.Get("C1", "T1") != 0 {
+		t.Error("signature types not pinned")
+	}
+	if att.Get("Y1", "T2") == 0 || att.Get("Y1", "F1") == 0 {
+		t.Error("Y types should be ambiguous")
+	}
+	if att.Get("Z", "Z") != 1 || att.Get("W", "W") != 1 {
+		t.Error("pinned pairs should score 1")
+	}
+}
+
+func TestSchemasRejectBadFormula(t *testing.T) {
+	if _, _, _, err := reduction.Schemas(reduction.Formula{Vars: 0}); err == nil {
+		t.Error("bad formula accepted")
+	}
+}
+
+// TestIntendedEmbeddingValidates constructs the paper's intended
+// embedding from a satisfying assignment by hand and checks it against
+// the independent validator — the constructive direction of the
+// correctness proof, without going through search.
+func TestIntendedEmbeddingValidates(t *testing.T) {
+	// φ = (x1 ∨ ¬x2) ∧ (¬x1 ∨ x2), satisfied by μ = {x1: true, x2: true}.
+	f := reduction.Formula{Vars: 2, Clauses: []reduction.Clause{{1, -2}, {-1, 2}}}
+	s1, s2, att, err := reduction.Schemas(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := embedding.New(s1, s2)
+	// λ: signatures to themselves; Ys to the branch of ¬μ(xs).
+	for _, a := range []string{"r", "C1", "C2", "Z", "W", "U"} {
+		e.MapType(a, a)
+	}
+	e.MapType("Y1", "F1") // μ(x1) = true
+	e.MapType("Y2", "F2") // μ(x2) = true
+	// Clause routes through branches μ makes true: C1 via x1 (T1), C2
+	// via x2 (T2).
+	e.SetPath(embedding.Ref("r", "C1"), "X1/T1/C1")
+	e.SetPath(embedding.Ref("r", "C2"), "X2/T2/C2")
+	e.SetPath(embedding.Ref("r", "Y1"), "X1/F1")
+	e.SetPath(embedding.Ref("r", "Y2"), "X2/F2")
+	n := len(f.Clauses)
+	for i := 1; i <= n; i++ {
+		name := "C" + string(rune('0'+i))
+		for k := 1; k <= n+i; k++ {
+			e.SetPath(embedding.EdgeRef{Parent: name, Child: "Z", Occ: k},
+				zStep(k))
+		}
+	}
+	for s := 1; s <= f.Vars; s++ {
+		name := "Y" + string(rune('0'+s))
+		for k := 1; k <= 2*n+s; k++ {
+			e.SetPath(embedding.EdgeRef{Parent: name, Child: "W", Occ: k}, wStep("W", k))
+		}
+		for k := 1; k <= 2*f.Vars-s; k++ {
+			e.SetPath(embedding.EdgeRef{Parent: name, Child: "U", Occ: k}, wStep("U", k))
+		}
+	}
+	if err := e.Validate(att); err != nil {
+		t.Fatalf("intended embedding rejected: %v", err)
+	}
+}
+
+func zStep(k int) string { return wStep("Z", k) }
+func wStep(l string, k int) string {
+	return l + "[position() = " + itoa(k) + "]"
+}
+
+func itoa(k int) string {
+	if k < 10 {
+		return string(rune('0' + k))
+	}
+	return string(rune('0'+k/10)) + string(rune('0'+k%10))
+}

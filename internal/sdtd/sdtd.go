@@ -1,0 +1,257 @@
+// Package sdtd implements specialized DTDs (Papakonstantinou & Vianu),
+// the schema formalism §4.5 invokes for merging source schemas whose
+// element type sets overlap: element *types* are distinct from the
+// *tags* documents carry, so two sources may both define a "cno" tag
+// with different content models — each becomes its own type carrying
+// the shared tag.
+//
+// The package provides the merge construction of §4.5 for the general
+// (non-disjoint) case, and validation/typing of documents against a
+// specialized DTD via a bottom-up tree-automaton run: a document
+// conforms when some assignment of types to its nodes respects the
+// productions, and Typing materializes one such assignment. Extending
+// schema embeddings themselves to specialized DTDs is the future work
+// the paper defers ("it is natural and not very difficult"); here the
+// substrate covers the part §4.5 actually uses — building the single
+// source S' out of overlapping sources.
+package sdtd
+
+import (
+	"fmt"
+
+	"repro/internal/dtd"
+	"repro/internal/xmltree"
+)
+
+// SpecializedDTD pairs a normal-form schema over element types with a
+// tag function from types to the surface labels documents carry.
+// Several types may share one tag (the specializations of that tag).
+type SpecializedDTD struct {
+	// DTD holds the productions over type names.
+	DTD *dtd.DTD
+	// Tag maps each type to its surface label; unlisted types carry
+	// their own name.
+	Tag map[string]string
+}
+
+// FromDTD wraps a plain DTD as a specialized one with the identity tag
+// function.
+func FromDTD(d *dtd.DTD) *SpecializedDTD {
+	return &SpecializedDTD{DTD: d, Tag: map[string]string{}}
+}
+
+// TagOf returns the surface label of a type.
+func (s *SpecializedDTD) TagOf(typ string) string {
+	if t, ok := s.Tag[typ]; ok {
+		return t
+	}
+	return typ
+}
+
+// Check validates the underlying schema.
+func (s *SpecializedDTD) Check() error {
+	if s.DTD == nil {
+		return fmt.Errorf("sdtd: nil schema")
+	}
+	return s.DTD.Check()
+}
+
+// Merge builds the single source S' of §4.5 from sources whose type
+// sets may overlap: a fresh root (rootName must not collide with any
+// tag) concatenates the source roots, and every source type becomes a
+// distinct specialization "s<i>.<type>" carrying its original tag.
+func Merge(rootName string, sources ...*SpecializedDTD) (*SpecializedDTD, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("sdtd: Merge needs at least one source")
+	}
+	out := &SpecializedDTD{
+		DTD: &dtd.DTD{Root: rootName, Prods: map[string]dtd.Production{}},
+		Tag: map[string]string{},
+	}
+	rename := func(i int, typ string) string { return fmt.Sprintf("s%d.%s", i+1, typ) }
+	var rootKids []string
+	for i, src := range sources {
+		if err := src.Check(); err != nil {
+			return nil, fmt.Errorf("sdtd: source %d: %w", i+1, err)
+		}
+		for _, a := range src.DTD.Types {
+			fresh := rename(i, a)
+			p := src.DTD.Prods[a]
+			kids := make([]string, len(p.Children))
+			for j, c := range p.Children {
+				kids[j] = rename(i, c)
+			}
+			out.DTD.Types = append(out.DTD.Types, fresh)
+			out.DTD.Prods[fresh] = dtd.Production{Kind: p.Kind, Children: kids}
+			out.Tag[fresh] = src.TagOf(a)
+			if out.Tag[fresh] == rootName {
+				return nil, fmt.Errorf("sdtd: merged root name %q collides with a source tag", rootName)
+			}
+		}
+		rootKids = append(rootKids, rename(i, src.DTD.Root))
+	}
+	out.DTD.Types = append([]string{rootName}, out.DTD.Types...)
+	out.DTD.Prods[rootName] = dtd.Concat(rootKids...)
+	if err := out.DTD.Check(); err != nil {
+		return nil, fmt.Errorf("sdtd: merged schema malformed: %w", err)
+	}
+	return out, nil
+}
+
+// Validate reports whether the document admits a typing under the
+// specialized schema (a nondeterministic bottom-up tree-automaton run).
+func (s *SpecializedDTD) Validate(t *xmltree.Tree) error {
+	_, err := s.Typing(t)
+	return err
+}
+
+// Typing computes one type assignment for every element node of the
+// document, or an error when none exists. The root must type as the
+// root type.
+func (s *SpecializedDTD) Typing(t *xmltree.Tree) (map[*xmltree.Node]string, error) {
+	if t == nil || t.Root == nil {
+		return nil, fmt.Errorf("sdtd: empty document")
+	}
+	// Index types by tag.
+	byTag := map[string][]string{}
+	for _, typ := range s.DTD.Types {
+		tag := s.TagOf(typ)
+		byTag[tag] = append(byTag[tag], typ)
+	}
+	// Bottom-up: possible[n] = set of types n can take.
+	possible := map[*xmltree.Node]map[string]bool{}
+	var up func(n *xmltree.Node) error
+	up = func(n *xmltree.Node) error {
+		for _, c := range n.Children {
+			if c.IsText() {
+				continue
+			}
+			if err := up(c); err != nil {
+				return err
+			}
+		}
+		set := map[string]bool{}
+		for _, typ := range byTag[n.Label] {
+			if s.fits(n, typ, possible) {
+				set[typ] = true
+			}
+		}
+		if len(set) == 0 {
+			return fmt.Errorf("sdtd: no type for %q node (tag has %d specializations)", n.Label, len(byTag[n.Label]))
+		}
+		possible[n] = set
+		return nil
+	}
+	if err := up(t.Root); err != nil {
+		return nil, err
+	}
+	if !possible[t.Root][s.DTD.Root] {
+		return nil, fmt.Errorf("sdtd: root %q cannot take the root type %q", t.Root.Label, s.DTD.Root)
+	}
+	// Top-down: materialize one assignment.
+	assign := map[*xmltree.Node]string{t.Root: s.DTD.Root}
+	var down func(n *xmltree.Node) error
+	down = func(n *xmltree.Node) error {
+		typ := assign[n]
+		p := s.DTD.Prods[typ]
+		switch p.Kind {
+		case dtd.KindStr, dtd.KindEmpty:
+			return nil
+		case dtd.KindConcat:
+			for i, c := range n.Children {
+				assign[c] = p.Children[i]
+				if err := down(c); err != nil {
+					return err
+				}
+			}
+		case dtd.KindDisj:
+			c := n.Children[0]
+			for _, b := range p.Children {
+				if possible[c][b] {
+					assign[c] = b
+					return down(c)
+				}
+			}
+			return fmt.Errorf("sdtd: internal: no disjunct types %q child", typ)
+		case dtd.KindStar:
+			for _, c := range n.Children {
+				assign[c] = p.Children[0]
+				if err := down(c); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := down(t.Root); err != nil {
+		return nil, err
+	}
+	return assign, nil
+}
+
+// fits reports whether node n can take type typ given the children's
+// possible types.
+func (s *SpecializedDTD) fits(n *xmltree.Node, typ string, possible map[*xmltree.Node]map[string]bool) bool {
+	p, ok := s.DTD.Prods[typ]
+	if !ok {
+		return false
+	}
+	switch p.Kind {
+	case dtd.KindStr:
+		return len(n.Children) == 1 && n.Children[0].IsText()
+	case dtd.KindEmpty:
+		return len(n.Children) == 0
+	case dtd.KindConcat:
+		if len(n.Children) != len(p.Children) {
+			return false
+		}
+		for i, c := range n.Children {
+			if c.IsText() || !possible[c][p.Children[i]] {
+				return false
+			}
+		}
+		return true
+	case dtd.KindDisj:
+		if len(n.Children) != 1 || n.Children[0].IsText() {
+			return false
+		}
+		for _, b := range p.Children {
+			if possible[n.Children[0]][b] {
+				return true
+			}
+		}
+		return false
+	case dtd.KindStar:
+		for _, c := range n.Children {
+			if c.IsText() || !possible[c][p.Children[0]] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// WrapInstances builds an instance of a merged schema from one document
+// per source: a fresh root element tagged with the merged root name
+// whose children are the source documents' roots (copied).
+func WrapInstances(rootName string, docs ...*xmltree.Tree) *xmltree.Tree {
+	out := &xmltree.Tree{}
+	root := out.NewElement(rootName)
+	out.Root = root
+	for _, d := range docs {
+		xmltree.Append(root, copyInto(out, d.Root))
+	}
+	return out
+}
+
+func copyInto(out *xmltree.Tree, n *xmltree.Node) *xmltree.Node {
+	if n.IsText() {
+		return out.NewText(n.Text)
+	}
+	m := out.NewElement(n.Label)
+	for _, c := range n.Children {
+		xmltree.Append(m, copyInto(out, c))
+	}
+	return m
+}

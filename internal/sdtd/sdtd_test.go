@@ -1,0 +1,158 @@
+package sdtd_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dtd"
+	"repro/internal/sdtd"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+// TestMergeOverlappingSources: the Figure 1 class and student DTDs
+// share the types db and cno with different content models; the
+// specialized merge keeps both definitions apart while documents keep
+// their tags.
+func TestMergeOverlappingSources(t *testing.T) {
+	classes := sdtd.FromDTD(workload.ClassDTD())
+	students := sdtd.FromDTD(workload.StudentDTD())
+	merged, err := sdtd.Merge("all", classes, students)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	// Both cno specializations exist, sharing the tag.
+	if merged.TagOf("s1.cno") != "cno" || merged.TagOf("s2.cno") != "cno" {
+		t.Errorf("cno specializations mis-tagged: %q, %q", merged.TagOf("s1.cno"), merged.TagOf("s2.cno"))
+	}
+	// The two db specializations differ in production.
+	p1 := merged.DTD.Prods["s1.db"]
+	p2 := merged.DTD.Prods["s2.db"]
+	if p1.Children[0] == p2.Children[0] {
+		t.Error("db specializations should reference different children")
+	}
+
+	classDoc, _ := xmltree.ParseString(`
+<db><class><cno>CS1</cno><title>T</title><type><project>p</project></type></class></db>`)
+	studentDoc, _ := xmltree.ParseString(`
+<db><student><ssn>1</ssn><name>A</name><taking><cno>CS1</cno></taking></student></db>`)
+	doc := sdtd.WrapInstances("all", classDoc, studentDoc)
+	assign, err := merged.Typing(doc)
+	if err != nil {
+		t.Fatalf("Typing: %v", err)
+	}
+	// The two db elements carry the same tag but different types.
+	dbs := doc.Root.Children
+	if assign[dbs[0]] != "s1.db" || assign[dbs[1]] != "s2.db" {
+		t.Errorf("db typings = %q, %q", assign[dbs[0]], assign[dbs[1]])
+	}
+	// The cno under taking types as the student specialization.
+	taking := dbs[1].Children[0].Children[2]
+	if got := assign[taking.Children[0]]; got != "s2.cno" {
+		t.Errorf("taking/cno typed %q, want s2.cno", got)
+	}
+}
+
+// TestTypingRejects: swapped documents fail typing.
+func TestTypingRejects(t *testing.T) {
+	classes := sdtd.FromDTD(workload.ClassDTD())
+	students := sdtd.FromDTD(workload.StudentDTD())
+	merged, err := sdtd.Merge("all", classes, students)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Order matters: the merged root concatenates class-db then
+	// student-db.
+	studentDoc, _ := xmltree.ParseString(`<db><student><ssn>1</ssn><name>A</name><taking/></student></db>`)
+	doc := sdtd.WrapInstances("all", studentDoc, studentDoc)
+	if err := merged.Validate(doc); err == nil {
+		t.Error("student document accepted in the class slot")
+	}
+	// A malformed inner document fails too.
+	bad, _ := xmltree.ParseString(`<db><zebra/></db>`)
+	classDoc, _ := xmltree.ParseString(`<db/>`)
+	doc2 := sdtd.WrapInstances("all", classDoc, bad)
+	if err := merged.Validate(doc2); err == nil {
+		t.Error("malformed inner document accepted")
+	}
+}
+
+// TestTypingAmbiguousTags: two specializations of one tag under a star,
+// distinguished only by content — the tree-automaton run must pick the
+// right one per node.
+func TestTypingAmbiguousTags(t *testing.T) {
+	d := dtd.MustNew("r",
+		dtd.D("r", dtd.Star("entryDisj")),
+		dtd.D("entryDisj", dtd.Disj("entryA", "entryB")),
+		dtd.D("entryA", dtd.Concat("x")),
+		dtd.D("entryB", dtd.Concat("y")),
+		dtd.D("x", dtd.Str()),
+		dtd.D("y", dtd.Str()),
+	)
+	s := sdtd.FromDTD(d)
+	// entryA and entryB both carry the tag "entry"; the wrapper
+	// disjunction carries "item".
+	s.Tag["entryA"] = "entry"
+	s.Tag["entryB"] = "entry"
+	s.Tag["entryDisj"] = "item"
+	doc, _ := xmltree.ParseString(`<r><item><entry><x>1</x></entry></item><item><entry><y>2</y></entry></item></r>`)
+	assign, err := s.Typing(doc)
+	if err != nil {
+		t.Fatalf("Typing: %v", err)
+	}
+	first := doc.Root.Children[0].Children[0]
+	second := doc.Root.Children[1].Children[0]
+	if assign[first] != "entryA" || assign[second] != "entryB" {
+		t.Errorf("typings = %q, %q; want entryA, entryB", assign[first], assign[second])
+	}
+	// A child that fits neither specialization is rejected.
+	bad, _ := xmltree.ParseString(`<r><item><entry><z>1</z></entry></item></r>`)
+	if err := s.Validate(bad); err == nil || !strings.Contains(err.Error(), "no type") {
+		t.Errorf("Validate(bad) = %v", err)
+	}
+}
+
+// TestMergeErrors covers the failure modes.
+func TestMergeErrors(t *testing.T) {
+	if _, err := sdtd.Merge("all"); err == nil {
+		t.Error("empty merge accepted")
+	}
+	d := sdtd.FromDTD(workload.StudentDTD())
+	if _, err := sdtd.Merge("db", d); err == nil || !strings.Contains(err.Error(), "collides") {
+		t.Errorf("root/tag collision: %v", err)
+	}
+}
+
+// TestTypingMatchesPlainValidation: for an identity-tagged schema,
+// specialized typing accepts exactly what plain validation accepts
+// (random documents of corpus schemas).
+func TestTypingMatchesPlainValidation(t *testing.T) {
+	for _, named := range workload.Corpus() {
+		s := sdtd.FromDTD(named.DTD)
+		prop := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			doc := xmltree.MustGenerate(named.DTD, r, xmltree.GenOptions{})
+			if err := s.Validate(doc); err != nil {
+				t.Logf("%s seed %d: %v", named.Name, seed, err)
+				return false
+			}
+			assign, err := s.Typing(doc)
+			if err != nil {
+				return false
+			}
+			// Identity tagging: every node types as its own label.
+			ok := true
+			doc.Walk(func(n *xmltree.Node) {
+				if !n.IsText() && assign[n] != n.Label {
+					ok = false
+				}
+			})
+			return ok
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(4))}); err != nil {
+			t.Errorf("%s: %v", named.Name, err)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package search
+
+import (
+	"sort"
+
+	"repro/internal/embedding"
+	"repro/internal/xpath"
+)
+
+// localOption is one local mapping (§5.1): a λ assignment for one
+// source type and its children, with valid local paths, weighted by the
+// summed att scores.
+type localOption struct {
+	owner  string
+	lambda map[string]string
+	paths  map[embedding.EdgeRef]xpath.Path
+	weight float64
+}
+
+// conflicts reports whether two local mappings disagree on a shared
+// type.
+func (o *localOption) conflicts(assign map[string]string) bool {
+	for a, b := range o.lambda {
+		if cur, ok := assign[a]; ok && cur != b {
+			return true
+		}
+	}
+	return false
+}
+
+// assembleIndepSet implements the independent-set style assembly: it
+// enumerates up to LocalOptions local mappings per source production
+// (randomly sampling λ choices), then greedily selects one option per
+// production — fewest-options first, highest weight first — rejecting
+// options that conflict with the partial assignment. A maximal
+// consistent selection covering every production is a valid embedding.
+func (s *searcher) assembleIndepSet() *embedding.Embedding {
+	order := s.order()
+	options := make([][]*localOption, len(order))
+	for i, a := range order {
+		options[i] = s.localOptions(a)
+		if len(options[i]) == 0 {
+			return nil
+		}
+	}
+	// Productions with the fewest options are the most constrained;
+	// assign them first.
+	idx := make([]int, len(order))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool { return len(options[idx[x]]) < len(options[idx[y]]) })
+
+	assign := map[string]string{s.src.Root: s.tgt.Root}
+	chosen := make([]*localOption, len(order))
+	for _, i := range idx {
+		s.steps++
+		var best *localOption
+		for _, o := range options[i] {
+			if o.conflicts(assign) {
+				continue
+			}
+			if best == nil || o.weight > best.weight {
+				best = o
+			}
+		}
+		if best == nil {
+			return nil
+		}
+		chosen[i] = best
+		for a, b := range best.lambda {
+			assign[a] = b
+		}
+	}
+	emb := embedding.New(s.src, s.tgt)
+	for a, b := range assign {
+		emb.MapType(a, b)
+	}
+	for _, o := range chosen {
+		for ref, p := range o.paths {
+			emb.Paths[ref] = p
+		}
+	}
+	if emb.Validate(s.att) != nil {
+		return nil
+	}
+	return emb
+}
+
+// localOptions samples local mappings for the production of a.
+func (s *searcher) localOptions(a string) []*localOption {
+	prod := s.src.Prods[a]
+	var ownCands []string
+	if a == s.src.Root {
+		ownCands = []string{s.tgt.Root}
+	} else {
+		ownCands = s.candidatesFor(a, true)
+	}
+	var out []*localOption
+	for _, la := range ownCands {
+		if len(out) >= s.opts.LocalOptions {
+			break
+		}
+		// Distinct child types needing λ.
+		var kids []string
+		seen := map[string]bool{}
+		for _, c := range prod.Children {
+			if !seen[c] && c != a {
+				seen[c] = true
+				kids = append(kids, c)
+			}
+		}
+		lam := map[string]string{a: la}
+		budget := s.opts.LocalOptions
+		var rec func(j int)
+		rec = func(j int) {
+			if len(out) >= s.opts.LocalOptions || budget <= 0 {
+				return
+			}
+			if j == len(kids) {
+				budget--
+				local := localPaths(s.enum, s.src, a, lam)
+				if local == nil {
+					return
+				}
+				opt := &localOption{
+					owner:  a,
+					lambda: map[string]string{},
+					paths:  local,
+				}
+				for k, v := range lam {
+					opt.lambda[k] = v
+					opt.weight += s.att.Get(k, v)
+				}
+				out = append(out, opt)
+				return
+			}
+			for _, b := range s.candidatesFor(kids[j], true) {
+				lam[kids[j]] = b
+				rec(j + 1)
+				delete(lam, kids[j])
+				if len(out) >= s.opts.LocalOptions || budget <= 0 {
+					return
+				}
+			}
+		}
+		// Recursive types may list themselves as children; the owner's
+		// own λ is fixed above.
+		if prodHasSelf(prod.Children, a) {
+			// lam already contains a's λ.
+			_ = la
+		}
+		rec(0)
+	}
+	return out
+}
+
+func prodHasSelf(children []string, a string) bool {
+	for _, c := range children {
+		if c == a {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,227 @@
+// Package search computes schema embeddings (§5): given two DTDs and a
+// similarity matrix, it finds a valid embedding σ : S1 → S2 when one
+// exists within its search bounds. The Schema-Embedding problem is
+// NP-complete (Theorem 5.1), so the package provides heuristics —
+// Random, Quality-Ordered and Independent-Set assembly of local
+// embeddings, per the VLDB'05 companion — together with an exhaustive
+// solver used as a test oracle on small schemas.
+//
+// Local embeddings are found by solving the prefix-free path problem:
+// candidate target paths per source edge are enumerated shortest-first
+// (respecting the path type condition and the Theorem 4.10 length
+// bounds), and a backtracking selection picks mutually prefix-free
+// candidates.
+package search
+
+import (
+	"repro/internal/dtd"
+	"repro/internal/xpath"
+)
+
+// flavor is the required path type per the source production kind.
+type flavor uint8
+
+const (
+	flavorAND flavor = iota
+	flavorOR
+	flavorSTAR
+	flavorSTR
+)
+
+// slot identifies a step for prefix-freedom comparisons, mirroring the
+// canonical slots of package embedding (occ 0 = star iterator).
+type slot struct {
+	label string
+	occ   int
+}
+
+// candidate is one enumerated target path with its canonical slots and
+// the kinds of edges it crosses.
+type candidate struct {
+	path  xpath.Path
+	slots []slot
+	kinds []dtd.EdgeKind
+}
+
+// enumerator enumerates and memoizes candidate paths in the target
+// schema.
+type enumerator struct {
+	tgt *dtd.DTD
+	// maxLen bounds path length; maxCands bounds candidates per query;
+	// maxExpand bounds total BFS expansions per query; maxPin bounds
+	// the positions tried when pinning a star step on an AND path.
+	maxLen    int
+	maxCands  int
+	maxExpand int
+	maxPin    int
+
+	memo map[enumKey][]candidate
+}
+
+type enumKey struct {
+	from, to string
+	fl       flavor
+}
+
+func newEnumerator(tgt *dtd.DTD, maxLen, maxCands, maxExpand, maxPin int) *enumerator {
+	return &enumerator{
+		tgt:       tgt,
+		maxLen:    maxLen,
+		maxCands:  maxCands,
+		maxExpand: maxExpand,
+		maxPin:    maxPin,
+		memo:      map[enumKey][]candidate{},
+	}
+}
+
+// paths returns candidate paths from target type `from` to target type
+// `to` of the given flavor, shortest first. For flavorSTR, `to` is
+// ignored: paths end at any str-typed element and carry a trailing
+// text() step.
+func (e *enumerator) paths(from, to string, fl flavor) []candidate {
+	key := enumKey{from: from, to: to, fl: fl}
+	if c, ok := e.memo[key]; ok {
+		return c
+	}
+	c := e.enumerate(from, to, fl)
+	e.memo[key] = c
+	return c
+}
+
+// state is a partial path during BFS.
+type state struct {
+	at     string
+	path   xpath.Path
+	slots  []slot
+	kinds  []dtd.EdgeKind
+	sawOR  bool
+	sawIt  bool // unpinned (iterator) star step present
+	sawSt  bool // any star step present
+	length int
+}
+
+func (e *enumerator) enumerate(from, to string, fl flavor) []candidate {
+	var out []candidate
+	queue := []state{{at: from}}
+	expansions := 0
+	for len(queue) > 0 && len(out) < e.maxCands && expansions < e.maxExpand {
+		st := queue[0]
+		queue = queue[1:]
+		if st.length >= e.maxLen {
+			continue
+		}
+		prod, ok := e.tgt.Prods[st.at]
+		if !ok {
+			continue
+		}
+		expansions++
+		switch prod.Kind {
+		case dtd.KindStr:
+			// Only flavorSTR may end here, handled on arrival below.
+			continue
+		case dtd.KindEmpty:
+			continue
+		case dtd.KindConcat:
+			occ := map[string]int{}
+			for _, c := range prod.Children {
+				occ[c]++
+				pos := 0
+				if prod.Occurrences(c) > 1 {
+					pos = occ[c]
+				}
+				next := extend(st, xpath.Step{Label: c, Pos: pos}, slot{label: c, occ: occ[c]}, dtd.EdgeAND)
+				queue = e.arrive(queue, &out, next, to, fl)
+			}
+		case dtd.KindDisj:
+			if fl != flavorOR {
+				continue // OR edges are only legal on OR paths
+			}
+			for _, c := range prod.Children {
+				next := extend(st, xpath.Step{Label: c}, slot{label: c, occ: 1}, dtd.EdgeOR)
+				next.sawOR = true
+				queue = e.arrive(queue, &out, next, to, fl)
+			}
+		case dtd.KindStar:
+			if fl == flavorOR {
+				continue // STAR edges are illegal on OR paths
+			}
+			c := prod.Children[0]
+			// Pinned positions (legal on any non-OR path).
+			for p := 1; p <= e.maxPin; p++ {
+				next := extend(st, xpath.Step{Label: c, Pos: p}, slot{label: c, occ: p}, dtd.EdgeSTAR)
+				next.sawSt = true
+				queue = e.arrive(queue, &out, next, to, fl)
+			}
+			// The unpinned iterator, once, for STAR paths.
+			if fl == flavorSTAR && !st.sawIt {
+				next := extend(st, xpath.Step{Label: c}, slot{label: c, occ: 0}, dtd.EdgeSTAR)
+				next.sawSt = true
+				next.sawIt = true
+				queue = e.arrive(queue, &out, next, to, fl)
+			}
+		}
+	}
+	return out
+}
+
+func extend(st state, step xpath.Step, sl slot, kind dtd.EdgeKind) state {
+	next := state{
+		at:     step.Label,
+		sawOR:  st.sawOR,
+		sawIt:  st.sawIt,
+		sawSt:  st.sawSt,
+		length: st.length + 1,
+	}
+	next.path.Steps = append(append([]xpath.Step(nil), st.path.Steps...), step)
+	next.slots = append(append([]slot(nil), st.slots...), sl)
+	next.kinds = append(append([]dtd.EdgeKind(nil), st.kinds...), kind)
+	return next
+}
+
+// arrive records the state as a candidate when it satisfies the flavor
+// at its endpoint, and enqueues it for further extension.
+func (e *enumerator) arrive(queue []state, out *[]candidate, st state, to string, fl flavor) []state {
+	accept := false
+	switch fl {
+	case flavorAND:
+		accept = st.at == to && !st.sawOR
+	case flavorOR:
+		accept = st.at == to && st.sawOR && !st.sawSt
+	case flavorSTAR:
+		accept = st.at == to && st.sawIt && !st.sawOR
+	case flavorSTR:
+		if prod, ok := e.tgt.Prods[st.at]; ok && prod.Kind == dtd.KindStr && !st.sawOR {
+			accept = true
+		}
+	}
+	if accept && len(*out) < e.maxCands {
+		p := st.path.Clone()
+		if fl == flavorSTR {
+			p.Text = true
+		}
+		*out = append(*out, candidate{path: p, slots: st.slots, kinds: st.kinds})
+	}
+	return append(queue, st)
+}
+
+// textOnlyCandidate returns the zero-step text() path for a str edge
+// whose parent maps to a str-typed target.
+func (e *enumerator) textOnlyCandidate(from string) (candidate, bool) {
+	prod, ok := e.tgt.Prods[from]
+	if !ok || prod.Kind != dtd.KindStr {
+		return candidate{}, false
+	}
+	return candidate{path: xpath.Path{Text: true}}, true
+}
+
+// strCandidates enumerates str-edge paths from a target type: the
+// text-only path when the type itself is str-typed, plus AND paths to
+// str-typed elements.
+func (e *enumerator) strCandidates(from string) []candidate {
+	var out []candidate
+	if c, ok := e.textOnlyCandidate(from); ok {
+		out = append(out, c)
+	}
+	out = append(out, e.paths(from, "", flavorSTR)...)
+	return out
+}

@@ -1,0 +1,120 @@
+package search
+
+import (
+	"repro/internal/dtd"
+	"repro/internal/embedding"
+	"repro/internal/xpath"
+)
+
+// localEdge pairs a source edge with its candidate target paths.
+type localEdge struct {
+	ref   embedding.EdgeRef
+	cands []candidate
+}
+
+// localPaths solves the prefix-free path problem for one source
+// production (§5.1/5.2): given λ(a) and λ for a's children, pick one
+// candidate path per edge such that sibling paths are mutually prefix
+// free (and, for disjunctions, diverge at OR edges). It returns nil
+// when no selection exists within the enumerated candidates.
+func localPaths(e *enumerator, src *dtd.DTD, a string, lam map[string]string) map[embedding.EdgeRef]xpath.Path {
+	prod := src.Prods[a]
+	from := lam[a]
+	switch prod.Kind {
+	case dtd.KindEmpty:
+		return map[embedding.EdgeRef]xpath.Path{}
+
+	case dtd.KindStr:
+		cands := e.strCandidates(from)
+		if len(cands) == 0 {
+			return nil
+		}
+		return map[embedding.EdgeRef]xpath.Path{
+			embedding.Ref(a, embedding.StrChild): cands[0].path,
+		}
+
+	case dtd.KindStar:
+		b := prod.Children[0]
+		cands := e.paths(from, lam[b], flavorSTAR)
+		if len(cands) == 0 {
+			return nil
+		}
+		return map[embedding.EdgeRef]xpath.Path{
+			embedding.Ref(a, b): cands[0].path,
+		}
+
+	case dtd.KindConcat, dtd.KindDisj:
+		fl := flavorAND
+		if prod.Kind == dtd.KindDisj {
+			fl = flavorOR
+		}
+		var edges []localEdge
+		occ := map[string]int{}
+		for _, b := range prod.Children {
+			occ[b]++
+			edges = append(edges, localEdge{
+				ref:   embedding.EdgeRef{Parent: a, Child: b, Occ: occ[b]},
+				cands: e.paths(from, lam[b], fl),
+			})
+		}
+		// Fewest candidates first: fail fast, branch late.
+		for i := 1; i < len(edges); i++ {
+			for j := i; j > 0 && len(edges[j].cands) < len(edges[j-1].cands); j-- {
+				edges[j], edges[j-1] = edges[j-1], edges[j]
+			}
+		}
+		chosen := make([]candidate, len(edges))
+		if !pickCompatible(edges, chosen, 0, prod.Kind == dtd.KindDisj) {
+			return nil
+		}
+		out := make(map[embedding.EdgeRef]xpath.Path, len(edges))
+		for i, ed := range edges {
+			out[ed.ref] = chosen[i].path
+		}
+		return out
+	}
+	return nil
+}
+
+// pickCompatible backtracks over candidate choices enforcing pairwise
+// compatibility.
+func pickCompatible(edges []localEdge, chosen []candidate, i int, disj bool) bool {
+	if i == len(edges) {
+		return true
+	}
+	for _, c := range edges[i].cands {
+		ok := true
+		for j := 0; j < i; j++ {
+			if !compatible(chosen[j], c, disj) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		chosen[i] = c
+		if pickCompatible(edges, chosen, i+1, disj) {
+			return true
+		}
+	}
+	return false
+}
+
+// compatible checks the prefix-free condition between two sibling
+// candidates, and OR-edge divergence for disjunction siblings.
+func compatible(a, b candidate, disj bool) bool {
+	n := len(a.slots)
+	if len(b.slots) < n {
+		n = len(b.slots)
+	}
+	for i := 0; i < n; i++ {
+		if a.slots[i] != b.slots[i] {
+			if disj {
+				return a.kinds[i] == dtd.EdgeOR
+			}
+			return true
+		}
+	}
+	return false // one is a prefix of the other (or equal)
+}

@@ -1,0 +1,45 @@
+package search_test
+
+import (
+	"testing"
+
+	"repro/internal/search"
+	"repro/internal/workload"
+)
+
+// TestParallelSearch: parallel restarts find valid embeddings and agree
+// with the sequential mode on impossibility.
+func TestParallelSearch(t *testing.T) {
+	src, tgt := workload.ClassDTD(), workload.SchoolDTD()
+	res, err := search.Find(src, tgt, nil, search.Options{
+		Heuristic: search.Random, Seed: 3, MaxRestarts: 60, Parallel: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Embedding == nil {
+		t.Fatalf("parallel search found nothing (restarts=%d)", res.Restarts)
+	}
+	if err := res.Embedding.Validate(nil); err != nil {
+		t.Fatalf("parallel result invalid: %v", err)
+	}
+}
+
+// TestParallelSearchRace is meaningful mostly under -race: hammer the
+// worker pool with an unsatisfiable pair.
+func TestParallelSearchRace(t *testing.T) {
+	scs := workload.Figure3()
+	impossible := scs[0].Build() // concat into disjunction: no embedding
+	res, err := search.Find(impossible.Source, impossible.Target, nil, search.Options{
+		Heuristic: search.Random, Seed: 1, MaxRestarts: 30, Parallel: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Embedding != nil {
+		t.Fatal("found an embedding where none exists")
+	}
+	if !res.Exhausted {
+		t.Error("impossibility not reported")
+	}
+}

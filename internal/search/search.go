@@ -1,0 +1,515 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dtd"
+	"repro/internal/embedding"
+	"repro/internal/xpath"
+)
+
+// Heuristic selects the embedding-search strategy.
+type Heuristic int
+
+const (
+	// Random assembles local embeddings visiting candidate target types
+	// in random order, with random restarts (the VLDB'05 Random
+	// approach).
+	Random Heuristic = iota
+	// QualityOrdered visits candidates in decreasing att order, so
+	// higher-quality mappings are tried first.
+	QualityOrdered
+	// IndepSet enumerates local mappings per production and assembles a
+	// consistent set greedily by weight, a stand-in for the
+	// maximum-independent-set reduction of the paper (the quadratic-
+	// over-a-sphere heuristic of Busygin et al. is closed source).
+	IndepSet
+	// Exact searches the full candidate space with backtracking. It is
+	// complete relative to the path-enumeration bounds: on nonrecursive
+	// targets with the default bounds, failure proves no embedding
+	// exists; on recursive targets it is complete up to MaxPathLen.
+	Exact
+)
+
+// String names the heuristic.
+func (h Heuristic) String() string {
+	switch h {
+	case Random:
+		return "Random"
+	case QualityOrdered:
+		return "QualityOrdered"
+	case IndepSet:
+		return "IndepSet"
+	case Exact:
+		return "Exact"
+	}
+	return fmt.Sprintf("Heuristic(%d)", int(h))
+}
+
+// Options configures Find.
+type Options struct {
+	// Heuristic selects the strategy (default Random).
+	Heuristic Heuristic
+	// Seed drives the pseudo-random choices; runs are deterministic per
+	// seed.
+	Seed int64
+	// MaxRestarts bounds random restarts (default 20; Exact ignores it).
+	MaxRestarts int
+	// MaxPathLen bounds enumerated path lengths (default: target size,
+	// which is complete for nonrecursive targets and covers one cycle
+	// unfolding otherwise).
+	MaxPathLen int
+	// MaxCandidates bounds candidate paths per (source edge, λ choice)
+	// (default 24; Exact default 512).
+	MaxCandidates int
+	// MaxExpansions bounds BFS work per path query (default 4096; Exact
+	// default 1<<17).
+	MaxExpansions int
+	// MaxPin bounds pinned star positions on AND paths (default 2).
+	MaxPin int
+	// MaxSteps bounds backtracking steps per attempt (default 100000;
+	// Exact unlimited).
+	MaxSteps int
+	// LocalOptions bounds the per-production local mappings enumerated
+	// by IndepSet (default 16).
+	LocalOptions int
+	// Parallel runs Random/QualityOrdered restarts on this many worker
+	// goroutines (default 1, fully deterministic). With workers > 1 the
+	// first successful restart wins, so which valid embedding is
+	// returned may vary between runs; validity never does.
+	Parallel int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRestarts == 0 {
+		o.MaxRestarts = 20
+	}
+	if o.MaxCandidates == 0 {
+		if o.Heuristic == Exact {
+			o.MaxCandidates = 512
+		} else {
+			o.MaxCandidates = 24
+		}
+	}
+	if o.MaxExpansions == 0 {
+		if o.Heuristic == Exact {
+			o.MaxExpansions = 1 << 17
+		} else {
+			o.MaxExpansions = 4096
+		}
+	}
+	if o.MaxPin == 0 {
+		o.MaxPin = 2
+	}
+	if o.MaxSteps == 0 {
+		if o.Heuristic == Exact {
+			o.MaxSteps = int(^uint(0) >> 1)
+		} else {
+			o.MaxSteps = 100000
+		}
+	}
+	if o.LocalOptions == 0 {
+		o.LocalOptions = 16
+	}
+	return o
+}
+
+// Result reports the outcome of a search.
+type Result struct {
+	// Embedding is the found embedding, nil when none was found.
+	Embedding *embedding.Embedding
+	// Quality is qual(σ, att) of the found embedding.
+	Quality float64
+	// Restarts counts restarts consumed.
+	Restarts int
+	// Steps counts backtracking steps across all restarts.
+	Steps int
+	// Exhausted is true when the search space (within bounds) was fully
+	// explored without success — for Exact on nonrecursive targets this
+	// proves no embedding exists within the bounds.
+	Exhausted bool
+	// Elapsed is the wall-clock search time.
+	Elapsed time.Duration
+}
+
+// Find searches for a valid schema embedding σ : src → tgt w.r.t. att.
+// A nil att behaves as the unrestricted matrix (all pairs similar).
+// Every returned embedding has passed the independent validity checker.
+func Find(src, tgt *dtd.DTD, att *embedding.SimMatrix, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := src.Check(); err != nil {
+		return nil, err
+	}
+	if err := tgt.Check(); err != nil {
+		return nil, err
+	}
+	if att == nil {
+		att = embedding.UniformSim(src, tgt)
+	}
+	maxLen := opts.MaxPathLen
+	if maxLen == 0 {
+		maxLen = tgt.Size()
+		if maxLen < 4 {
+			maxLen = 4
+		}
+	}
+	s := &searcher{
+		src:  src,
+		tgt:  tgt,
+		att:  att,
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+		enum: newEnumerator(tgt, maxLen, opts.MaxCandidates, opts.MaxExpansions, opts.MaxPin),
+	}
+	start := time.Now()
+	res := s.run()
+	res.Elapsed = time.Since(start)
+	if res.Embedding != nil {
+		if err := res.Embedding.Validate(att); err != nil {
+			return nil, fmt.Errorf("search: internal error: found embedding fails validation: %w", err)
+		}
+		res.Quality = res.Embedding.Quality(att)
+	}
+	return res, nil
+}
+
+type searcher struct {
+	src, tgt *dtd.DTD
+	att      *embedding.SimMatrix
+	opts     Options
+	rng      *rand.Rand
+	enum     *enumerator
+	steps    int
+}
+
+func (s *searcher) run() *Result {
+	res := &Result{}
+	switch s.opts.Heuristic {
+	case IndepSet:
+		for r := 0; r <= s.opts.MaxRestarts; r++ {
+			res.Restarts = r
+			if emb := s.assembleIndepSet(); emb != nil {
+				res.Embedding = emb
+				res.Steps = s.steps
+				return res
+			}
+		}
+		res.Steps = s.steps
+		return res
+	case Exact:
+		s.steps = 0
+		emb, exhausted := s.attempt(false)
+		res.Embedding = emb
+		res.Steps = s.steps
+		res.Exhausted = exhausted && emb == nil
+		return res
+	default:
+		if s.opts.Parallel > 1 {
+			return s.runParallel()
+		}
+		for r := 0; r <= s.opts.MaxRestarts; r++ {
+			res.Restarts = r
+			s.steps = 0
+			emb, exhausted := s.attempt(s.opts.Heuristic == Random)
+			res.Steps += s.steps
+			if emb != nil {
+				res.Embedding = emb
+				return res
+			}
+			if exhausted {
+				// The candidate space was fully explored; restarts
+				// cannot help.
+				res.Exhausted = true
+				return res
+			}
+		}
+		return res
+	}
+}
+
+// runParallel distributes restarts over worker goroutines, each with
+// its own searcher (the enumerator memo is not shared — path queries
+// are cheap relative to backtracking). The first success wins.
+func (s *searcher) runParallel() *Result {
+	workers := s.opts.Parallel
+	// All restart indices are queued upfront so no feeder goroutine can
+	// block after an early win.
+	restarts := make(chan int, s.opts.MaxRestarts+1)
+	for r := 0; r <= s.opts.MaxRestarts; r++ {
+		restarts <- r
+	}
+	close(restarts)
+	type outcome struct {
+		emb       *embedding.Embedding
+		steps     int
+		restart   int
+		exhausted bool
+	}
+	results := make(chan outcome, workers)
+	var wg sync.WaitGroup
+	var won atomic.Bool
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := range restarts {
+				if won.Load() {
+					return
+				}
+				local := &searcher{
+					src:  s.src,
+					tgt:  s.tgt,
+					att:  s.att,
+					opts: s.opts,
+					rng:  rand.New(rand.NewSource(s.opts.Seed + int64(r)*2654435761)),
+					enum: newEnumerator(s.tgt, s.enum.maxLen, s.enum.maxCands, s.enum.maxExpand, s.enum.maxPin),
+				}
+				emb, exhausted := local.attempt(s.opts.Heuristic == Random)
+				if emb != nil || exhausted {
+					won.Store(emb != nil)
+					results <- outcome{emb: emb, steps: local.steps, restart: r, exhausted: exhausted}
+					return
+				}
+				results <- outcome{steps: local.steps, restart: r}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	res := &Result{}
+	for o := range results {
+		res.Steps += o.steps
+		if o.restart > res.Restarts {
+			res.Restarts = o.restart
+		}
+		if o.emb != nil && res.Embedding == nil {
+			res.Embedding = o.emb
+		}
+		if o.exhausted && o.emb == nil {
+			res.Exhausted = true
+		}
+	}
+	return res
+}
+
+// order returns the source types in BFS order from the root, so a
+// type's λ is fixed before its production is processed.
+func (s *searcher) order() []string {
+	seen := map[string]bool{s.src.Root: true}
+	queue := []string{s.src.Root}
+	var out []string
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		out = append(out, a)
+		for _, c := range s.src.Prods[a].Children {
+			if !seen[c] {
+				seen[c] = true
+				queue = append(queue, c)
+			}
+		}
+	}
+	return out
+}
+
+// candidatesFor lists admissible λ targets for a source type, ordered
+// per the heuristic.
+func (s *searcher) candidatesFor(a string, shuffle bool) []string {
+	if a == s.src.Root {
+		if s.att.Get(a, s.tgt.Root) <= 0 {
+			return nil
+		}
+		return []string{s.tgt.Root}
+	}
+	cands := s.att.Candidates(a)
+	// Keep only actual target types.
+	kept := cands[:0]
+	for _, c := range cands {
+		if _, ok := s.tgt.Prods[c]; ok {
+			kept = append(kept, c)
+		}
+	}
+	cands = kept
+	if shuffle {
+		s.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	}
+	return cands
+}
+
+// attempt runs one constructive backtracking pass. Only λ choices are
+// backtracked globally: for a fixed λ of a production's participants,
+// local prefix-free paths either exist or not, and which particular
+// selection is taken cannot affect any other production (the
+// prefix-free condition is per production, §5.1) — so local paths are
+// computed once per λ combination. Productions of newly assigned
+// children are solved depth first, surfacing contradictions close to
+// the λ choices that caused them. It returns the found embedding, and
+// whether the space was exhausted (as opposed to hitting the step
+// budget).
+func (s *searcher) attempt(shuffle bool) (*embedding.Embedding, bool) {
+	if s.att.Get(s.src.Root, s.tgt.Root) <= 0 {
+		return nil, true
+	}
+	lam := map[string]string{s.src.Root: s.tgt.Root}
+	paths := map[embedding.EdgeRef]xpath.Path{}
+	solved := map[string]bool{}
+	budget := s.opts.MaxSteps
+
+	type cont func() (bool, bool) // (success, exhausted)
+
+	var solveProd func(a string, k cont) (bool, bool)
+	solveProd = func(a string, k cont) (bool, bool) {
+		prod := s.src.Prods[a]
+		// Distinct children lacking a λ, in production order.
+		var free []string
+		seen := map[string]bool{}
+		for _, c := range prod.Children {
+			if _, fixed := lam[c]; !fixed && !seen[c] {
+				seen[c] = true
+				free = append(free, c)
+			}
+		}
+
+		// withPaths: λ is complete for this production; find one local
+		// path selection, then solve the children's productions.
+		withPaths := func() (bool, bool) {
+			local := localPaths(s.enum, s.src, a, lam)
+			if local == nil {
+				return false, true
+			}
+			for ref, p := range local {
+				paths[ref] = p
+			}
+			var kids []string
+			seenK := map[string]bool{}
+			for _, c := range prod.Children {
+				if !seenK[c] {
+					seenK[c] = true
+					kids = append(kids, c)
+				}
+			}
+			var next func(idx int) (bool, bool)
+			next = func(idx int) (bool, bool) {
+				if idx == len(kids) {
+					return k()
+				}
+				c := kids[idx]
+				if solved[c] {
+					return next(idx + 1)
+				}
+				solved[c] = true
+				done, e := solveProd(c, func() (bool, bool) { return next(idx + 1) })
+				if !done {
+					delete(solved, c)
+				}
+				return done, e
+			}
+			done, e := next(0)
+			if !done {
+				for ref := range local {
+					delete(paths, ref)
+				}
+			}
+			return done, e
+		}
+
+		var assign func(j int) (bool, bool)
+		assign = func(j int) (bool, bool) {
+			if s.steps >= budget {
+				return false, false
+			}
+			s.steps++
+			if j == len(free) {
+				return withPaths()
+			}
+			c := free[j]
+			exh := true
+			for _, b := range s.candidatesFor(c, shuffle) {
+				lam[c] = b
+				done, e := assign(j + 1)
+				if done {
+					return true, e
+				}
+				if !e {
+					exh = false
+				}
+				delete(lam, c)
+			}
+			return false, exh
+		}
+		return assign(0)
+	}
+
+	// Solve the root; types unreachable from the root (possible only in
+	// inconsistent sources) are solved afterwards in declaration order.
+	var leftovers func() (bool, bool)
+	leftovers = func() (bool, bool) {
+		for _, a := range s.src.Types {
+			if solved[a] || a == s.src.Root {
+				continue
+			}
+			if _, fixed := lam[a]; !fixed {
+				exh := true
+				for _, b := range s.candidatesFor(a, shuffle) {
+					lam[a] = b
+					solved[a] = true
+					done, e := solveProd(a, leftovers)
+					if done {
+						return true, e
+					}
+					if !e {
+						exh = false
+					}
+					delete(solved, a)
+					delete(lam, a)
+				}
+				return false, exh
+			}
+			solved[a] = true
+			done, e := solveProd(a, leftovers)
+			if !done {
+				delete(solved, a)
+			}
+			return done, e
+		}
+		return true, true
+	}
+
+	solved[s.src.Root] = true
+	ok, exhausted := solveProd(s.src.Root, leftovers)
+	if !ok {
+		return nil, exhausted
+	}
+	emb := embedding.New(s.src, s.tgt)
+	for a, b := range lam {
+		emb.MapType(a, b)
+	}
+	for ref, p := range paths {
+		emb.Paths[ref] = p
+	}
+	return emb, true
+}
+
+// edgeRefs lists the edges of a's production in production order,
+// including the str pseudo-edge.
+func edgeRefs(src *dtd.DTD, a string) []embedding.EdgeRef {
+	prod := src.Prods[a]
+	if prod.Kind == dtd.KindStr {
+		return []embedding.EdgeRef{embedding.Ref(a, embedding.StrChild)}
+	}
+	var refs []embedding.EdgeRef
+	occ := map[string]int{}
+	for _, c := range prod.Children {
+		occ[c]++
+		refs = append(refs, embedding.EdgeRef{Parent: a, Child: c, Occ: occ[c]})
+	}
+	return refs
+}

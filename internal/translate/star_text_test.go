@@ -1,0 +1,33 @@
+package translate_test
+
+import (
+	"testing"
+
+	"repro/internal/translate"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// TestStarOverTextTranslation: a Kleene star whose body can end at text
+// nodes — iterations from a text node contribute nothing further, in
+// both source and target semantics.
+func TestStarOverTextTranslation(t *testing.T) {
+	emb := workload.StudentEmbedding()
+	tr, err := translate.New(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := xmltree.ParseString(`
+<db><student><ssn>1</ssn><name>Ann</name><taking><cno>CS1</cno></taking></student></db>`)
+	for _, qs := range []string{
+		"(student/ssn/text())*",
+		"student/(taking | taking/cno/text())*",
+		"(student)*/(name/text() | ssn/text())",
+	} {
+		q := xpath.MustParse(qs)
+		if msg := checkPreserved(tr, emb, q, doc); msg != "" {
+			t.Errorf("%s: %s", qs, msg)
+		}
+	}
+}

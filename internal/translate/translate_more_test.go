@@ -1,0 +1,190 @@
+package translate_test
+
+import (
+	"testing"
+
+	"repro/internal/translate"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// TestTranslatorReuse: one Translator instance translates many queries
+// (memo tables reset per call; results stay independent).
+func TestTranslatorReuse(t *testing.T) {
+	emb := workload.ClassEmbedding()
+	tr, err := translate.New(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := xmltree.ParseString(`
+<db><class><cno>CS1</cno><title>T</title><type><project>p</project></type></class></db>`)
+	res, err := emb.Apply(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, qs := range []string{"class/cno/text()", "class/title/text()", "class/cno/text()"} {
+		auto, err := tr.Translate(xpath.MustParse(qs))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		got := auto.Eval(res.Tree.Root)
+		if len(got) != 1 {
+			t.Errorf("call %d (%s): %d answers, want 1", i, qs, len(got))
+		}
+	}
+}
+
+// TestNestedStarTranslation: stars inside stars (prerequisites of
+// prerequisites grouped oddly) still preserve answers.
+func TestNestedStarTranslation(t *testing.T) {
+	emb := workload.ClassEmbedding()
+	tr, err := translate.New(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := xmltree.ParseString(`
+<db>
+  <class><cno>A</cno><title>t</title>
+    <type><regular><prereq>
+      <class><cno>B</cno><title>t</title>
+        <type><regular><prereq>
+          <class><cno>C</cno><title>t</title><type><project>p</project></type></class>
+        </prereq></regular></type>
+      </class>
+    </prereq></regular></type>
+  </class>
+</db>`)
+	for _, qs := range []string{
+		"((class)*)*/cno/text()",
+		"(class/(type/regular/prereq/class)*)*",
+		"class/((type/regular/prereq/class)*/cno)",
+		"(class | class/type/regular/prereq/class)/cno/text()",
+	} {
+		q := xpath.MustParse(qs)
+		if msg := checkPreserved(tr, emb, q, doc); msg != "" {
+			t.Errorf("%s: %s", qs, msg)
+		}
+	}
+}
+
+// TestQualifierWithStarTranslation: Kleene stars inside qualifiers.
+func TestQualifierWithStarTranslation(t *testing.T) {
+	emb := workload.ClassEmbedding()
+	tr, err := translate.New(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := classDoc(t)
+	for _, qs := range []string{
+		`class[(type/regular/prereq/class)*/cno/text() = "CS120"]/cno/text()`,
+		`class[not((type/regular/prereq/class)*/type/project)]`,
+		`.[class]/class[type/project or type/regular]`,
+	} {
+		q := xpath.MustParse(qs)
+		if msg := checkPreserved(tr, emb, q, doc); msg != "" {
+			t.Errorf("%s: %s", qs, msg)
+		}
+	}
+}
+
+// TestUnionWithFailBranch: a union whose one branch is unsatisfiable
+// behaves like the other branch.
+func TestUnionWithFailBranch(t *testing.T) {
+	emb := workload.StudentEmbedding()
+	tr, err := translate.New(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := xmltree.ParseString(`<db><student><ssn>1</ssn><name>A</name><taking/></student></db>`)
+	q := xpath.MustParse("student/name | student/nosuch")
+	if msg := checkPreserved(tr, emb, q, doc); msg != "" {
+		t.Error(msg)
+	}
+}
+
+// TestEmptyQueryAtRoot: the self query maps the root to the root.
+func TestEmptyQueryAtRoot(t *testing.T) {
+	emb := workload.StudentEmbedding()
+	tr, err := translate.New(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := xmltree.ParseString(`<db/>`)
+	res, err := emb.Apply(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := tr.Translate(xpath.Empty{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := auto.Eval(res.Tree.Root)
+	if len(got) != 1 || res.IDM[got[0].ID] != doc.Root.ID {
+		t.Errorf("self query = %v", got)
+	}
+}
+
+// TestTextBeyondLeaf: text() composed past a str leaf selects nothing,
+// matching the source semantics.
+func TestTextBeyondLeaf(t *testing.T) {
+	emb := workload.StudentEmbedding()
+	tr, err := translate.New(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := xmltree.ParseString(`<db><student><ssn>1</ssn><name>A</name><taking/></student></db>`)
+	for _, qs := range []string{"student/ssn/text()/ssn", "student/text()"} {
+		q := xpath.MustParse(qs)
+		if msg := checkPreserved(tr, emb, q, doc); msg != "" {
+			t.Errorf("%s: %s", qs, msg)
+		}
+	}
+}
+
+// TestAuctionTranslationProperty: query preservation on the second
+// large worked embedding.
+func TestAuctionTranslationProperty(t *testing.T) {
+	emb := workload.AuctionEmbedding()
+	tr, err := translate.New(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := generateAuctionDoc(t)
+	for _, qs := range []string{
+		".//itemname/text()",
+		"people/person[profile/education]/personname/text()",
+		"open_auctions/open_auction/bidder/bid[position() = 1]/increase/text()",
+		"(regions/africa/item | regions/asia/item)/description/parlist/listitem/text()",
+	} {
+		q := xpath.MustParse(qs)
+		if msg := checkPreserved(tr, emb, q, doc); msg != "" {
+			t.Errorf("%s: %s", qs, msg)
+		}
+	}
+}
+
+func generateAuctionDoc(t *testing.T) *xmltree.Tree {
+	t.Helper()
+	doc, err := xmltree.ParseString(`
+<site>
+  <regions>
+    <africa><item><itemname>mask</itemname><location>Accra</location><quantity>1</quantity>
+      <description><parlist><listitem>carved</listitem></parlist></description></item></africa>
+    <asia><item><itemname>vase</itemname><location>Kyoto</location><quantity>2</quantity>
+      <description><text>ceramic</text></description></item></asia>
+    <europe/>
+  </regions>
+  <categories/>
+  <people><person><personname>Ada</personname><emailaddress>a@x</emailaddress>
+    <profile><interest/><education>PhD</education><income>9</income></profile></person></people>
+  <open_auctions><open_auction><initial>1</initial>
+    <bidder><bid><date>d1</date><increase>2</increase></bid><bid><date>d2</date><increase>3</increase></bid></bidder>
+    <current>6</current><itemref>mask</itemref></open_auction></open_auctions>
+  <closed_auctions/>
+</site>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}

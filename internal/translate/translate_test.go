@@ -1,0 +1,413 @@
+package translate_test
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/anfa"
+	"repro/internal/dtd"
+	"repro/internal/embedding"
+	"repro/internal/translate"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// checkPreserved verifies the query-preservation equation
+// Q(T) = idM(Tr(Q)(σd(T))) for one query and document; it returns a
+// description of the discrepancy, or "".
+func checkPreserved(tr *translate.Translator, emb *embedding.Embedding, q xpath.Expr, src *xmltree.Tree) string {
+	res, err := emb.Apply(src)
+	if err != nil {
+		return "apply: " + err.Error()
+	}
+	auto, err := tr.Translate(q)
+	if err != nil {
+		return "translate: " + err.Error()
+	}
+	want := xpath.Eval(q, src.Root)
+	got := auto.Eval(res.Tree.Root)
+
+	wantIDs := make([]int64, 0, len(want))
+	for _, n := range want {
+		wantIDs = append(wantIDs, int64(n.ID))
+	}
+	gotIDs := make([]int64, 0, len(got))
+	for _, n := range got {
+		srcID, ok := res.IDM[n.ID]
+		if !ok {
+			return "translated query selected a node outside idM's domain: " + n.Label
+		}
+		gotIDs = append(gotIDs, int64(srcID))
+	}
+	sort.Slice(wantIDs, func(i, j int) bool { return wantIDs[i] < wantIDs[j] })
+	sort.Slice(gotIDs, func(i, j int) bool { return gotIDs[i] < gotIDs[j] })
+	if len(wantIDs) != len(gotIDs) {
+		return describeMismatch(q, want, got)
+	}
+	for i := range wantIDs {
+		if wantIDs[i] != gotIDs[i] {
+			return describeMismatch(q, want, got)
+		}
+	}
+	// Observable string values must coincide as multisets.
+	ws := append([]string(nil), xpath.Strings(want)...)
+	gs := append([]string(nil), xpath.Strings(got)...)
+	sort.Strings(ws)
+	sort.Strings(gs)
+	if strings.Join(ws, "\x00") != strings.Join(gs, "\x00") {
+		return "string values differ: " + strings.Join(ws, ",") + " vs " + strings.Join(gs, ",")
+	}
+	return ""
+}
+
+func describeMismatch(q xpath.Expr, want, got []*xmltree.Node) string {
+	var w, g []string
+	for _, n := range want {
+		w = append(w, n.Label)
+	}
+	for _, n := range got {
+		g = append(g, n.Label)
+	}
+	return "query " + xpath.String(q) + ": source selects [" + strings.Join(w, ",") +
+		"], translated selects [" + strings.Join(g, ",") + "]"
+}
+
+func classDoc(t *testing.T) *xmltree.Tree {
+	t.Helper()
+	tr, err := xmltree.ParseString(`
+<db>
+  <class>
+    <cno>CS331</cno><title>DB</title>
+    <type><regular><prereq>
+      <class><cno>CS210</cno><title>Algo</title><type><project>p1</project></type></class>
+      <class><cno>CS120</cno><title>Logic</title><type><project>p2</project></type></class>
+    </prereq></regular></type>
+  </class>
+  <class>
+    <cno>CS100</cno><title>Intro</title>
+    <type><project>maze</project></type>
+  </class>
+</db>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestExample48Translation: the prerequisite query of Example 4.8
+// translates and preserves its answer across σ1.
+func TestExample48Translation(t *testing.T) {
+	emb := workload.ClassEmbedding()
+	tr, err := translate.New(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := xpath.MustParse(`class[cno/text() = "CS331"]/(type/regular/prereq/class)*`)
+	src := classDoc(t)
+	if msg := checkPreserved(tr, emb, q, src); msg != "" {
+		t.Fatal(msg)
+	}
+	// Sanity: on the source the query selects CS331 and its two
+	// prerequisites.
+	if got := len(xpath.Eval(q, src.Root)); got != 3 {
+		t.Fatalf("source query selects %d classes, want 3", got)
+	}
+	// The translated automaton matches the hand-written Q' of
+	// Example 4.7.
+	auto, _ := tr.Translate(q)
+	res, _ := emb.Apply(src)
+	manual := xpath.MustParse(`courses/current/course[basic/cno/text() = "CS331"]/(category/mandatory/regular/required/prereq/course)*`)
+	a := auto.Eval(res.Tree.Root)
+	b := xpath.Eval(manual, res.Tree.Root)
+	if len(a) != len(b) {
+		t.Errorf("translated automaton selects %d nodes, hand-written Q' selects %d", len(a), len(b))
+	}
+}
+
+// TestFigure7SchemaDirected: translation must not select required nodes
+// added by the instance mapping (the Figure 7 pitfall of naive
+// edge-for-edge substitution).
+func TestFigure7SchemaDirected(t *testing.T) {
+	src := dtd.MustNew("r",
+		dtd.D("r", dtd.Concat("A", "B")),
+		dtd.D("A", dtd.Empty()),
+		dtd.D("B", dtd.Empty()))
+	tgt := dtd.MustNew("r",
+		dtd.D("r", dtd.Concat("A", "B")),
+		dtd.D("A", dtd.Empty()),
+		dtd.D("B", dtd.Concat("C")),
+		dtd.D("C", dtd.Empty()))
+	emb := embedding.New(src, tgt)
+	emb.MapType("r", "r").MapType("A", "A").MapType("B", "B")
+	emb.SetPath(embedding.Ref("r", "A"), "A").SetPath(embedding.Ref("r", "B"), "B")
+	tr, err := translate.New(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := xmltree.ParseString(`<r><A/><B/></r>`)
+	res, err := emb.Apply(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive substitution would run (A|B|C)* verbatim on the target,
+	// where it selects the default-filled C child of B.
+	naive := xpath.MustParse("(A | B | C)*")
+	naiveGot := xpath.Eval(naive, res.Tree.Root)
+	foundC := false
+	for _, n := range naiveGot {
+		if n.Label == "C" {
+			foundC = true
+		}
+	}
+	if !foundC {
+		t.Fatal("test setup broken: naive evaluation should reach the filled C node")
+	}
+	// The schema-directed translation of the same source query must
+	// not: C is not a source type reachable in S1.
+	if msg := checkPreserved(tr, emb, naive, doc); msg != "" {
+		t.Errorf("schema-directed translation leaked filled nodes: %s", msg)
+	}
+}
+
+// TestStarPositionTranslation: position() under a star parent pins the
+// iterator child.
+func TestStarPositionTranslation(t *testing.T) {
+	emb := workload.StudentEmbedding()
+	tr, err := translate.New(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := xmltree.ParseString(`
+<db>
+  <student><ssn>1</ssn><name>Ann</name>
+    <taking><cno>CS1</cno><cno>CS2</cno><cno>CS3</cno></taking>
+  </student>
+</db>`)
+	for _, qs := range []string{
+		"student/taking/cno[position() = 2]/text()",
+		"student[position() = 1]/name/text()",
+		"student/taking/cno[position() = 9]",
+	} {
+		q := xpath.MustParse(qs)
+		if msg := checkPreserved(tr, emb, q, doc); msg != "" {
+			t.Errorf("%s: %s", qs, msg)
+		}
+	}
+}
+
+// TestConcatOccurrenceTranslation: a repeated concatenation child
+// translates to the union of the occurrence paths, and position()
+// selects a single occurrence.
+func TestConcatOccurrenceTranslation(t *testing.T) {
+	src := dtd.MustNew("r",
+		dtd.D("r", dtd.Concat("a", "a")),
+		dtd.D("a", dtd.Str()))
+	tgt := dtd.MustNew("r",
+		dtd.D("r", dtd.Concat("x", "y")),
+		dtd.D("x", dtd.Concat("a")),
+		dtd.D("y", dtd.Concat("a")),
+		dtd.D("a", dtd.Str()))
+	emb := embedding.New(src, tgt)
+	emb.MapType("r", "r").MapType("a", "a")
+	emb.SetPath(embedding.EdgeRef{Parent: "r", Child: "a", Occ: 1}, "x/a").
+		SetPath(embedding.EdgeRef{Parent: "r", Child: "a", Occ: 2}, "y/a").
+		SetPath(embedding.Ref("a", embedding.StrChild), "text()")
+	tr, err := translate.New(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := xmltree.ParseString(`<r><a>first</a><a>second</a></r>`)
+	for _, qs := range []string{"a", "a/text()", "a[position() = 1]/text()", "a[position() = 2]/text()", "a[position() = 3]"} {
+		q := xpath.MustParse(qs)
+		if msg := checkPreserved(tr, emb, q, doc); msg != "" {
+			t.Errorf("%s: %s", qs, msg)
+		}
+	}
+}
+
+// TestUnsupportedPosition: position() on a non-label step is rejected
+// (the documented deviation from the paper's case (h)).
+func TestUnsupportedPosition(t *testing.T) {
+	tr, err := translate.New(workload.ClassEmbedding())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Translate(xpath.MustParse("(class | class/type)[position() = 1]")); err == nil {
+		t.Error("position() on a union should be rejected")
+	}
+	if _, err := tr.Translate(xpath.MustParse("class[cno or position() = 1]")); err == nil {
+		t.Error("position() inside a Boolean should be rejected")
+	}
+}
+
+// TestDescTranslation: X-fragment queries desugar over the source
+// alphabet and translate.
+func TestDescTranslation(t *testing.T) {
+	emb := workload.ClassEmbedding()
+	tr, err := translate.New(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := classDoc(t)
+	for _, qs := range []string{".//cno/text()", ".//class[cno/text() = \"CS210\"]", "class//title"} {
+		q := xpath.MustParse(qs)
+		if msg := checkPreserved(tr, emb, q, src); msg != "" {
+			t.Errorf("%s: %s", qs, msg)
+		}
+	}
+}
+
+// TestTranslationSizeBound: |Tr(Q)| stays within the O(|Q|·|σ|·|S1|)
+// bound of Theorem 4.3(b) (with a small constant).
+func TestTranslationSizeBound(t *testing.T) {
+	emb := workload.ClassEmbedding()
+	tr, err := translate.New(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(11))
+	bound := 0
+	for i := 0; i < 60; i++ {
+		q := xpath.RandomQuery(r, emb.Source, xpath.GenOptions{TranslatableOnly: true})
+		auto, err := tr.Translate(q)
+		if err != nil {
+			t.Fatalf("translate %s: %v", xpath.String(q), err)
+		}
+		limit := 4 * xpath.Size(q) * emb.PathSize() * emb.Source.Size()
+		if auto.Size() > limit {
+			t.Errorf("|Tr(%s)| = %d exceeds 4·|Q|·|σ|·|S1| = %d", xpath.String(q), auto.Size(), limit)
+		}
+		if auto.Size() > bound {
+			bound = auto.Size()
+		}
+	}
+	t.Logf("largest automaton: %d states+transitions", bound)
+}
+
+// TestQueryPreservationProperty is the central Theorem 4.2 check:
+// random translatable queries over random documents preserve their
+// answers across σ1 and σ2.
+func TestQueryPreservationProperty(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		emb  *embedding.Embedding
+	}{
+		{"sigma1-class", workload.ClassEmbedding()},
+		{"sigma2-student", workload.StudentEmbedding()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := translate.New(tc.emb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prop := func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				q := xpath.RandomQuery(r, tc.emb.Source, xpath.GenOptions{TranslatableOnly: true})
+				src := xmltree.MustGenerate(tc.emb.Source, r, xmltree.GenOptions{})
+				if msg := checkPreserved(tr, tc.emb, q, src); msg != "" {
+					t.Logf("seed %d: %s", seed, msg)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(1))}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestTheorem33InverseViaQueries reconstructs a source document purely
+// through translated queries, following the constructive proof of
+// Theorem 3.3 (query preservation implies invertibility).
+func TestTheorem33InverseViaQueries(t *testing.T) {
+	emb := workload.StudentEmbedding()
+	tr, err := translate.New(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := xmltree.ParseString(`
+<db>
+  <student><ssn>1</ssn><name>Ann</name><taking><cno>CS1</cno><cno>CS2</cno></taking></student>
+  <student><ssn>2</ssn><name>Bob</name><taking/></student>
+</db>`)
+	res, err := emb.Apply(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count students via translated queries with increasing position.
+	count := 0
+	for k := 1; ; k++ {
+		q := xpath.Filter{P: xpath.Label{Name: "student"}, Q: xpath.QPos{K: k}}
+		auto, err := tr.Translate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(auto.Eval(res.Tree.Root)) == 0 {
+			break
+		}
+		count++
+		if count > 10 {
+			t.Fatal("runaway student count")
+		}
+	}
+	if count != 2 {
+		t.Errorf("reconstructed %d students, want 2", count)
+	}
+	// Recover Bob's name through a composed translated query.
+	q := xpath.MustParse(`student[position() = 2]/name/text()`)
+	auto, _ := tr.Translate(q)
+	got := auto.Eval(res.Tree.Root)
+	if len(got) != 1 || got[0].Text != "Bob" {
+		t.Errorf("recovered name = %v", got)
+	}
+}
+
+// TestTranslateToRegex: small translated automata expand back to X_R
+// expressions equivalent on the target document.
+func TestTranslateToRegex(t *testing.T) {
+	emb := workload.StudentEmbedding()
+	tr, err := translate.New(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := xmltree.ParseString(`
+<db><student><ssn>1</ssn><name>Ann</name><taking><cno>CS1</cno></taking></student></db>`)
+	res, _ := emb.Apply(doc)
+	for _, qs := range []string{"student/ssn", "student/name/text()", "student/taking/cno"} {
+		auto, err := tr.Translate(xpath.MustParse(qs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := auto.ToRegex()
+		if err != nil {
+			t.Fatalf("ToRegex(%s): %v", qs, err)
+		}
+		a := auto.Eval(res.Tree.Root)
+		b := xpath.Eval(back, res.Tree.Root)
+		if len(a) != len(b) {
+			t.Errorf("%s: automaton selects %d, its regex %q selects %d", qs, len(a), xpath.String(back), len(b))
+		}
+	}
+}
+
+// TestTranslateFailQuery: a query over labels absent from the source
+// schema yields a failing automaton.
+func TestTranslateFailQuery(t *testing.T) {
+	tr, err := translate.New(workload.StudentEmbedding())
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := tr.Translate(xpath.MustParse("nosuchtag/child"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !auto.IsFail() {
+		t.Error("translation of an unsatisfiable query should be Fail")
+	}
+	_ = anfa.Fail() // keep the import honest about the comparison target
+}

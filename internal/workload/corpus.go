@@ -1,0 +1,252 @@
+// Package workload provides the schema corpus and workload generators
+// for the experimental study: the paper's running examples (Figure 1's
+// class, student and school DTDs with the embeddings of Examples 4.2
+// and 4.9), a set of real-life-style benchmark DTDs, noise injection
+// producing "copies with varying amounts of introduced noise" (the
+// VLDB'05 experimental setup), and similarity-matrix degradation.
+package workload
+
+import (
+	"repro/internal/dtd"
+	"repro/internal/embedding"
+)
+
+// ClassDTD returns S0 of Figure 1(a): the class documents of a school.
+// It is recursive (class → type → regular → prereq → class).
+func ClassDTD() *dtd.DTD {
+	return dtd.MustNew("db",
+		dtd.D("db", dtd.Star("class")),
+		dtd.D("class", dtd.Concat("cno", "title", "type")),
+		dtd.D("cno", dtd.Str()),
+		dtd.D("title", dtd.Str()),
+		dtd.D("type", dtd.Disj("regular", "project")),
+		dtd.D("regular", dtd.Concat("prereq")),
+		dtd.D("project", dtd.Str()),
+		dtd.D("prereq", dtd.Star("class")),
+	)
+}
+
+// StudentDTD returns S1 of Figure 1(b): the student documents.
+func StudentDTD() *dtd.DTD {
+	return dtd.MustNew("db",
+		dtd.D("db", dtd.Star("student")),
+		dtd.D("student", dtd.Concat("ssn", "name", "taking")),
+		dtd.D("ssn", dtd.Str()),
+		dtd.D("name", dtd.Str()),
+		dtd.D("taking", dtd.Star("cno")),
+		dtd.D("cno", dtd.Str()),
+	)
+}
+
+// SchoolDTD returns the target S of Figure 1(c): the integrated school
+// schema, structurally different from both sources and recursive
+// (course → ... → prereq → course).
+func SchoolDTD() *dtd.DTD {
+	return dtd.MustNew("school",
+		dtd.D("school", dtd.Concat("courses", "students")),
+		dtd.D("courses", dtd.Concat("current", "history")),
+		dtd.D("current", dtd.Star("course")),
+		dtd.D("history", dtd.Star("course")),
+		dtd.D("course", dtd.Concat("basic", "category")),
+		dtd.D("basic", dtd.Concat("cno", "credit", "class")),
+		dtd.D("cno", dtd.Str()),
+		dtd.D("credit", dtd.Str()),
+		dtd.D("class", dtd.Star("semester")),
+		dtd.D("semester", dtd.Concat("title", "year", "term", "instructor")),
+		dtd.D("title", dtd.Str()),
+		dtd.D("year", dtd.Str()),
+		dtd.D("term", dtd.Str()),
+		dtd.D("instructor", dtd.Str()),
+		dtd.D("category", dtd.Disj("mandatory", "advanced")),
+		dtd.D("mandatory", dtd.Disj("regular", "lab")),
+		dtd.D("lab", dtd.Str()),
+		dtd.D("advanced", dtd.Disj("project", "thesis")),
+		dtd.D("thesis", dtd.Str()),
+		dtd.D("project", dtd.Str()),
+		dtd.D("regular", dtd.Concat("required")),
+		dtd.D("required", dtd.Concat("prereq")),
+		dtd.D("prereq", dtd.Star("course")),
+		dtd.D("students", dtd.Star("student")),
+		dtd.D("student", dtd.Concat("ssn", "name", "gpa", "taking")),
+		dtd.D("ssn", dtd.Str()),
+		dtd.D("name", dtd.Str()),
+		dtd.D("gpa", dtd.Str()),
+		dtd.D("taking", dtd.Star("cno")),
+	)
+}
+
+// ClassEmbedding returns σ1 of Example 4.2, embedding the class DTD S0
+// into the school DTD S.
+func ClassEmbedding() *embedding.Embedding {
+	e := embedding.New(ClassDTD(), SchoolDTD())
+	e.MapType("db", "school").
+		MapType("class", "course").
+		MapType("type", "category").
+		MapType("cno", "cno").
+		MapType("title", "title").
+		MapType("regular", "regular").
+		MapType("project", "project").
+		MapType("prereq", "prereq")
+	e.SetPath(embedding.Ref("db", "class"), "courses/current/course").
+		SetPath(embedding.Ref("class", "cno"), "basic/cno").
+		SetPath(embedding.Ref("class", "title"), "basic/class/semester[position() = 1]/title").
+		SetPath(embedding.Ref("class", "type"), "category").
+		SetPath(embedding.Ref("type", "regular"), "mandatory/regular").
+		SetPath(embedding.Ref("type", "project"), "advanced/project").
+		SetPath(embedding.Ref("regular", "prereq"), "required/prereq").
+		SetPath(embedding.Ref("prereq", "class"), "course").
+		SetPath(embedding.Ref("cno", embedding.StrChild), "text()").
+		SetPath(embedding.Ref("title", embedding.StrChild), "text()").
+		SetPath(embedding.Ref("project", embedding.StrChild), "text()")
+	return e
+}
+
+// StudentEmbedding returns σ2 of Example 4.9, embedding the student DTD
+// S1 into the school DTD S. Together with ClassEmbedding it integrates
+// a course document and a student document into one school instance.
+func StudentEmbedding() *embedding.Embedding {
+	e := embedding.New(StudentDTD(), SchoolDTD())
+	e.MapType("db", "school").
+		MapType("student", "student").
+		MapType("ssn", "ssn").
+		MapType("name", "name").
+		MapType("taking", "taking").
+		MapType("cno", "cno")
+	e.SetPath(embedding.Ref("db", "student"), "students/student").
+		SetPath(embedding.Ref("student", "ssn"), "ssn").
+		SetPath(embedding.Ref("student", "name"), "name").
+		SetPath(embedding.Ref("student", "taking"), "taking").
+		SetPath(embedding.Ref("taking", "cno"), "cno").
+		SetPath(embedding.Ref("ssn", embedding.StrChild), "text()").
+		SetPath(embedding.Ref("name", embedding.StrChild), "text()").
+		SetPath(embedding.Ref("cno", embedding.StrChild), "text()")
+	return e
+}
+
+// Figure3 returns the five validity scenarios of Figure 3. Each
+// scenario pairs a source and target DTD with the candidate embedding
+// of the figure; Valid records the paper's verdict.
+func Figure3() []Fig3Scenario {
+	return []Fig3Scenario{
+		{
+			Name:  "a-concat-to-disjunction",
+			Valid: false,
+			Build: func() *embedding.Embedding {
+				src := dtd.MustNew("A", dtd.D("A", dtd.Concat("B", "C")), dtd.D("B", dtd.Empty()), dtd.D("C", dtd.Empty()))
+				tgt := dtd.MustNew("A1", dtd.D("A1", dtd.Disj("B1", "C1")), dtd.D("B1", dtd.Empty()), dtd.D("C1", dtd.Empty()))
+				e := embedding.New(src, tgt)
+				e.MapType("A", "A1").MapType("B", "B1").MapType("C", "C1")
+				e.SetPath(embedding.Ref("A", "B"), "B1").SetPath(embedding.Ref("A", "C"), "C1")
+				return e
+			},
+		},
+		{
+			Name:  "b-star-to-concat",
+			Valid: false,
+			Build: func() *embedding.Embedding {
+				src := dtd.MustNew("A", dtd.D("A", dtd.Star("B")), dtd.D("B", dtd.Empty()))
+				tgt := dtd.MustNew("A1", dtd.D("A1", dtd.Concat("B1")), dtd.D("B1", dtd.Empty()))
+				e := embedding.New(src, tgt)
+				e.MapType("A", "A1").MapType("B", "B1")
+				e.SetPath(embedding.Ref("A", "B"), "B1")
+				return e
+			},
+		},
+		{
+			Name:  "c-two-types-one-target",
+			Valid: true,
+			Build: func() *embedding.Embedding {
+				src := dtd.MustNew("A", dtd.D("A", dtd.Concat("B", "C")), dtd.D("B", dtd.Empty()), dtd.D("C", dtd.Empty()))
+				tgt := dtd.MustNew("A1", dtd.D("A1", dtd.Concat("B1", "B1")), dtd.D("B1", dtd.Empty()))
+				e := embedding.New(src, tgt)
+				e.MapType("A", "A1").MapType("B", "B1").MapType("C", "B1")
+				e.SetPath(embedding.Ref("A", "B"), "B1[position() = 1]").
+					SetPath(embedding.Ref("A", "C"), "B1[position() = 2]")
+				return e
+			},
+		},
+		{
+			Name:  "d-prefix-violation",
+			Valid: false,
+			Build: func() *embedding.Embedding {
+				src := dtd.MustNew("A", dtd.D("A", dtd.Concat("B", "C")), dtd.D("B", dtd.Empty()), dtd.D("C", dtd.Empty()))
+				tgt := dtd.MustNew("A1",
+					dtd.D("A1", dtd.Concat("B1")),
+					dtd.D("B1", dtd.Concat("C1")),
+					dtd.D("C1", dtd.Empty()))
+				e := embedding.New(src, tgt)
+				e.MapType("A", "A1").MapType("B", "B1").MapType("C", "C1")
+				e.SetPath(embedding.Ref("A", "B"), "B1").SetPath(embedding.Ref("A", "C"), "B1/C1")
+				return e
+			},
+		},
+		{
+			Name:  "e-cycle-unfolding",
+			Valid: true,
+			Build: func() *embedding.Embedding {
+				src := dtd.MustNew("A",
+					dtd.D("A", dtd.Concat("B", "C")),
+					dtd.D("B", dtd.Empty()),
+					dtd.D("C", dtd.Empty()))
+				// Cyclic target: reaching B1 without prefixing B1/C1
+				// requires unfolding the A1-cycle once.
+				tgt := dtd.MustNew("A1",
+					dtd.D("A1", dtd.Concat("B1")),
+					dtd.D("B1", dtd.Concat("C1", "As")),
+					dtd.D("C1", dtd.Empty()),
+					dtd.D("As", dtd.Star("A1")))
+				e := embedding.New(src, tgt)
+				e.MapType("A", "A1").MapType("B", "B1").MapType("C", "C1")
+				e.SetPath(embedding.Ref("A", "B"), "B1/As/A1[position() = 1]/B1").
+					SetPath(embedding.Ref("A", "C"), "B1/C1")
+				return e
+			},
+		},
+	}
+}
+
+// Fig3Scenario is one sub-figure of Figure 3.
+type Fig3Scenario struct {
+	Name  string
+	Valid bool
+	Build func() *embedding.Embedding
+}
+
+// Figure2SourceDTD and Figure2TargetDTD return the DTDs of Figure 2 /
+// Theorem 3.1(1): S1 = {r → A; A → B, C; B → A + ε; C → ε} and the
+// A-chain target S2 = {r → A; A → A + ε}. The arrow mapping of the
+// figure is invertible but is not a valid schema embedding (its
+// concatenation edges map to OR paths), which is why it fails query
+// preservation w.r.t. the XPath fragment X.
+func Figure2SourceDTD() *dtd.DTD {
+	return dtd.MustNew("r",
+		dtd.D("r", dtd.Concat("A")),
+		dtd.D("A", dtd.Concat("B", "C")),
+		dtd.D("B", dtd.Disj("A", "Beps")),
+		dtd.D("Beps", dtd.Empty()),
+		dtd.D("C", dtd.Empty()),
+	)
+}
+
+// Figure2TargetDTD returns S2 of Figure 2.
+func Figure2TargetDTD() *dtd.DTD {
+	return dtd.MustNew("r",
+		dtd.D("r", dtd.Concat("A")),
+		dtd.D("A", dtd.Disj("A", "Aeps")),
+		dtd.D("Aeps", dtd.Empty()),
+	)
+}
+
+// Figure2Mapping returns the path mapping of Figure 2 (Example 2.1):
+// path(r,A)=A, path(A,B)=A, path(A,C)=A/A, path(B,A)=A/A. Validate
+// rejects it: the concatenation edges of A map to OR paths.
+func Figure2Mapping() *embedding.Embedding {
+	e := embedding.New(Figure2SourceDTD(), Figure2TargetDTD())
+	e.MapType("r", "r").MapType("A", "A").MapType("B", "A").MapType("C", "A").MapType("Beps", "Aeps")
+	e.SetPath(embedding.Ref("r", "A"), "A").
+		SetPath(embedding.Ref("A", "B"), "A").
+		SetPath(embedding.Ref("A", "C"), "A/A").
+		SetPath(embedding.Ref("B", "A"), "A/A").
+		SetPath(embedding.Ref("B", "Beps"), "Aeps")
+	return e
+}

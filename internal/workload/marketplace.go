@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"repro/internal/dtd"
+	"repro/internal/embedding"
+)
+
+// MarketplaceDTD is a second large integration target: it hosts the
+// auction data of AuctionDTD under a structurally different vocabulary
+// (renamed tags, extra wrapper levels, required bookkeeping the source
+// lacks). Together with AuctionEmbedding it forms a second fully worked
+// σ1-style artifact beyond the paper's Figure 1, at roughly 4× the
+// size.
+func MarketplaceDTD() *dtd.DTD {
+	return dtd.MustNew("market",
+		dtd.D("market", dtd.Concat("meta", "catalog", "community", "trading")),
+		dtd.D("meta", dtd.Concat("siteid", "exported")),
+		dtd.D("siteid", dtd.Str()),
+		dtd.D("exported", dtd.Str()),
+
+		dtd.D("catalog", dtd.Concat("sections", "taxonomy")),
+		dtd.D("sections", dtd.Concat("zoneAfrica", "zoneAsia", "zoneEurope")),
+		dtd.D("zoneAfrica", dtd.Star("listing")),
+		dtd.D("zoneAsia", dtd.Star("listing")),
+		dtd.D("zoneEurope", dtd.Star("listing")),
+		dtd.D("listing", dtd.Concat("product", "shipping")),
+		dtd.D("product", dtd.Concat("pname", "origin", "blurb")),
+		dtd.D("pname", dtd.Str()),
+		dtd.D("origin", dtd.Str()),
+		dtd.D("blurb", dtd.Disj("plain", "structured")),
+		dtd.D("plain", dtd.Str()),
+		dtd.D("structured", dtd.Star("point")),
+		dtd.D("point", dtd.Str()),
+		dtd.D("shipping", dtd.Concat("qty", "insured")),
+		dtd.D("qty", dtd.Str()),
+		dtd.D("insured", dtd.Str()),
+		dtd.D("taxonomy", dtd.Star("topic")),
+		dtd.D("topic", dtd.Concat("tlabel", "blurb")),
+		dtd.D("tlabel", dtd.Str()),
+
+		dtd.D("community", dtd.Star("member")),
+		dtd.D("member", dtd.Concat("alias", "mail", "bio")),
+		dtd.D("alias", dtd.Str()),
+		dtd.D("mail", dtd.Str()),
+		dtd.D("bio", dtd.Concat("likes", "schooling", "wealth")),
+		dtd.D("likes", dtd.Star("ref")),
+		dtd.D("ref", dtd.Str()),
+		dtd.D("schooling", dtd.Str()),
+		dtd.D("wealth", dtd.Str()),
+
+		dtd.D("trading", dtd.Concat("live", "done")),
+		dtd.D("live", dtd.Star("sale")),
+		dtd.D("sale", dtd.Concat("opening", "bids", "now", "itemlink")),
+		dtd.D("opening", dtd.Str()),
+		dtd.D("bids", dtd.Star("offer")),
+		dtd.D("offer", dtd.Concat("when", "delta")),
+		dtd.D("when", dtd.Str()),
+		dtd.D("delta", dtd.Str()),
+		dtd.D("now", dtd.Str()),
+		dtd.D("itemlink", dtd.Str()),
+		dtd.D("done", dtd.Star("deal")),
+		dtd.D("deal", dtd.Concat("vendor", "purchaser", "amount", "when")),
+		dtd.D("vendor", dtd.Str()),
+		dtd.D("purchaser", dtd.Str()),
+		dtd.D("amount", dtd.Str()),
+	)
+}
+
+// AuctionEmbedding is a hand-written embedding of AuctionDTD into
+// MarketplaceDTD. It exercises most embedding features at once: a
+// shared disjunction type (description) reachable from two source
+// contexts, a shared str leaf (date) used under two parents, multi-step
+// AND paths into wrappers, and star paths at several depths.
+func AuctionEmbedding() *embedding.Embedding {
+	src := AuctionDTD()
+	e := embedding.New(src, MarketplaceDTD())
+
+	types := map[string]string{
+		"site": "market",
+		// Regions.
+		"regions": "sections", "africa": "zoneAfrica", "asia": "zoneAsia", "europe": "zoneEurope",
+		"item": "listing", "itemname": "pname", "location": "origin", "quantity": "qty",
+		"description": "blurb", "text": "plain", "parlist": "structured", "listitem": "point",
+		// Categories.
+		"categories": "taxonomy", "category": "topic", "catname": "tlabel",
+		// People.
+		"people": "community", "person": "member", "personname": "alias",
+		"emailaddress": "mail", "profile": "bio", "interest": "likes",
+		"category_ref": "ref", "education": "schooling", "income": "wealth",
+		// Auctions.
+		"open_auctions": "live", "open_auction": "sale", "initial": "opening",
+		"bidder": "bids", "bid": "offer", "date": "when", "increase": "delta",
+		"current": "now", "itemref": "itemlink",
+		"closed_auctions": "done", "closed_auction": "deal", "seller": "vendor",
+		"buyer": "purchaser", "price": "amount",
+	}
+	for a, b := range types {
+		e.MapType(a, b)
+	}
+
+	paths := map[[2]string]string{
+		{"site", "regions"}:         "catalog/sections",
+		{"site", "categories"}:      "catalog/taxonomy",
+		{"site", "people"}:          "community",
+		{"site", "open_auctions"}:   "trading/live",
+		{"site", "closed_auctions"}: "trading/done",
+
+		{"regions", "africa"}: "zoneAfrica",
+		{"regions", "asia"}:   "zoneAsia",
+		{"regions", "europe"}: "zoneEurope",
+		{"africa", "item"}:    "listing",
+		{"asia", "item"}:      "listing",
+		{"europe", "item"}:    "listing",
+
+		{"item", "itemname"}:    "product/pname",
+		{"item", "location"}:    "product/origin",
+		{"item", "quantity"}:    "shipping/qty",
+		{"item", "description"}: "product/blurb",
+
+		{"description", "text"}:    "plain",
+		{"description", "parlist"}: "structured",
+		{"parlist", "listitem"}:    "point",
+
+		{"categories", "category"}:  "topic",
+		{"category", "catname"}:     "tlabel",
+		{"category", "description"}: "blurb",
+
+		{"people", "person"}:         "member",
+		{"person", "personname"}:     "alias",
+		{"person", "emailaddress"}:   "mail",
+		{"person", "profile"}:        "bio",
+		{"profile", "interest"}:      "likes",
+		{"profile", "education"}:     "schooling",
+		{"profile", "income"}:        "wealth",
+		{"interest", "category_ref"}: "ref",
+
+		{"open_auctions", "open_auction"}: "sale",
+		{"open_auction", "initial"}:       "opening",
+		{"open_auction", "bidder"}:        "bids",
+		{"open_auction", "current"}:       "now",
+		{"open_auction", "itemref"}:       "itemlink",
+		{"bidder", "bid"}:                 "offer",
+		{"bid", "date"}:                   "when",
+		{"bid", "increase"}:               "delta",
+
+		{"closed_auctions", "closed_auction"}: "deal",
+		{"closed_auction", "seller"}:          "vendor",
+		{"closed_auction", "buyer"}:           "purchaser",
+		{"closed_auction", "price"}:           "amount",
+		{"closed_auction", "date"}:            "when",
+	}
+	for edge, p := range paths {
+		e.SetPath(embedding.Ref(edge[0], edge[1]), p)
+	}
+	// Every str leaf carries its text directly.
+	for _, a := range src.Types {
+		if src.Prods[a].Kind == dtd.KindStr {
+			e.SetPath(embedding.Ref(a, embedding.StrChild), "text()")
+		}
+	}
+	return e
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dtd"
+)
+
+// NoisyCopy is a structurally perturbed copy of a schema, used as the
+// embedding target in the accuracy experiments. An embedding of the
+// original into the copy exists by construction: every perturbation
+// (rename, intermediate-node insertion, required-content enrichment)
+// preserves embeddability, since schema embeddings map edges to paths
+// and tolerate extra required content via minimum defaults.
+type NoisyCopy struct {
+	// DTD is the perturbed copy.
+	DTD *dtd.DTD
+	// Truth maps each original type to its counterpart in the copy —
+	// the ground-truth λ against which found embeddings are scored.
+	Truth map[string]string
+	// Renames counts renamed types, Inserts inserted intermediate
+	// types, Enriches added required children.
+	Renames, Inserts, Enriches int
+}
+
+// NoiseOptions controls perturbation intensity.
+type NoiseOptions struct {
+	// RenameFrac is the fraction of types renamed beyond recognition.
+	RenameFrac float64
+	// InsertFrac is the fraction of edges that get an intermediate
+	// wrapper type (turning an edge into a 2-step path).
+	InsertFrac float64
+	// EnrichFrac is the fraction of concatenation productions that gain
+	// an extra required (str) child absent from the source.
+	EnrichFrac float64
+}
+
+// NoiseLevel returns balanced options for a single intensity knob in
+// [0, 1], matching the "varying amounts of introduced noise" setup.
+func NoiseLevel(level float64) NoiseOptions {
+	return NoiseOptions{
+		RenameFrac: level,
+		InsertFrac: level / 2,
+		EnrichFrac: level / 2,
+	}
+}
+
+// Noise builds a perturbed copy of d.
+func Noise(d *dtd.DTD, opts NoiseOptions, r *rand.Rand) *NoisyCopy {
+	copyDTD := d.Clone()
+	truth := make(map[string]string, len(d.Types))
+	for _, a := range d.Types {
+		truth[a] = a
+	}
+	nc := &NoisyCopy{DTD: copyDTD, Truth: truth}
+
+	// 1. Insert intermediate wrapper types on a fraction of edges.
+	edges := copyDTD.Edges()
+	r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	inserts := int(opts.InsertFrac * float64(len(edges)))
+	for i := 0; i < inserts && i < len(edges); i++ {
+		insertIntermediate(copyDTD, edges[i], fmt.Sprintf("wrap%d", i), r)
+		nc.Inserts++
+	}
+
+	// 2. Enrich a fraction of concatenation productions with a fresh
+	// required child.
+	var concats []string
+	for _, a := range copyDTD.Types {
+		if copyDTD.Prods[a].Kind == dtd.KindConcat {
+			concats = append(concats, a)
+		}
+	}
+	r.Shuffle(len(concats), func(i, j int) { concats[i], concats[j] = concats[j], concats[i] })
+	enriches := int(opts.EnrichFrac * float64(len(concats)))
+	for i := 0; i < enriches && i < len(concats); i++ {
+		extra := fmt.Sprintf("extra%d", i)
+		copyDTD.Types = append(copyDTD.Types, extra)
+		copyDTD.Prods[extra] = dtd.Str()
+		p := copyDTD.Prods[concats[i]]
+		p.Children = append(append([]string(nil), p.Children...), extra)
+		copyDTD.Prods[concats[i]] = p
+		nc.Enriches++
+	}
+
+	// 3. Rename a fraction of the original types (after structural
+	// edits so Truth tracking stays simple).
+	names := append([]string(nil), d.Types...)
+	r.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	renames := int(opts.RenameFrac * float64(len(names)))
+	for i := 0; i < renames && i < len(names); i++ {
+		old := truth[names[i]]
+		fresh := fmt.Sprintf("n%dx%04d", i, r.Intn(10000))
+		renameType(copyDTD, old, fresh)
+		truth[names[i]] = fresh
+		nc.Renames++
+	}
+	return nc
+}
+
+// insertIntermediate replaces one occurrence of edge.To in edge.From's
+// production with a fresh wrapper type whose production is the single
+// child (concatenation), so the original edge becomes a 2-step path.
+func insertIntermediate(d *dtd.DTD, e dtd.Edge, wrapper string, r *rand.Rand) {
+	if _, exists := d.Prods[wrapper]; exists {
+		return
+	}
+	p := d.Prods[e.From]
+	switch p.Kind {
+	case dtd.KindConcat, dtd.KindStar:
+		kids := append([]string(nil), p.Children...)
+		kids[e.Index] = wrapper
+		d.Prods[e.From] = dtd.Production{Kind: p.Kind, Children: kids}
+	case dtd.KindDisj:
+		kids := append([]string(nil), p.Children...)
+		// Avoid duplicating an existing disjunct.
+		for _, k := range kids {
+			if k == wrapper {
+				return
+			}
+		}
+		kids[e.Index] = wrapper
+		d.Prods[e.From] = dtd.Production{Kind: p.Kind, Children: kids}
+	default:
+		return
+	}
+	d.Types = append(d.Types, wrapper)
+	d.Prods[wrapper] = dtd.Concat(e.To)
+}
+
+// renameType renames an element type everywhere in the schema.
+func renameType(d *dtd.DTD, old, fresh string) {
+	if old == fresh {
+		return
+	}
+	if _, clash := d.Prods[fresh]; clash {
+		return
+	}
+	p := d.Prods[old]
+	delete(d.Prods, old)
+	d.Prods[fresh] = p
+	for i, t := range d.Types {
+		if t == old {
+			d.Types[i] = fresh
+		}
+	}
+	if d.Root == old {
+		d.Root = fresh
+	}
+	for a, prod := range d.Prods {
+		changed := false
+		for i, c := range prod.Children {
+			if c == old {
+				if !changed {
+					prod.Children = append([]string(nil), prod.Children...)
+					changed = true
+				}
+				prod.Children[i] = fresh
+			}
+		}
+		if changed {
+			d.Prods[a] = prod
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package workload
+
+import "repro/internal/dtd"
+
+// AuctionDTD returns an XMark-style auction site schema (~30 types),
+// standing in for the benchmark schemas of the experimental study.
+func AuctionDTD() *dtd.DTD {
+	return dtd.MustNew("site",
+		dtd.D("site", dtd.Concat("regions", "categories", "people", "open_auctions", "closed_auctions")),
+		dtd.D("regions", dtd.Concat("africa", "asia", "europe")),
+		dtd.D("africa", dtd.Star("item")),
+		dtd.D("asia", dtd.Star("item")),
+		dtd.D("europe", dtd.Star("item")),
+		dtd.D("item", dtd.Concat("itemname", "location", "quantity", "description")),
+		dtd.D("itemname", dtd.Str()),
+		dtd.D("location", dtd.Str()),
+		dtd.D("quantity", dtd.Str()),
+		dtd.D("description", dtd.Disj("text", "parlist")),
+		dtd.D("text", dtd.Str()),
+		dtd.D("parlist", dtd.Star("listitem")),
+		dtd.D("listitem", dtd.Str()),
+		dtd.D("categories", dtd.Star("category")),
+		dtd.D("category", dtd.Concat("catname", "description")),
+		dtd.D("catname", dtd.Str()),
+		dtd.D("people", dtd.Star("person")),
+		dtd.D("person", dtd.Concat("personname", "emailaddress", "profile")),
+		dtd.D("personname", dtd.Str()),
+		dtd.D("emailaddress", dtd.Str()),
+		dtd.D("profile", dtd.Concat("interest", "education", "income")),
+		dtd.D("interest", dtd.Star("category_ref")),
+		dtd.D("category_ref", dtd.Str()),
+		dtd.D("education", dtd.Str()),
+		dtd.D("income", dtd.Str()),
+		dtd.D("open_auctions", dtd.Star("open_auction")),
+		dtd.D("open_auction", dtd.Concat("initial", "bidder", "current", "itemref")),
+		dtd.D("initial", dtd.Str()),
+		dtd.D("bidder", dtd.Star("bid")),
+		dtd.D("bid", dtd.Concat("date", "increase")),
+		dtd.D("date", dtd.Str()),
+		dtd.D("increase", dtd.Str()),
+		dtd.D("current", dtd.Str()),
+		dtd.D("itemref", dtd.Str()),
+		dtd.D("closed_auctions", dtd.Star("closed_auction")),
+		dtd.D("closed_auction", dtd.Concat("seller", "buyer", "price", "date")),
+		dtd.D("seller", dtd.Str()),
+		dtd.D("buyer", dtd.Str()),
+		dtd.D("price", dtd.Str()),
+	)
+}
+
+// BiblioDTD returns a DBLP-style bibliography schema with a disjunctive
+// publication type.
+func BiblioDTD() *dtd.DTD {
+	return dtd.MustNew("dblp",
+		dtd.D("dblp", dtd.Star("pub")),
+		dtd.D("pub", dtd.Disj("article", "inproceedings", "book")),
+		dtd.D("article", dtd.Concat("authors", "title", "journal", "year")),
+		dtd.D("inproceedings", dtd.Concat("authors", "title", "booktitle", "year")),
+		dtd.D("book", dtd.Concat("authors", "title", "publisher", "year")),
+		dtd.D("authors", dtd.Star("author")),
+		dtd.D("author", dtd.Str()),
+		dtd.D("title", dtd.Str()),
+		dtd.D("journal", dtd.Str()),
+		dtd.D("booktitle", dtd.Str()),
+		dtd.D("publisher", dtd.Str()),
+		dtd.D("year", dtd.Str()),
+	)
+}
+
+// OrdersDTD returns an order-management schema with optional content
+// normalized into disjunctions.
+func OrdersDTD() *dtd.DTD {
+	return dtd.MustNew("orders",
+		dtd.D("orders", dtd.Star("order")),
+		dtd.D("order", dtd.Concat("orderid", "customer", "items", "status")),
+		dtd.D("orderid", dtd.Str()),
+		dtd.D("customer", dtd.Concat("custname", "address")),
+		dtd.D("custname", dtd.Str()),
+		dtd.D("address", dtd.Concat("street", "city", "country")),
+		dtd.D("street", dtd.Str()),
+		dtd.D("city", dtd.Str()),
+		dtd.D("country", dtd.Str()),
+		dtd.D("items", dtd.Star("line")),
+		dtd.D("line", dtd.Concat("sku", "qty", "lineprice")),
+		dtd.D("sku", dtd.Str()),
+		dtd.D("qty", dtd.Str()),
+		dtd.D("lineprice", dtd.Str()),
+		dtd.D("status", dtd.Disj("pending", "shipped", "cancelled")),
+		dtd.D("pending", dtd.Empty()),
+		dtd.D("shipped", dtd.Concat("shipdate", "carrier")),
+		dtd.D("shipdate", dtd.Str()),
+		dtd.D("carrier", dtd.Str()),
+		dtd.D("cancelled", dtd.Concat("reason")),
+		dtd.D("reason", dtd.Str()),
+	)
+}
+
+// GeoDTD returns a Mondial-style geography schema (recursive through
+// administrative subdivisions).
+func GeoDTD() *dtd.DTD {
+	return dtd.MustNew("world",
+		dtd.D("world", dtd.Star("country")),
+		dtd.D("country", dtd.Concat("cname", "capital", "population", "provinces")),
+		dtd.D("cname", dtd.Str()),
+		dtd.D("capital", dtd.Str()),
+		dtd.D("population", dtd.Str()),
+		dtd.D("provinces", dtd.Star("province")),
+		dtd.D("province", dtd.Concat("pname", "pcapital", "subdivisions")),
+		dtd.D("pname", dtd.Str()),
+		dtd.D("pcapital", dtd.Str()),
+		dtd.D("subdivisions", dtd.Star("province")),
+	)
+}
+
+// Corpus returns the named benchmark schemas used by the experiment
+// drivers, in a stable order.
+func Corpus() []NamedDTD {
+	return []NamedDTD{
+		{Name: "class", DTD: ClassDTD()},
+		{Name: "student", DTD: StudentDTD()},
+		{Name: "school", DTD: SchoolDTD()},
+		{Name: "auction", DTD: AuctionDTD()},
+		{Name: "biblio", DTD: BiblioDTD()},
+		{Name: "orders", DTD: OrdersDTD()},
+		{Name: "geo", DTD: GeoDTD()},
+	}
+}
+
+// NamedDTD pairs a corpus schema with its display name.
+type NamedDTD struct {
+	Name string
+	DTD  *dtd.DTD
+}

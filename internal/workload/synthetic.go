@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dtd"
+)
+
+// SyntheticDTD generates a random consistent, nonrecursive DTD with
+// approximately the requested number of element types, mixing the five
+// production shapes with realistic proportions (concatenation-heavy,
+// as real document schemas are). The result is deterministic per
+// random source and always passes dtd.Check and consistency.
+func SyntheticDTD(r *rand.Rand, size int) *dtd.DTD {
+	if size < 2 {
+		size = 2
+	}
+	names := make([]string, size)
+	for i := range names {
+		names[i] = fmt.Sprintf("e%02d", i)
+	}
+	prods := make(map[string]dtd.Production, size)
+
+	// Children are always later types, giving a DAG; a spanning-tree
+	// pass afterwards guarantees reachability.
+	laterPick := func(i, n int) []string {
+		out := map[string]bool{}
+		for len(out) < n {
+			out[names[i+1+r.Intn(size-i-1)]] = true
+			if len(out) >= size-i-1 {
+				break
+			}
+		}
+		var kids []string
+		for k := range out {
+			kids = append(kids, k)
+		}
+		// Deterministic order per run: sort by index.
+		for x := 1; x < len(kids); x++ {
+			for y := x; y > 0 && kids[y] < kids[y-1]; y-- {
+				kids[y], kids[y-1] = kids[y-1], kids[y]
+			}
+		}
+		return kids
+	}
+
+	for i := 0; i < size; i++ {
+		remaining := size - i - 1
+		if remaining == 0 {
+			prods[names[i]] = leafProduction(r)
+			continue
+		}
+		switch roll := r.Intn(10); {
+		case roll < 4: // concatenation
+			n := 1 + r.Intn(3)
+			if n > remaining {
+				n = remaining
+			}
+			prods[names[i]] = dtd.Concat(laterPick(i, n)...)
+		case roll < 6 && remaining >= 2: // disjunction
+			n := 2 + r.Intn(2)
+			if n > remaining {
+				n = remaining
+			}
+			kids := laterPick(i, n)
+			if len(kids) < 2 {
+				prods[names[i]] = dtd.Concat(kids...)
+				continue
+			}
+			prods[names[i]] = dtd.Disj(kids...)
+		case roll < 8: // star
+			prods[names[i]] = dtd.Star(laterPick(i, 1)[0])
+		default:
+			prods[names[i]] = leafProduction(r)
+		}
+	}
+
+	// Reachability repair: attach unreachable types under reachable
+	// concatenation or star parents (creating one if needed).
+	d := &dtd.DTD{Root: names[0], Types: names, Prods: prods}
+	for {
+		reach := d.Reachable()
+		var missing []string
+		for _, a := range names {
+			if !reach[a] {
+				missing = append(missing, a)
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		// Attach each missing type to a reachable earlier concat; the
+		// root is made a concat if necessary.
+		attached := false
+		for _, m := range missing {
+			mi := indexOf(names, m)
+			for j := mi - 1; j >= 0; j-- {
+				if !reach[names[j]] {
+					continue
+				}
+				p := prods[names[j]]
+				if p.Kind == dtd.KindConcat {
+					p.Children = append(append([]string(nil), p.Children...), m)
+					prods[names[j]] = p
+					attached = true
+					break
+				}
+			}
+			if !attached {
+				// Force the root into a concatenation including m.
+				p := prods[names[0]]
+				switch p.Kind {
+				case dtd.KindConcat:
+					p.Children = append(append([]string(nil), p.Children...), m)
+				default:
+					p = dtd.Concat(append(childrenOrNothing(p), m)...)
+				}
+				prods[names[0]] = p
+				attached = true
+			}
+			break // recompute reachability after each attachment
+		}
+		if !attached {
+			break
+		}
+	}
+	if err := d.Check(); err != nil {
+		panic(fmt.Sprintf("workload: synthetic DTD invalid: %v", err))
+	}
+	return d
+}
+
+func leafProduction(r *rand.Rand) dtd.Production {
+	if r.Intn(4) == 0 {
+		return dtd.Empty()
+	}
+	return dtd.Str()
+}
+
+func indexOf(names []string, n string) int {
+	for i, x := range names {
+		if x == n {
+			return i
+		}
+	}
+	return -1
+}
+
+func childrenOrNothing(p dtd.Production) []string {
+	switch p.Kind {
+	case dtd.KindConcat:
+		return p.Children
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,76 @@
+package workload_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/embedding"
+	"repro/internal/search"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+// TestTestdataDTDs parses the real-world-style DTD files, normalizes
+// them, generates instances, and embeds each schema into a noisy copy
+// of itself — the file-level path end to end.
+func TestTestdataDTDs(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.dtd")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata DTDs: %v", err)
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := dtd.Parse(string(data), "")
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if err := d.Check(); err != nil {
+				t.Fatalf("Check: %v", err)
+			}
+			if !d.IsConsistent() {
+				t.Fatal("inconsistent schema")
+			}
+			r := rand.New(rand.NewSource(1))
+			doc := xmltree.MustGenerate(d, r, xmltree.GenOptions{})
+			if err := doc.Validate(d); err != nil {
+				t.Fatalf("generated instance: %v", err)
+			}
+			// Round-trip through text form.
+			back, err := dtd.Parse(d.String(), d.Root)
+			if err != nil || !back.Equal(d) {
+				t.Fatalf("schema text round trip failed: %v", err)
+			}
+			// Embed into a noisy copy with the ground-truth att.
+			nc := workload.Noise(d, workload.NoiseLevel(0.3), r)
+			att := embedding.NewSimMatrix()
+			for a, b := range nc.Truth {
+				att.Set(a, b, 1)
+			}
+			res, err := search.Find(d, nc.DTD, att, search.Options{Heuristic: search.QualityOrdered, Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Embedding == nil {
+				t.Fatal("no embedding into the noisy copy")
+			}
+			out, err := res.Embedding.Apply(doc)
+			if err != nil {
+				t.Fatalf("Apply: %v", err)
+			}
+			got, err := res.Embedding.Invert(out.Tree)
+			if err != nil {
+				t.Fatalf("Invert: %v", err)
+			}
+			if !xmltree.Equal(doc, got) {
+				t.Fatalf("round trip: %s", xmltree.Diff(doc, got))
+			}
+		})
+	}
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dtd"
+	"repro/internal/xmltree"
+)
+
+// This file implements, as executable mappings, the two hand-built
+// counterexamples of Theorem 3.1 that separate invertibility from query
+// preservation. Neither is a schema embedding — that is the point: they
+// witness behaviours the embedding framework is designed to rule out.
+
+// Figure2Result carries the chain document produced by Figure2Apply and
+// its node id mapping.
+type Figure2Result struct {
+	Tree *xmltree.Tree
+	// IDM maps target node ids to source node ids.
+	IDM map[xmltree.NodeID]xmltree.NodeID
+}
+
+// Figure2Apply implements the σd of Example 2.1 / Theorem 3.1(1): a
+// document of S1 = {r → A; A → B, C; B → A + ε; C → ε} maps to the
+// A-chain target S2 = {r → A; A → A + ε}. Each source A expands to
+// three chain links (itself, its B, its C), so the images of B nodes
+// sit at chain depths 3k+2 — which is why //B has no equivalent in the
+// XPath fragment X over the target, although the mapping is invertible.
+func Figure2Apply(t *xmltree.Tree) (*Figure2Result, error) {
+	if err := t.Validate(Figure2SourceDTD()); err != nil {
+		return nil, fmt.Errorf("workload: Figure2Apply: %w", err)
+	}
+	// Linearize: A, its B, its C, then B's A child (if any), ...
+	var chain []*xmltree.Node
+	a := t.Root.Children[0]
+	for a != nil {
+		b, c := a.Children[0], a.Children[1]
+		chain = append(chain, a, b, c)
+		a = nil
+		if len(b.Children) == 1 && b.Children[0].Label == "A" {
+			a = b.Children[0]
+		}
+	}
+	out := &xmltree.Tree{}
+	res := &Figure2Result{Tree: out, IDM: map[xmltree.NodeID]xmltree.NodeID{}}
+	root := out.NewElement("r")
+	out.Root = root
+	res.IDM[root.ID] = t.Root.ID
+	cur := root
+	for _, src := range chain {
+		n := out.NewElement("A")
+		res.IDM[n.ID] = src.ID
+		xmltree.Append(cur, n)
+		cur = n
+	}
+	xmltree.Append(cur, out.NewElement("Aeps"))
+	return res, nil
+}
+
+// Figure2Invert recovers the source document from an A-chain produced
+// by Figure2Apply, witnessing invertibility.
+func Figure2Invert(t *xmltree.Tree) (*xmltree.Tree, error) {
+	if err := t.Validate(Figure2TargetDTD()); err != nil {
+		return nil, fmt.Errorf("workload: Figure2Invert: %w", err)
+	}
+	// Collect the chain length (number of A nodes).
+	depth := 0
+	cur := t.Root
+	for len(cur.Children) == 1 && cur.Children[0].Label == "A" {
+		cur = cur.Children[0]
+		depth++
+	}
+	if depth%3 != 0 {
+		return nil, fmt.Errorf("workload: chain length %d is not a multiple of 3; not in the image of σd", depth)
+	}
+	out := &xmltree.Tree{}
+	root := out.NewElement("r")
+	out.Root = root
+	parent := root
+	for i := 0; i < depth/3; i++ {
+		a := out.NewElement("A")
+		b := out.NewElement("B")
+		c := out.NewElement("C")
+		xmltree.Append(a, b)
+		xmltree.Append(a, c)
+		xmltree.Append(parent, a)
+		if i+1 < depth/3 {
+			parent = b
+			continue
+		}
+		xmltree.Append(b, out.NewElement("Beps"))
+	}
+	return out, nil
+}
+
+// SortingApply implements the σd of Theorem 3.1(2): documents of
+// S1 = {r → A*; A → str} map to the same schema, but the A children are
+// reordered by their string values. The mapping preserves every X query
+// without position() qualifiers (those queries cannot observe sibling
+// order), yet it is not invertible: the original order is lost.
+func SortingApply(t *xmltree.Tree) *xmltree.Tree {
+	out := &xmltree.Tree{}
+	root := out.NewElement(t.Root.Label)
+	out.Root = root
+	type av struct {
+		val string
+	}
+	var vals []av
+	for _, c := range t.Root.Children {
+		v, _ := c.Value()
+		vals = append(vals, av{val: v})
+	}
+	sort.SliceStable(vals, func(i, j int) bool { return vals[i].val < vals[j].val })
+	for _, v := range vals {
+		a := out.NewElement("A")
+		xmltree.Append(a, out.NewText(v.val))
+		xmltree.Append(root, a)
+	}
+	return out
+}
+
+// SortingDTD returns the S1 = S2 schema of Theorem 3.1(2):
+// {r → A*; A → str}.
+func SortingDTD() *dtd.DTD {
+	return dtd.MustNew("r",
+		dtd.D("r", dtd.Star("A")),
+		dtd.D("A", dtd.Str()),
+	)
+}

@@ -1,0 +1,131 @@
+package workload_test
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// TestTheorem31Part1: the Figure 2 mapping is invertible — round trips
+// hold on random instances — and its B images sit at chain depths 3k+2,
+// the structural reason //B is untranslatable into the XPath fragment X
+// over the target.
+func TestTheorem31Part1(t *testing.T) {
+	src := workload.Figure2SourceDTD()
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := xmltree.MustGenerate(src, r, xmltree.GenOptions{DepthBudget: 14})
+		res, err := workload.Figure2Apply(doc)
+		if err != nil {
+			t.Logf("seed %d: apply: %v", seed, err)
+			return false
+		}
+		if err := res.Tree.Validate(workload.Figure2TargetDTD()); err != nil {
+			t.Logf("seed %d: conformance: %v", seed, err)
+			return false
+		}
+		back, err := workload.Figure2Invert(res.Tree)
+		if err != nil {
+			t.Logf("seed %d: invert: %v", seed, err)
+			return false
+		}
+		if !xmltree.Equal(doc, back) {
+			t.Logf("seed %d: %s", seed, xmltree.Diff(doc, back))
+			return false
+		}
+		// Depth-position check for B images.
+		depths := map[xmltree.NodeID]int{res.Tree.Root.ID: 0}
+		res.Tree.Walk(func(n *xmltree.Node) {
+			if n.Parent != nil {
+				depths[n.ID] = depths[n.Parent.ID] + 1
+			}
+		})
+		bNodes := xpath.Eval(xpath.MustParse(".//B"), doc.Root)
+		fwd := map[xmltree.NodeID]xmltree.NodeID{}
+		for tgt, srcID := range res.IDM {
+			fwd[srcID] = tgt
+		}
+		for _, b := range bNodes {
+			d := depths[fwd[b.ID]]
+			if d%3 != 2 {
+				t.Logf("seed %d: B image at depth %d, want ≡2 (mod 3)", seed, d)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFigure2InvertRejectsBadChain(t *testing.T) {
+	// A chain of length 4 is not a multiple of 3.
+	doc, _ := xmltree.ParseString(`<r><A><A><A><A><Aeps/></A></A></A></A></r>`)
+	if _, err := workload.Figure2Invert(doc); err == nil || !strings.Contains(err.Error(), "multiple of 3") {
+		t.Errorf("bad chain: %v", err)
+	}
+}
+
+// TestTheorem31Part2: the sorting mapping preserves order-insensitive X
+// queries but is not invertible.
+func TestTheorem31Part2(t *testing.T) {
+	d := workload.SortingDTD()
+	doc1, _ := xmltree.ParseString(`<r><A>b</A><A>a</A><A>c</A></r>`)
+	doc2, _ := xmltree.ParseString(`<r><A>c</A><A>b</A><A>a</A></r>`)
+	if err := doc1.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+	out1 := workload.SortingApply(doc1)
+	out2 := workload.SortingApply(doc2)
+	// Non-injective: two distinct documents share one image, so no
+	// inverse function exists.
+	if !xmltree.Equal(out1, out2) {
+		t.Fatal("sorting images should coincide")
+	}
+	if xmltree.Equal(doc1, doc2) {
+		t.Fatal("test setup: sources must differ")
+	}
+	// Query preservation for X without position(): the identity
+	// translation answers text-based queries.
+	for _, qs := range []string{".", "A", `A[text() = "b"]`, "A/text()"} {
+		q := xpath.MustParse(qs)
+		want := answersAsValues(xpath.Eval(q, doc1.Root))
+		got := answersAsValues(xpath.Eval(q, out1.Root))
+		if want != got {
+			t.Errorf("query %s: source %q vs image %q", qs, want, got)
+		}
+	}
+	// position() queries are exactly what breaks.
+	q := xpath.MustParse("A[position() = 1]/text()")
+	want := xpath.Strings(xpath.Eval(q, doc1.Root))
+	got := xpath.Strings(xpath.Eval(q, out1.Root))
+	if want[0] == got[0] {
+		t.Error("test should witness the position()-sensitivity of sorting")
+	}
+}
+
+// answersAsValues renders an answer set as an order-insensitive value
+// multiset (labels for elements, values for text).
+func answersAsValues(nodes []*xmltree.Node) string {
+	var out []string
+	for _, n := range nodes {
+		if n.IsText() {
+			out = append(out, "'"+n.Text+"'")
+			continue
+		}
+		if v, ok := n.Value(); ok {
+			out = append(out, n.Label+"("+v+")")
+			continue
+		}
+		out = append(out, n.Label)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}

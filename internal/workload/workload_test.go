@@ -1,0 +1,180 @@
+package workload_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dtd"
+	"repro/internal/embedding"
+	"repro/internal/search"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+func TestCorpusWellFormed(t *testing.T) {
+	for _, named := range workload.Corpus() {
+		t.Run(named.Name, func(t *testing.T) {
+			if err := named.DTD.Check(); err != nil {
+				t.Fatalf("Check: %v", err)
+			}
+			if !named.DTD.IsConsistent() {
+				t.Error("corpus schema has useless types")
+			}
+			// Every corpus schema generates valid instances.
+			r := rand.New(rand.NewSource(1))
+			doc := xmltree.MustGenerate(named.DTD, r, xmltree.GenOptions{})
+			if err := doc.Validate(named.DTD); err != nil {
+				t.Errorf("generated instance invalid: %v", err)
+			}
+		})
+	}
+}
+
+func TestCorpusRecursion(t *testing.T) {
+	if !workload.ClassDTD().IsRecursive() {
+		t.Error("class DTD should be recursive (Fig. 1a)")
+	}
+	if !workload.SchoolDTD().IsRecursive() {
+		t.Error("school DTD should be recursive (Fig. 1c)")
+	}
+	if workload.StudentDTD().IsRecursive() {
+		t.Error("student DTD should not be recursive (Fig. 1b)")
+	}
+	if !workload.GeoDTD().IsRecursive() {
+		t.Error("geo DTD should be recursive")
+	}
+}
+
+// TestSyntheticDTDProperty: generated schemas are well formed,
+// consistent and nonrecursive across sizes and seeds.
+func TestSyntheticDTDProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		size := 4 + r.Intn(40)
+		d := workload.SyntheticDTD(r, size)
+		if err := d.Check(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if d.IsRecursive() {
+			t.Logf("seed %d: synthetic DTD recursive", seed)
+			return false
+		}
+		if !d.IsConsistent() {
+			t.Logf("seed %d: synthetic DTD inconsistent", seed)
+			return false
+		}
+		if d.Size() < size/2 {
+			t.Logf("seed %d: size %d far below requested %d", seed, d.Size(), size)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNoiseGroundTruthEmbeds is the cornerstone of the accuracy
+// experiments: after any amount of noise, an embedding of the original
+// into the noisy copy exists, and the exact solver (or the ground-truth
+// construction) can realize it. Verified here by running the search
+// with the ground truth as an unambiguous att.
+func TestNoiseGroundTruthEmbeds(t *testing.T) {
+	bases := []workload.NamedDTD{
+		{Name: "student", DTD: workload.StudentDTD()},
+		{Name: "orders", DTD: workload.OrdersDTD()},
+		{Name: "biblio", DTD: workload.BiblioDTD()},
+	}
+	r := rand.New(rand.NewSource(11))
+	for _, base := range bases {
+		for _, level := range []float64{0, 0.3, 0.7, 1.0} {
+			nc := workload.Noise(base.DTD, workload.NoiseLevel(level), r)
+			if err := nc.DTD.Check(); err != nil {
+				t.Fatalf("%s level %v: noisy copy invalid: %v", base.Name, level, err)
+			}
+			att := embedding.NewSimMatrix()
+			for a, b := range nc.Truth {
+				att.Set(a, b, 1)
+			}
+			res, err := search.Find(base.DTD, nc.DTD, att, search.Options{Heuristic: search.QualityOrdered, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s level %v: %v", base.Name, level, err)
+			}
+			if res.Embedding == nil {
+				t.Errorf("%s level %v: ground-truth embedding not found (renames=%d inserts=%d enriches=%d)",
+					base.Name, level, nc.Renames, nc.Inserts, nc.Enriches)
+			}
+		}
+	}
+}
+
+func TestNoiseCounts(t *testing.T) {
+	base := workload.SchoolDTD()
+	r := rand.New(rand.NewSource(5))
+	nc := workload.Noise(base, workload.NoiseOptions{RenameFrac: 1}, r)
+	if nc.Renames != base.Size() {
+		t.Errorf("full rename touched %d/%d types", nc.Renames, base.Size())
+	}
+	// Every original type still has a counterpart.
+	for a, b := range nc.Truth {
+		if _, ok := nc.DTD.Prods[b]; !ok {
+			t.Errorf("truth image of %s (%s) missing from noisy copy", a, b)
+		}
+	}
+	zero := workload.Noise(base, workload.NoiseOptions{}, r)
+	if !zero.DTD.Equal(base) {
+		t.Error("zero noise should leave the schema unchanged")
+	}
+}
+
+func TestNoiseInsertKinds(t *testing.T) {
+	// A schema with all three edge kinds: noise with InsertFrac 1 must
+	// keep it valid.
+	base := workload.ClassDTD()
+	r := rand.New(rand.NewSource(6))
+	nc := workload.Noise(base, workload.NoiseOptions{InsertFrac: 1}, r)
+	if err := nc.DTD.Check(); err != nil {
+		t.Fatalf("insert-everywhere copy invalid: %v", err)
+	}
+	if nc.Inserts == 0 {
+		t.Error("no inserts performed at InsertFrac 1")
+	}
+	if !nc.DTD.IsConsistent() {
+		t.Error("noisy copy inconsistent")
+	}
+}
+
+func TestFigure3ScenarioCount(t *testing.T) {
+	scs := workload.Figure3()
+	if len(scs) != 5 {
+		t.Fatalf("Figure3 has %d scenarios, want 5", len(scs))
+	}
+	valid := 0
+	for _, sc := range scs {
+		if sc.Valid {
+			valid++
+		}
+	}
+	if valid != 2 {
+		t.Errorf("%d scenarios marked valid, want 2 (c and e)", valid)
+	}
+}
+
+func TestMergeSources(t *testing.T) {
+	merged, err := embedding.MergeSources("root", workload.ClassDTD(), workload.OrdersDTD())
+	if err != nil {
+		t.Fatalf("MergeSources: %v", err)
+	}
+	if err := merged.Check(); err != nil {
+		t.Fatalf("merged schema: %v", err)
+	}
+	if p := merged.Prods["root"]; p.Kind != dtd.KindConcat || len(p.Children) != 2 {
+		t.Errorf("merged root production = %v", p)
+	}
+	// Overlapping type sets are rejected (class and school share types).
+	if _, err := embedding.MergeSources("root", workload.ClassDTD(), workload.SchoolDTD()); err == nil {
+		t.Error("MergeSources accepted overlapping type sets")
+	}
+}

@@ -1,0 +1,83 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document into a Tree using encoding/xml's
+// tokenizer. Whitespace-only character data between elements is dropped
+// (the paper's model is element content plus PCDATA leaves); attributes,
+// comments, processing instructions and directives are ignored. Node ids
+// are assigned in document order.
+func Parse(r io.Reader) (*Tree, error) {
+	dec := xml.NewDecoder(r)
+	t := &Tree{}
+	var stack []*Node
+	var pending strings.Builder
+	flushText := func() {
+		if pending.Len() == 0 {
+			return
+		}
+		text := pending.String()
+		pending.Reset()
+		if strings.TrimSpace(text) == "" {
+			return
+		}
+		if len(stack) == 0 {
+			return
+		}
+		Append(stack[len(stack)-1], t.NewText(strings.TrimSpace(text)))
+	}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch tok := tok.(type) {
+		case xml.StartElement:
+			flushText()
+			n := t.NewElement(tok.Name.Local)
+			if len(stack) == 0 {
+				if t.Root != nil {
+					return nil, fmt.Errorf("xmltree: multiple root elements")
+				}
+				t.Root = n
+			} else {
+				Append(stack[len(stack)-1], n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			flushText()
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: unbalanced end element %q", tok.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			pending.WriteString(string(tok))
+		}
+	}
+	if t.Root == nil {
+		return nil, fmt.Errorf("xmltree: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: unclosed element %q", stack[len(stack)-1].Label)
+	}
+	return t, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Tree, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Write serializes the tree as indented XML to w.
+func (t *Tree) Write(w io.Writer) error {
+	_, err := io.WriteString(w, t.String())
+	return err
+}

@@ -1,0 +1,63 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWalkDocumentOrder(t *testing.T) {
+	tr, _ := ParseString(`<r><a><b/></a><c/></r>`)
+	var order []string
+	tr.Walk(func(n *Node) { order = append(order, n.Label) })
+	if got := strings.Join(order, ","); got != "r,a,b,c" {
+		t.Errorf("Walk order = %s", got)
+	}
+}
+
+func TestValueAndIsText(t *testing.T) {
+	tr, _ := ParseString(`<r><a>x</a><b/></r>`)
+	a, b := tr.Root.Children[0], tr.Root.Children[1]
+	if v, ok := a.Value(); !ok || v != "x" {
+		t.Errorf("Value(a) = %q, %v", v, ok)
+	}
+	if _, ok := b.Value(); ok {
+		t.Error("Value(b) should be absent")
+	}
+	if a.IsText() || !a.Children[0].IsText() {
+		t.Error("IsText misclassifies")
+	}
+}
+
+func TestWriteAndString(t *testing.T) {
+	tr, _ := ParseString(`<r><a>x &amp; y</a></r>`)
+	var sb strings.Builder
+	if err := tr.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "x &amp; y") {
+		t.Errorf("Write output = %q", sb.String())
+	}
+}
+
+func TestEmptyElementRendering(t *testing.T) {
+	tr, _ := ParseString(`<r><empty/></r>`)
+	if !strings.Contains(tr.String(), "<empty/>") {
+		t.Errorf("self-closing form lost: %s", tr)
+	}
+}
+
+func TestGenOptionsDefaults(t *testing.T) {
+	o := GenOptions{}.withDefaults()
+	if o.StarMax != 3 || o.DepthBudget != 12 || len(o.TextValues) != 10 {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestDiffReportsPosition(t *testing.T) {
+	a, _ := ParseString(`<r><x/><y><z/></y></r>`)
+	b, _ := ParseString(`<r><x/><y><w/></y></r>`)
+	d := Diff(a, b)
+	if !strings.Contains(d, "y[2]") || !strings.Contains(d, "label") {
+		t.Errorf("Diff = %q", d)
+	}
+}

@@ -1,0 +1,123 @@
+package xmltree
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dtd"
+)
+
+// GenOptions steers random instance generation.
+type GenOptions struct {
+	// StarMax bounds the number of children generated under a Kleene
+	// star (children count is uniform in [0, StarMax]). Default 3.
+	StarMax int
+	// DepthBudget bounds recursion: once the remaining budget drops to
+	// the minimum required depth, generation steers toward the shallowest
+	// choices, guaranteeing termination on recursive DTDs. Default 12.
+	DepthBudget int
+	// TextValues, when non-empty, is the vocabulary for PCDATA; values
+	// are drawn uniformly. Default: "v0".."v9".
+	TextValues []string
+}
+
+func (o GenOptions) withDefaults() GenOptions {
+	if o.StarMax == 0 {
+		o.StarMax = 3
+	}
+	if o.DepthBudget == 0 {
+		o.DepthBudget = 12
+	}
+	if len(o.TextValues) == 0 {
+		for i := 0; i < 10; i++ {
+			o.TextValues = append(o.TextValues, fmt.Sprintf("v%d", i))
+		}
+	}
+	return o
+}
+
+// Generate produces a random instance of the DTD. The DTD must be
+// consistent (every type productive); Generate returns an error
+// otherwise. The generated tree always validates against the DTD.
+func Generate(d *dtd.DTD, r *rand.Rand, opts GenOptions) (*Tree, error) {
+	opts = opts.withDefaults()
+	depth := d.MinDepth()
+	if _, ok := depth[d.Root]; !ok {
+		return nil, fmt.Errorf("xmltree: cannot generate: root %q is unproductive", d.Root)
+	}
+	for _, a := range d.Types {
+		if _, ok := depth[a]; !ok {
+			return nil, fmt.Errorf("xmltree: cannot generate: type %q is unproductive", a)
+		}
+	}
+	g := &generator{d: d, r: r, opts: opts, minDepth: depth}
+	t := &Tree{}
+	t.Root = g.gen(t, d.Root, opts.DepthBudget)
+	return t, nil
+}
+
+// MustGenerate is Generate panicking on error, for tests over schemas
+// known to be consistent.
+func MustGenerate(d *dtd.DTD, r *rand.Rand, opts GenOptions) *Tree {
+	t, err := Generate(d, r, opts)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type generator struct {
+	d        *dtd.DTD
+	r        *rand.Rand
+	opts     GenOptions
+	minDepth map[string]int
+}
+
+func (g *generator) text() string {
+	return g.opts.TextValues[g.r.Intn(len(g.opts.TextValues))]
+}
+
+func (g *generator) gen(t *Tree, label string, budget int) *Node {
+	n := t.NewElement(label)
+	p := g.d.Prods[label]
+	switch p.Kind {
+	case dtd.KindStr:
+		Append(n, t.NewText(g.text()))
+	case dtd.KindEmpty:
+	case dtd.KindConcat:
+		for _, c := range p.Children {
+			Append(n, g.gen(t, c, budget-1))
+		}
+	case dtd.KindDisj:
+		c := g.pickDisjunct(p.Children, budget-1)
+		Append(n, g.gen(t, c, budget-1))
+	case dtd.KindStar:
+		k := 0
+		if budget > g.minDepth[p.Children[0]] {
+			k = g.r.Intn(g.opts.StarMax + 1)
+		}
+		for i := 0; i < k; i++ {
+			Append(n, g.gen(t, p.Children[0], budget-1))
+		}
+	}
+	return n
+}
+
+// pickDisjunct chooses a disjunct uniformly among those whose minimal
+// depth fits the remaining budget; if none fit, it takes the shallowest.
+func (g *generator) pickDisjunct(children []string, budget int) string {
+	var fit []string
+	best := children[0]
+	for _, c := range children {
+		if g.minDepth[c] <= budget {
+			fit = append(fit, c)
+		}
+		if g.minDepth[c] < g.minDepth[best] {
+			best = c
+		}
+	}
+	if len(fit) == 0 {
+		return best
+	}
+	return fit[g.r.Intn(len(fit))]
+}

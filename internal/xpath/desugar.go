@@ -1,0 +1,53 @@
+package xpath
+
+// DesugarDesc rewrites the X fragment's descendant-or-self axis into
+// pure X_R over a known label alphabet: p1//p2 becomes
+// p1/(A1 ∪ ... ∪ An)*/p2 where the Ai are the element labels of the
+// schema. The rewriting is exact on documents using only those labels,
+// which conformance to the schema guarantees. Expressions without //
+// are returned unchanged.
+func DesugarDesc(e Expr, alphabet []string) Expr {
+	if len(alphabet) == 0 || !HasDesc(e) {
+		return e
+	}
+	steps := make([]Expr, len(alphabet))
+	for i, a := range alphabet {
+		steps[i] = Label{Name: a}
+	}
+	anyStar := Star{P: UnionOf(steps...)}
+	return desugar(e, anyStar)
+}
+
+func desugar(e Expr, anyStar Expr) Expr {
+	switch e := e.(type) {
+	case Desc:
+		return Seq{L: desugar(e.L, anyStar), R: Seq{L: anyStar, R: desugar(e.R, anyStar)}}
+	case Seq:
+		return Seq{L: desugar(e.L, anyStar), R: desugar(e.R, anyStar)}
+	case Union:
+		return Union{L: desugar(e.L, anyStar), R: desugar(e.R, anyStar)}
+	case Star:
+		return Star{P: desugar(e.P, anyStar)}
+	case Filter:
+		return Filter{P: desugar(e.P, anyStar), Q: desugarQual(e.Q, anyStar)}
+	default:
+		return e
+	}
+}
+
+func desugarQual(q Qual, anyStar Expr) Qual {
+	switch q := q.(type) {
+	case QPath:
+		return QPath{P: desugar(q.P, anyStar)}
+	case QTextEq:
+		return QTextEq{P: desugar(q.P, anyStar), Val: q.Val}
+	case QNot:
+		return QNot{Q: desugarQual(q.Q, anyStar)}
+	case QAnd:
+		return QAnd{L: desugarQual(q.L, anyStar), R: desugarQual(q.R, anyStar)}
+	case QOr:
+		return QOr{L: desugarQual(q.L, anyStar), R: desugarQual(q.R, anyStar)}
+	default:
+		return q
+	}
+}

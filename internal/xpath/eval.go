@@ -1,0 +1,166 @@
+package xpath
+
+import (
+	"repro/internal/xmltree"
+)
+
+// Eval evaluates the expression at the context node and returns the
+// selected nodes in first-reached order without duplicates. Text nodes
+// appear in the result when the expression contains text() steps; their
+// string values are the observable values of the paper's semantics (use
+// Strings to extract them).
+func Eval(e Expr, ctx *xmltree.Node) []*xmltree.Node {
+	ev := &evaluator{}
+	return ev.eval(e, []*xmltree.Node{ctx})
+}
+
+// EvalAll evaluates the expression at each of the context nodes.
+func EvalAll(e Expr, ctxs []*xmltree.Node) []*xmltree.Node {
+	ev := &evaluator{}
+	return ev.eval(e, ctxs)
+}
+
+// Strings returns the values of the text nodes in a result set, in
+// order.
+func Strings(nodes []*xmltree.Node) []string {
+	var out []string
+	for _, n := range nodes {
+		if n.IsText() {
+			out = append(out, n.Text)
+		}
+	}
+	return out
+}
+
+// IDs returns the node ids of a result set, in order.
+func IDs(nodes []*xmltree.Node) []xmltree.NodeID {
+	out := make([]xmltree.NodeID, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.ID
+	}
+	return out
+}
+
+type evaluator struct{}
+
+// eval computes the set image of the expression over the node set,
+// deduplicated in first-reached order.
+func (ev *evaluator) eval(e Expr, ctxs []*xmltree.Node) []*xmltree.Node {
+	switch e := e.(type) {
+	case Empty:
+		return dedupe(ctxs)
+	case Label:
+		var out []*xmltree.Node
+		for _, c := range ctxs {
+			for _, ch := range c.Children {
+				if ch.Label == e.Name {
+					out = append(out, ch)
+				}
+			}
+		}
+		return dedupe(out)
+	case Text:
+		var out []*xmltree.Node
+		for _, c := range ctxs {
+			for _, ch := range c.Children {
+				if ch.IsText() {
+					out = append(out, ch)
+				}
+			}
+		}
+		return dedupe(out)
+	case Seq:
+		return ev.eval(e.R, ev.eval(e.L, ctxs))
+	case Desc:
+		mid := ev.eval(e.L, ctxs)
+		var all []*xmltree.Node
+		for _, n := range mid {
+			collectDescOrSelf(n, &all)
+		}
+		return ev.eval(e.R, dedupe(all))
+	case Union:
+		l := ev.eval(e.L, ctxs)
+		r := ev.eval(e.R, ctxs)
+		return dedupe(append(append([]*xmltree.Node{}, l...), r...))
+	case Star:
+		result := dedupe(ctxs)
+		seen := make(map[*xmltree.Node]bool, len(result))
+		for _, n := range result {
+			seen[n] = true
+		}
+		frontier := append([]*xmltree.Node(nil), result...)
+		for len(frontier) > 0 {
+			next := ev.eval(e.P, frontier)
+			frontier = nil
+			for _, n := range next {
+				if !seen[n] {
+					seen[n] = true
+					result = append(result, n)
+					frontier = append(frontier, n)
+				}
+			}
+		}
+		return result
+	case Filter:
+		var out []*xmltree.Node
+		for _, c := range ctxs {
+			sel := ev.eval(e.P, []*xmltree.Node{c})
+			for i, n := range sel {
+				if ev.holds(e.Q, n, i+1) {
+					out = append(out, n)
+				}
+			}
+		}
+		return dedupe(out)
+	}
+	return nil
+}
+
+// holds evaluates a qualifier at node n, where pos is n's 1-based
+// position in the filtered selection (the position() value).
+func (ev *evaluator) holds(q Qual, n *xmltree.Node, pos int) bool {
+	switch q := q.(type) {
+	case QTrue:
+		return true
+	case QPath:
+		return len(ev.eval(q.P, []*xmltree.Node{n})) > 0
+	case QTextEq:
+		for _, m := range ev.eval(q.P, []*xmltree.Node{n}) {
+			if m.IsText() && m.Text == q.Val {
+				return true
+			}
+		}
+		return false
+	case QPos:
+		return pos == q.K
+	case QNot:
+		return !ev.holds(q.Q, n, pos)
+	case QAnd:
+		return ev.holds(q.L, n, pos) && ev.holds(q.R, n, pos)
+	case QOr:
+		return ev.holds(q.L, n, pos) || ev.holds(q.R, n, pos)
+	}
+	return false
+}
+
+func collectDescOrSelf(n *xmltree.Node, out *[]*xmltree.Node) {
+	*out = append(*out, n)
+	for _, c := range n.Children {
+		collectDescOrSelf(c, out)
+	}
+}
+
+func dedupe(nodes []*xmltree.Node) []*xmltree.Node {
+	if len(nodes) <= 1 {
+		return nodes
+	}
+	seen := make(map[*xmltree.Node]bool, len(nodes))
+	out := nodes[:0:0]
+	for _, n := range nodes {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}

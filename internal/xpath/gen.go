@@ -1,0 +1,322 @@
+package xpath
+
+import (
+	"math/rand"
+
+	"repro/internal/dtd"
+)
+
+// GenOptions steers schema-aware random query generation, used by
+// property tests and benchmarks.
+type GenOptions struct {
+	// MaxDepth bounds the nesting of the generated expression. Default 4.
+	MaxDepth int
+	// AllowDesc permits '//' (the X fragment). Off by default; X_R's
+	// Kleene star is always available unless AllowStar is false.
+	AllowDesc bool
+	// NoStar disables p* (generates within the star-free core).
+	NoStar bool
+	// NoFilter disables qualifiers.
+	NoFilter bool
+	// TranslatableOnly restricts generation to the forms supported by
+	// schema-directed query translation: position() qualifiers appear
+	// only directly on label steps.
+	TranslatableOnly bool
+	// TextValues is the PCDATA vocabulary for generated text()='c'
+	// comparisons. Default "v0".."v9".
+	TextValues []string
+}
+
+func (o GenOptions) withDefaults() GenOptions {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 4
+	}
+	if len(o.TextValues) == 0 {
+		for _, v := range []string{"v0", "v1", "v2", "v3", "v4", "v5", "v6", "v7", "v8", "v9"} {
+			o.TextValues = append(o.TextValues, v)
+		}
+	}
+	return o
+}
+
+// RandomQuery generates a random X_R (or X) query that is meaningful
+// when evaluated at the root of instances of d: every label step follows
+// a schema edge from some type reachable at that point, so queries have
+// non-trivial answers with reasonable probability.
+func RandomQuery(r *rand.Rand, d *dtd.DTD, opt GenOptions) Expr {
+	opt = opt.withDefaults()
+	g := &qgen{r: r, d: d, opt: opt}
+	e, _ := g.expr(typeSet{d.Root: true}, opt.MaxDepth)
+	return e
+}
+
+type typeSet map[string]bool
+
+type qgen struct {
+	r   *rand.Rand
+	d   *dtd.DTD
+	opt GenOptions
+}
+
+// childLabels returns the labels reachable in one step from the types.
+func (g *qgen) childLabels(ts typeSet) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range g.d.Types {
+		if !ts[a] {
+			continue
+		}
+		for _, c := range g.d.Prods[a].Children {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+func (g *qgen) hasStrType(ts typeSet) bool {
+	for a := range ts {
+		if p, ok := g.d.Prods[a]; ok && p.Kind == dtd.KindStr {
+			return true
+		}
+	}
+	return false
+}
+
+// expr generates an expression starting from the context types ts and
+// returns it with the set of types its results may have.
+func (g *qgen) expr(ts typeSet, depth int) (Expr, typeSet) {
+	if depth <= 0 {
+		return g.labelStep(ts)
+	}
+	switch g.r.Intn(8) {
+	case 0, 1:
+		return g.labelStep(ts)
+	case 2: // sequence
+		l, mid := g.expr(ts, depth-1)
+		r, out := g.expr(mid, depth-1)
+		return Seq{L: l, R: r}, out
+	case 3: // union
+		l, o1 := g.expr(ts, depth-1)
+		r, o2 := g.expr(ts, depth-1)
+		return Union{L: l, R: r}, unionSet(o1, o2)
+	case 4: // star or desc
+		if g.opt.AllowDesc && g.r.Intn(2) == 0 {
+			l, mid := g.expr(ts, depth-1)
+			all := g.reachableFrom(mid)
+			r, out := g.expr(all, depth-1)
+			return Desc{L: l, R: r}, out
+		}
+		if g.opt.NoStar {
+			return g.labelStep(ts)
+		}
+		p, out := g.expr(ts, depth-1)
+		return Star{P: p}, g.closure(ts, out, p)
+	case 5: // filter
+		if g.opt.NoFilter {
+			return g.labelStep(ts)
+		}
+		return g.filter(ts, depth)
+	case 6: // text step when available
+		if g.hasStrType(ts) {
+			return Text{}, typeSet{}
+		}
+		return g.labelStep(ts)
+	default: // empty/self
+		return Empty{}, ts
+	}
+}
+
+func (g *qgen) labelStep(ts typeSet) (Expr, typeSet) {
+	labels := g.childLabels(ts)
+	if len(labels) == 0 {
+		return Empty{}, ts
+	}
+	l := labels[g.r.Intn(len(labels))]
+	return Label{Name: l}, typeSet{l: true}
+}
+
+func (g *qgen) filter(ts typeSet, depth int) (Expr, typeSet) {
+	if g.opt.TranslatableOnly {
+		// position() only directly on a label step; other qualifiers on
+		// arbitrary sub-paths.
+		e, out := g.labelStep(ts)
+		lbl, isLabel := e.(Label)
+		if isLabel && g.r.Intn(3) == 0 {
+			maxPos := g.maxOccurrences(ts, lbl.Name)
+			k := 1 + g.r.Intn(maxPos)
+			return Filter{P: e, Q: QPos{K: k}}, out
+		}
+		q := g.qual(out, depth-1, false)
+		return Filter{P: e, Q: q}, out
+	}
+	p, out := g.expr(ts, depth-1)
+	q := g.qual(out, depth-1, true)
+	return Filter{P: p, Q: q}, out
+}
+
+// maxOccurrences returns a small bound for position() qualifiers on
+// label under the context types: the max occurrence count in concat
+// productions, or 3 for star parents.
+func (g *qgen) maxOccurrences(ts typeSet, label string) int {
+	max := 1
+	for a := range ts {
+		p, ok := g.d.Prods[a]
+		if !ok {
+			continue
+		}
+		switch p.Kind {
+		case dtd.KindConcat:
+			if n := p.Occurrences(label); n > max {
+				max = n
+			}
+		case dtd.KindStar:
+			if p.Children[0] == label && max < 3 {
+				max = 3
+			}
+		}
+	}
+	return max
+}
+
+func (g *qgen) qual(ts typeSet, depth int, allowPos bool) Qual {
+	if depth <= 0 {
+		return QTrue{}
+	}
+	switch g.r.Intn(7) {
+	case 0:
+		p, _ := g.expr(ts, depth-1)
+		return QPath{P: p}
+	case 1:
+		// p/text() = 'c' when a str type is in one-step reach.
+		if p, ok := g.textPath(ts, depth-1); ok {
+			return QTextEq{P: p, Val: g.opt.TextValues[g.r.Intn(len(g.opt.TextValues))]}
+		}
+		return QTrue{}
+	case 2:
+		if allowPos {
+			return QPos{K: 1 + g.r.Intn(3)}
+		}
+		return QTrue{}
+	case 3:
+		return QNot{Q: g.qual(ts, depth-1, allowPos)}
+	case 4:
+		return QAnd{L: g.qual(ts, depth-1, allowPos), R: g.qual(ts, depth-1, allowPos)}
+	case 5:
+		return QOr{L: g.qual(ts, depth-1, allowPos), R: g.qual(ts, depth-1, allowPos)}
+	default:
+		return QTrue{}
+	}
+}
+
+// textPath builds a short label path from ts to a str type, ending in
+// text().
+func (g *qgen) textPath(ts typeSet, depth int) (Expr, bool) {
+	if g.hasStrType(ts) {
+		return Text{}, true
+	}
+	cur := ts
+	var steps []Expr
+	for i := 0; i <= depth+2; i++ {
+		labels := g.childLabels(cur)
+		if len(labels) == 0 {
+			return nil, false
+		}
+		// Prefer a str-typed child when present.
+		var pick string
+		for _, l := range labels {
+			if g.d.Prods[l].Kind == dtd.KindStr {
+				pick = l
+				break
+			}
+		}
+		if pick == "" {
+			pick = labels[g.r.Intn(len(labels))]
+		}
+		steps = append(steps, Label{Name: pick})
+		cur = typeSet{pick: true}
+		if g.d.Prods[pick].Kind == dtd.KindStr {
+			steps = append(steps, Text{})
+			return SeqOf(steps...), true
+		}
+	}
+	return nil, false
+}
+
+// closure approximates the result types of p* starting from ts.
+func (g *qgen) closure(ts, out typeSet, p Expr) typeSet {
+	res := unionSet(ts, out)
+	for i := 0; i < len(g.d.Types); i++ {
+		before := len(res)
+		res = unionSet(res, g.resultTypes(p, res))
+		if len(res) == before {
+			break
+		}
+	}
+	return res
+}
+
+// resultTypes over-approximates the types selected by p from ts using
+// the schema graph.
+func (g *qgen) resultTypes(p Expr, ts typeSet) typeSet {
+	switch p := p.(type) {
+	case Empty:
+		return ts
+	case Label:
+		out := typeSet{}
+		for a := range ts {
+			for _, c := range g.d.Prods[a].Children {
+				if c == p.Name {
+					out[c] = true
+				}
+			}
+		}
+		return out
+	case Text:
+		return typeSet{}
+	case Seq:
+		return g.resultTypes(p.R, g.resultTypes(p.L, ts))
+	case Desc:
+		return g.resultTypes(p.R, g.reachableFrom(g.resultTypes(p.L, ts)))
+	case Union:
+		return unionSet(g.resultTypes(p.L, ts), g.resultTypes(p.R, ts))
+	case Star:
+		return g.closure(ts, g.resultTypes(p.P, ts), p.P)
+	case Filter:
+		return g.resultTypes(p.P, ts)
+	}
+	return typeSet{}
+}
+
+func (g *qgen) reachableFrom(ts typeSet) typeSet {
+	out := typeSet{}
+	var stack []string
+	for a := range ts {
+		out[a] = true
+		stack = append(stack, a)
+	}
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range g.d.Prods[a].Children {
+			if !out[c] {
+				out[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return out
+}
+
+func unionSet(a, b typeSet) typeSet {
+	out := typeSet{}
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}

@@ -1,0 +1,358 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses an X_R / X expression from the package's textual syntax.
+func Parse(src string) (Expr, error) {
+	p := &parser{src: src}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, p.errf("trailing input %q", p.rest())
+	}
+	return e, nil
+}
+
+// MustParse is Parse panicking on error, for static query literals.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) rest() string {
+	end := p.pos + 20
+	if end > len(p.src) {
+		end = len(p.src)
+	}
+	return p.src[p.pos:end]
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("xpath: at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) consume(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+// consumeWord consumes tok only when not followed by a name character,
+// so that "and" does not eat the prefix of a tag named "android".
+func (p *parser) consumeWord(tok string) bool {
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], tok) {
+		return false
+	}
+	next := p.pos + len(tok)
+	if next < len(p.src) && isNameByte(p.src[next]) {
+		return false
+	}
+	p.pos = next
+	return true
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == '.' || c == '-' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func (p *parser) peekByte() byte {
+	p.skipSpace()
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+// expr := seq (('|' | '∪') seq)*
+func (p *parser) expr() (Expr, error) {
+	e, err := p.seq()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.consume("∪") || (p.peekByte() == '|' && !strings.HasPrefix(p.src[p.pos:], "||") && p.consume("|")) {
+			r, err := p.seq()
+			if err != nil {
+				return nil, err
+			}
+			e = Union{L: e, R: r}
+			continue
+		}
+		return e, nil
+	}
+}
+
+// seq := step (('/' | '//') step)*
+func (p *parser) seq() (Expr, error) {
+	e, err := p.step()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		switch {
+		case p.consume("//"):
+			r, err := p.step()
+			if err != nil {
+				return nil, err
+			}
+			e = Desc{L: e, R: r}
+		case p.peekByte() == '/' && p.consume("/"):
+			r, err := p.step()
+			if err != nil {
+				return nil, err
+			}
+			e = Seq{L: e, R: r}
+		default:
+			return e, nil
+		}
+	}
+}
+
+// step := primary ('*' | '[' qual ']')*
+func (p *parser) step() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		switch {
+		case p.consume("*"):
+			e = Star{P: e}
+		case p.peekByte() == '[' && p.consume("["):
+			q, err := p.qual()
+			if err != nil {
+				return nil, err
+			}
+			if !p.consume("]") {
+				return nil, p.errf("expected ']' closing qualifier, found %q", p.rest())
+			}
+			e = Filter{P: e, Q: q}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	p.skipSpace()
+	switch {
+	case p.consume("("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.consume(")") {
+			return nil, p.errf("expected ')', found %q", p.rest())
+		}
+		return e, nil
+	case p.peekByte() == '.':
+		p.consume(".")
+		return Empty{}, nil
+	case p.consume("ε"):
+		return Empty{}, nil
+	default:
+		name, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		if name == "text" && p.consume("()") {
+			return Text{}, nil
+		}
+		return Label{Name: name}, nil
+	}
+}
+
+func (p *parser) name() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.eof() || !isNameStartByte(p.src[p.pos]) {
+		return "", p.errf("expected a step, found %q", p.rest())
+	}
+	p.pos++
+	for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+func isNameStartByte(c byte) bool {
+	return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// qual := andq (('or' | '||') andq)*
+func (p *parser) qual() (Qual, error) {
+	q, err := p.andQual()
+	if err != nil {
+		return nil, err
+	}
+	for p.consumeWord("or") || p.consume("||") {
+		r, err := p.andQual()
+		if err != nil {
+			return nil, err
+		}
+		q = QOr{L: q, R: r}
+	}
+	return q, nil
+}
+
+func (p *parser) andQual() (Qual, error) {
+	q, err := p.notQual()
+	if err != nil {
+		return nil, err
+	}
+	for p.consumeWord("and") || p.consume("&&") {
+		r, err := p.notQual()
+		if err != nil {
+			return nil, err
+		}
+		q = QAnd{L: q, R: r}
+	}
+	return q, nil
+}
+
+func (p *parser) notQual() (Qual, error) {
+	switch {
+	case p.consumeWord("not"):
+		if !p.consume("(") {
+			return nil, p.errf("expected '(' after not")
+		}
+		q, err := p.qual()
+		if err != nil {
+			return nil, err
+		}
+		if !p.consume(")") {
+			return nil, p.errf("expected ')' closing not(...)")
+		}
+		return QNot{Q: q}, nil
+	case p.consume("!"):
+		q, err := p.notQual()
+		if err != nil {
+			return nil, err
+		}
+		return QNot{Q: q}, nil
+	case p.consumeWord("true()"):
+		return QTrue{}, nil
+	case p.consumeWord("position()"):
+		if !p.consume("=") {
+			return nil, p.errf("expected '=' after position()")
+		}
+		k, err := p.integer()
+		if err != nil {
+			return nil, err
+		}
+		return QPos{K: k}, nil
+	}
+	// A parenthesized Boolean or a path atom. '(' is ambiguous between
+	// "(q)" and a parenthesized path expression; try the qualifier
+	// reading first and fall back.
+	if p.peekByte() == '(' {
+		save := p.pos
+		p.consume("(")
+		if q, err := p.qual(); err == nil && p.consume(")") {
+			// Reject the Boolean reading when it is immediately used as
+			// a path (e.g. "(a|b)/c" or "(a)*"): fall back to path atom.
+			if c := p.peekByte(); c != '/' && c != '*' && c != '[' && c != '=' {
+				return q, nil
+			}
+		}
+		p.pos = save
+	}
+	return p.pathAtom()
+}
+
+// pathAtom := expr ('=' STRING)?
+func (p *parser) pathAtom() (Qual, error) {
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.consume("=") {
+		val, err := p.stringLit()
+		if err != nil {
+			return nil, err
+		}
+		if !endsInText(e) {
+			return nil, p.errf("comparison requires a path ending in text()")
+		}
+		return QTextEq{P: e, Val: val}, nil
+	}
+	return QPath{P: e}, nil
+}
+
+// endsInText reports whether every branch of the expression ends with a
+// text() step, the well-formedness condition for p/text() = 'c'.
+func endsInText(e Expr) bool {
+	switch e := e.(type) {
+	case Text:
+		return true
+	case Seq:
+		return endsInText(e.R)
+	case Desc:
+		return endsInText(e.R)
+	case Union:
+		return endsInText(e.L) && endsInText(e.R)
+	case Filter:
+		return endsInText(e.P)
+	}
+	return false
+}
+
+func (p *parser) integer() (int, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if start == p.pos {
+		return 0, p.errf("expected an integer, found %q", p.rest())
+	}
+	return strconv.Atoi(p.src[start:p.pos])
+}
+
+func (p *parser) stringLit() (string, error) {
+	p.skipSpace()
+	if p.eof() || (p.src[p.pos] != '\'' && p.src[p.pos] != '"') {
+		return "", p.errf("expected a string literal, found %q", p.rest())
+	}
+	quote := p.src[p.pos]
+	p.pos++
+	start := p.pos
+	i := strings.IndexByte(p.src[p.pos:], quote)
+	if i < 0 {
+		return "", p.errf("unterminated string literal")
+	}
+	p.pos += i + 1
+	return p.src[start : p.pos-1], nil
+}

@@ -1,0 +1,76 @@
+package xpath
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds random byte soup and random mutations of
+// valid queries to the parser: it must return an expression or an
+// error, never panic, and successful parses must re-render and re-parse
+// stably.
+func TestParseNeverPanics(t *testing.T) {
+	alphabet := []byte("abc/|()[]*. ='\"posItion text not and or 0123ε∪//")
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("seed %d: panic: %v", seed, r)
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		e, err := Parse(string(buf))
+		if err != nil {
+			return true
+		}
+		// A successful parse must round-trip.
+		printed := String(e)
+		back, err := Parse(printed)
+		if err != nil {
+			t.Logf("seed %d: %q parsed but its rendering %q did not: %v", seed, string(buf), printed, err)
+			return false
+		}
+		if String(back) != printed {
+			t.Logf("seed %d: unstable rendering %q vs %q", seed, printed, String(back))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParsePathNeverPanics does the same for the X_R path parser.
+func TestParsePathNeverPanics(t *testing.T) {
+	alphabet := []byte("abz/[]()=position 0123 text#")
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("seed %d: panic: %v", seed, r)
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		p, err := ParsePath(string(buf))
+		if err != nil {
+			return true
+		}
+		back, err := ParsePath(p.String())
+		return err == nil && back.Equal(p)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}

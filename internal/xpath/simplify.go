@@ -1,0 +1,135 @@
+package xpath
+
+// Simplify rewrites an expression into a smaller equivalent one using
+// semantics-preserving local rules. It exists mainly to tame the output
+// of automaton-to-expression conversion (state elimination produces
+// redundant ε steps, duplicate union branches and nested stars):
+//
+//	ε/p = p/ε = p            p ∪ p = p
+//	(p*)* = p*               ε ∪ p* = p*  (star already accepts self)
+//	p[true()] = p            (ε)* = ε
+//
+// Rules apply bottom-up to a fixpoint per node; the rewriting never
+// changes Eval results (property-tested).
+func Simplify(e Expr) Expr {
+	switch e := e.(type) {
+	case Seq:
+		l, r := Simplify(e.L), Simplify(e.R)
+		if isEmpty(l) {
+			return r
+		}
+		if isEmpty(r) {
+			return l
+		}
+		return Seq{L: l, R: r}
+	case Desc:
+		return Desc{L: Simplify(e.L), R: Simplify(e.R)}
+	case Union:
+		l, r := Simplify(e.L), Simplify(e.R)
+		if exprEqual(l, r) {
+			return l
+		}
+		// ε ∪ p* and p* ∪ ε collapse: a star result always contains the
+		// context node.
+		if isEmpty(l) {
+			if _, ok := r.(Star); ok {
+				return r
+			}
+		}
+		if isEmpty(r) {
+			if _, ok := l.(Star); ok {
+				return l
+			}
+		}
+		// Dedupe across nested unions: flatten, unique, rebuild.
+		branches := dedupeBranches(append(flattenUnion(l), flattenUnion(r)...))
+		if len(branches) == 1 {
+			return branches[0]
+		}
+		return UnionOf(branches...)
+	case Star:
+		p := Simplify(e.P)
+		if isEmpty(p) {
+			return Empty{}
+		}
+		if inner, ok := p.(Star); ok {
+			return inner
+		}
+		return Star{P: p}
+	case Filter:
+		p := Simplify(e.P)
+		q := simplifyQual(e.Q)
+		if _, ok := q.(QTrue); ok {
+			return p
+		}
+		return Filter{P: p, Q: q}
+	default:
+		return e
+	}
+}
+
+func simplifyQual(q Qual) Qual {
+	switch q := q.(type) {
+	case QPath:
+		return QPath{P: Simplify(q.P)}
+	case QTextEq:
+		return QTextEq{P: Simplify(q.P), Val: q.Val}
+	case QNot:
+		inner := simplifyQual(q.Q)
+		if n, ok := inner.(QNot); ok {
+			return n.Q
+		}
+		return QNot{Q: inner}
+	case QAnd:
+		l, r := simplifyQual(q.L), simplifyQual(q.R)
+		if _, ok := l.(QTrue); ok {
+			return r
+		}
+		if _, ok := r.(QTrue); ok {
+			return l
+		}
+		return QAnd{L: l, R: r}
+	case QOr:
+		l, r := simplifyQual(q.L), simplifyQual(q.R)
+		if _, ok := l.(QTrue); ok {
+			return QTrue{}
+		}
+		if _, ok := r.(QTrue); ok {
+			return QTrue{}
+		}
+		return QOr{L: l, R: r}
+	default:
+		return q
+	}
+}
+
+func isEmpty(e Expr) bool {
+	_, ok := e.(Empty)
+	return ok
+}
+
+// exprEqual compares ASTs structurally (the node types are comparable
+// value types, so rendering is a convenient canonical form).
+func exprEqual(a, b Expr) bool {
+	return String(a) == String(b)
+}
+
+func flattenUnion(e Expr) []Expr {
+	if u, ok := e.(Union); ok {
+		return append(flattenUnion(u.L), flattenUnion(u.R)...)
+	}
+	return []Expr{e}
+}
+
+func dedupeBranches(branches []Expr) []Expr {
+	seen := map[string]bool{}
+	out := branches[:0:0]
+	for _, b := range branches {
+		key := String(b)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package xpath
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dtd"
+	"repro/internal/xmltree"
+)
+
+func TestSimplifyRules(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"./a", "a"},
+		{"a/.", "a"},
+		{"a | a", "a"},
+		{"a | b | a", "a | b"},
+		{"(a*)*", "a*"},
+		{". | a*", "a*"},
+		{"a* | .", "a*"},
+		{"a[true()]", "a"},
+		{".*", "."},
+		{"a[not(not(b))]", "a[b]"},
+		{"a[b and true()]", "a[b]"},
+		{"a[b or true()]", "a"},
+		{". | a", ". | a"}, // not a star: must stay
+		{"a | b", "a | b"},
+	}
+	for _, tc := range cases {
+		got := String(Simplify(MustParse(tc.in)))
+		if got != tc.want {
+			t.Errorf("Simplify(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestSimplifyPreservesSemantics: random schema-aware queries evaluate
+// identically before and after simplification.
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	d := dtd.MustNew("db",
+		dtd.D("db", dtd.Star("class")),
+		dtd.D("class", dtd.Concat("cno", "title", "type")),
+		dtd.D("cno", dtd.Str()),
+		dtd.D("title", dtd.Str()),
+		dtd.D("type", dtd.Disj("regular", "project")),
+		dtd.D("regular", dtd.Concat("prereq")),
+		dtd.D("project", dtd.Str()),
+		dtd.D("prereq", dtd.Star("class")),
+	)
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := RandomQuery(r, d, GenOptions{})
+		s := Simplify(q)
+		if Size(s) > Size(q) {
+			t.Logf("seed %d: simplification grew %d -> %d", seed, Size(q), Size(s))
+			return false
+		}
+		tr := xmltree.MustGenerate(d, r, xmltree.GenOptions{})
+		a := ids(Eval(q, tr.Root))
+		b := ids(Eval(s, tr.Root))
+		if len(a) != len(b) {
+			t.Logf("seed %d: %s vs %s: %d vs %d answers", seed, String(q), String(s), len(a), len(b))
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Logf("seed %d: answers differ", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func ids(nodes []*xmltree.Node) []int64 {
+	out := make([]int64, len(nodes))
+	for i, n := range nodes {
+		out[i] = int64(n.ID)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

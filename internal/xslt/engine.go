@@ -1,0 +1,208 @@
+// Package xslt implements the XSLT processing model of §4.3 — template
+// rules (match pattern, mode, output fragment with apply-templates
+// nodes) driven by the replacement semantics of Wadler's formal model —
+// together with generators that compile a valid schema embedding into
+// stylesheets for the instance mapping σd and its inverse σd⁻¹, and a
+// serializer emitting real <xsl:...> markup.
+//
+// The engine supports exactly the fragment the paper's constructions
+// need: match patterns that are text(), a label, or a label with an
+// existence guard (an X_R path); modes; apply-templates with an X_R
+// select expression and a mode; and literal output fragments.
+package xslt
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Pattern is a match pattern: text(), an element label, or a label
+// guarded by the existence of an X_R path (label[guard]).
+type Pattern struct {
+	// Text matches text nodes; Label and Guard are ignored.
+	Text bool
+	// Label matches elements with this tag.
+	Label string
+	// Guard, when non-zero, additionally requires the path to select at
+	// least one node from the matched element.
+	Guard xpath.Path
+}
+
+// Matches reports whether the pattern matches the node.
+func (p Pattern) Matches(n *xmltree.Node) bool {
+	if p.Text {
+		return n.IsText()
+	}
+	if n.IsText() || n.Label != p.Label {
+		return false
+	}
+	if !p.Guard.IsZero() {
+		return len(p.Guard.EvalPath(n)) > 0
+	}
+	return true
+}
+
+// Priority orders overlapping patterns: guarded label > label > text.
+func (p Pattern) Priority() int {
+	switch {
+	case !p.Guard.IsZero():
+		return 2
+	case p.Text:
+		return 1
+	default:
+		return 1
+	}
+}
+
+func (p Pattern) String() string {
+	if p.Text {
+		return "text()"
+	}
+	if !p.Guard.IsZero() {
+		return fmt.Sprintf("%s[%s]", p.Label, p.Guard)
+	}
+	return p.Label
+}
+
+// Out is one node of a template's output fragment.
+type Out struct {
+	// Element output: Label plus Children.
+	Label    string
+	Children []*Out
+	// Literal text output (when Label == "" and Apply == nil and
+	// CopyText is false).
+	Text string
+	// Apply marks an apply-templates instruction.
+	Apply *Apply
+	// CopyText emits the context text node's value (the final
+	// text-copying rule of §4.3).
+	CopyText bool
+}
+
+// Apply is an apply-templates node: evaluate Select from the current
+// context node and process the selected nodes with templates of Mode.
+type Apply struct {
+	Select xpath.Expr
+	Mode   string
+}
+
+// Element builds a literal element output node.
+func Element(label string, children ...*Out) *Out {
+	return &Out{Label: label, Children: children}
+}
+
+// Literal builds a literal text output node.
+func Literal(text string) *Out { return &Out{Text: text} }
+
+// ApplyTemplates builds an apply-templates output node.
+func ApplyTemplates(sel xpath.Expr, mode string) *Out {
+	return &Out{Apply: &Apply{Select: sel, Mode: mode}}
+}
+
+// Template is a rule (match, mode, output).
+type Template struct {
+	Match  Pattern
+	Mode   string
+	Output []*Out
+}
+
+// Stylesheet is an ordered set of template rules. Rule selection picks
+// the highest-priority matching rule of the requested mode; among equal
+// priorities the earliest rule wins.
+type Stylesheet struct {
+	Templates []*Template
+}
+
+// Add appends a rule.
+func (s *Stylesheet) Add(t *Template) { s.Templates = append(s.Templates, t) }
+
+// Run executes the stylesheet on a document: it applies templates to
+// the root in the default mode and returns the output document. It is
+// an error for a selected node to match no rule (the generated
+// stylesheets are complete; a miss indicates a document outside the
+// mapping's domain).
+func (s *Stylesheet) Run(doc *xmltree.Tree) (*xmltree.Tree, error) {
+	if doc.Root == nil {
+		return nil, fmt.Errorf("xslt: empty input document")
+	}
+	out := &xmltree.Tree{}
+	nodes, err := s.apply(out, []*xmltree.Node{doc.Root}, "")
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) != 1 {
+		return nil, fmt.Errorf("xslt: stylesheet produced %d root nodes, want 1", len(nodes))
+	}
+	out.Root = nodes[0]
+	return out, nil
+}
+
+// apply processes the source nodes with rules of the mode and returns
+// the produced output forest.
+func (s *Stylesheet) apply(out *xmltree.Tree, nodes []*xmltree.Node, mode string) ([]*xmltree.Node, error) {
+	var produced []*xmltree.Node
+	for _, n := range nodes {
+		t := s.lookup(n, mode)
+		if t == nil {
+			desc := n.Label
+			if n.IsText() {
+				desc = fmt.Sprintf("text %q", n.Text)
+			}
+			return nil, fmt.Errorf("xslt: no template matches %s in mode %q", desc, mode)
+		}
+		frag, err := s.instantiate(out, t.Output, n)
+		if err != nil {
+			return nil, err
+		}
+		produced = append(produced, frag...)
+	}
+	return produced, nil
+}
+
+func (s *Stylesheet) lookup(n *xmltree.Node, mode string) *Template {
+	var best *Template
+	for _, t := range s.Templates {
+		if t.Mode != mode || !t.Match.Matches(n) {
+			continue
+		}
+		if best == nil || t.Match.Priority() > best.Match.Priority() {
+			best = t
+		}
+	}
+	return best
+}
+
+func (s *Stylesheet) instantiate(out *xmltree.Tree, frag []*Out, ctx *xmltree.Node) ([]*xmltree.Node, error) {
+	var produced []*xmltree.Node
+	for _, o := range frag {
+		switch {
+		case o.Apply != nil:
+			sel := xpath.Eval(o.Apply.Select, ctx)
+			sub, err := s.apply(out, sel, o.Apply.Mode)
+			if err != nil {
+				return nil, err
+			}
+			produced = append(produced, sub...)
+		case o.CopyText:
+			if !ctx.IsText() {
+				return nil, fmt.Errorf("xslt: text copy on non-text node %q", ctx.Label)
+			}
+			produced = append(produced, out.NewText(ctx.Text))
+		case o.Label == "":
+			produced = append(produced, out.NewText(o.Text))
+		default:
+			el := out.NewElement(o.Label)
+			children, err := s.instantiate(out, o.Children, ctx)
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range children {
+				xmltree.Append(el, c)
+			}
+			produced = append(produced, el)
+		}
+	}
+	return produced, nil
+}

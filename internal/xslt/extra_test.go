@@ -1,0 +1,106 @@
+package xslt_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+	"repro/internal/xslt"
+)
+
+// TestSerializeDeterministic: two serializations of the same stylesheet
+// are byte-identical (templates are ordered for display).
+func TestSerializeDeterministic(t *testing.T) {
+	emb := workload.AuctionEmbedding()
+	sheet, err := xslt.InverseStylesheet(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := sheet.Serialize(), sheet.Serialize()
+	if a != b {
+		t.Error("serialization not deterministic")
+	}
+	if !strings.HasPrefix(a, `<?xml version="1.0"?>`) {
+		t.Error("missing XML declaration")
+	}
+	if !strings.Contains(a, `<xsl:value-of select="."/>`) {
+		t.Error("missing text-copy rule")
+	}
+}
+
+// TestEngineMultipleOutputItems: a template may output a forest; the
+// engine splices it in order.
+func TestEngineMultipleOutputItems(t *testing.T) {
+	sheet := &xslt.Stylesheet{}
+	sheet.Add(&xslt.Template{
+		Match: xslt.Pattern{Label: "r"},
+		Output: []*xslt.Out{
+			xslt.Element("wrapper",
+				xslt.ApplyTemplates(xpath.MustParse("a"), ""),
+			),
+		},
+	})
+	sheet.Add(&xslt.Template{
+		Match: xslt.Pattern{Label: "a"},
+		Output: []*xslt.Out{
+			xslt.Element("first"),
+			xslt.Literal("mid"),
+			xslt.Element("second"),
+		},
+	})
+	doc, _ := xmltree.ParseString(`<r><a/><a/></r>`)
+	got, err := sheet.Run(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := xmltree.ParseString(`<wrapper><first/>mid<second/><first/>mid<second/></wrapper>`)
+	if !xmltree.Equal(got, want) {
+		t.Errorf("forest output mismatch: %s", xmltree.Diff(want, got))
+	}
+}
+
+// TestEngineRootForestError: a stylesheet producing several roots is an
+// error.
+func TestEngineRootForestError(t *testing.T) {
+	sheet := &xslt.Stylesheet{}
+	sheet.Add(&xslt.Template{
+		Match:  xslt.Pattern{Label: "r"},
+		Output: []*xslt.Out{xslt.Element("x"), xslt.Element("y")},
+	})
+	doc, _ := xmltree.ParseString(`<r/>`)
+	if _, err := sheet.Run(doc); err == nil || !strings.Contains(err.Error(), "root nodes") {
+		t.Errorf("forest at root: %v", err)
+	}
+}
+
+// TestPatternString covers the display forms.
+func TestPatternString(t *testing.T) {
+	if got := (xslt.Pattern{Text: true}).String(); got != "text()" {
+		t.Errorf("text pattern = %q", got)
+	}
+	if got := (xslt.Pattern{Label: "a"}).String(); got != "a" {
+		t.Errorf("label pattern = %q", got)
+	}
+	g := xslt.Pattern{Label: "a", Guard: xpath.NewPath("b", "c")}
+	if got := g.String(); got != "a[b/c]" {
+		t.Errorf("guarded pattern = %q", got)
+	}
+}
+
+// TestAuctionXSLTSerialization: the large embedding's stylesheets
+// serialize with the expected mode structure.
+func TestAuctionXSLTSerialization(t *testing.T) {
+	emb := workload.AuctionEmbedding()
+	fwd, err := xslt.ForwardStylesheet(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := fwd.Serialize()
+	for _, want := range []string{`mode="M-people"`, `match="description[text]"`, `match="description[parlist]"`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("forward sheet lacks %q", want)
+		}
+	}
+}

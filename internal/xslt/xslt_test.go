@@ -1,0 +1,290 @@
+package xslt_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/embedding"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+	"repro/internal/xslt"
+)
+
+const classDoc = `
+<db>
+  <class>
+    <cno>CS331</cno><title>DB</title>
+    <type><regular><prereq>
+      <class><cno>CS210</cno><title>Algo</title><type><project>p</project></type></class>
+    </prereq></regular></type>
+  </class>
+  <class><cno>CS100</cno><title>Intro</title><type><project>maze</project></type></class>
+</db>`
+
+// TestEngineBasics runs a tiny hand-written stylesheet.
+func TestEngineBasics(t *testing.T) {
+	sheet := &xslt.Stylesheet{}
+	sheet.Add(&xslt.Template{
+		Match: xslt.Pattern{Label: "r"},
+		Output: []*xslt.Out{
+			xslt.Element("out",
+				xslt.ApplyTemplates(xpath.MustParse("a"), ""),
+				xslt.Literal("done"),
+			),
+		},
+	})
+	sheet.Add(&xslt.Template{
+		Match:  xslt.Pattern{Label: "a"},
+		Output: []*xslt.Out{xslt.Element("item", xslt.ApplyTemplates(xpath.MustParse("text()"), ""))},
+	})
+	sheet.Add(&xslt.Template{Match: xslt.Pattern{Text: true}, Output: []*xslt.Out{{CopyText: true}}})
+	doc, _ := xmltree.ParseString(`<r><a>x</a><a>y</a></r>`)
+	got, err := sheet.Run(doc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want, _ := xmltree.ParseString(`<out><item>x</item><item>y</item>done</out>`)
+	if !xmltree.Equal(got, want) {
+		t.Errorf("output mismatch: %s", xmltree.Diff(want, got))
+	}
+}
+
+func TestEngineGuardPriority(t *testing.T) {
+	sheet := &xslt.Stylesheet{}
+	sheet.Add(&xslt.Template{Match: xslt.Pattern{Label: "a"}, Output: []*xslt.Out{xslt.Element("plain")}})
+	sheet.Add(&xslt.Template{
+		Match:  xslt.Pattern{Label: "a", Guard: xpath.NewPath("b")},
+		Output: []*xslt.Out{xslt.Element("guarded")},
+	})
+	withB, _ := xmltree.ParseString(`<a><b/></a>`)
+	got, err := sheet.Run(withB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Root.Label != "guarded" {
+		t.Errorf("guarded rule not preferred: got %q", got.Root.Label)
+	}
+	plain, _ := xmltree.ParseString(`<a/>`)
+	got, err = sheet.Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Root.Label != "plain" {
+		t.Errorf("fallback rule not used: got %q", got.Root.Label)
+	}
+}
+
+func TestEngineNoMatchError(t *testing.T) {
+	sheet := &xslt.Stylesheet{}
+	sheet.Add(&xslt.Template{Match: xslt.Pattern{Label: "r"}, Output: []*xslt.Out{xslt.ApplyTemplates(xpath.MustParse("x"), "")}})
+	doc, _ := xmltree.ParseString(`<r><x/></r>`)
+	if _, err := sheet.Run(doc); err == nil || !strings.Contains(err.Error(), "no template") {
+		t.Errorf("missing rule: err = %v", err)
+	}
+}
+
+// TestForwardMatchesInstMap: the generated σd stylesheet produces
+// exactly the document InstMap produces.
+func TestForwardMatchesInstMap(t *testing.T) {
+	emb := workload.ClassEmbedding()
+	sheet, err := xslt.ForwardStylesheet(emb)
+	if err != nil {
+		t.Fatalf("ForwardStylesheet: %v", err)
+	}
+	src, _ := xmltree.ParseString(classDoc)
+	viaXSLT, err := sheet.Run(src)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	res, err := emb.Apply(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(viaXSLT, res.Tree) {
+		t.Errorf("XSLT σd differs from InstMap: %s", xmltree.Diff(res.Tree, viaXSLT))
+	}
+}
+
+// TestInverseStylesheet: the generated σd⁻¹ stylesheet recovers the
+// source document.
+func TestInverseStylesheet(t *testing.T) {
+	emb := workload.ClassEmbedding()
+	fwd, err := xslt.ForwardStylesheet(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := xslt.InverseStylesheet(emb)
+	if err != nil {
+		t.Fatalf("InverseStylesheet: %v", err)
+	}
+	src, _ := xmltree.ParseString(classDoc)
+	mapped, err := fwd.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := inv.Run(mapped)
+	if err != nil {
+		t.Fatalf("inverse Run: %v", err)
+	}
+	if !xmltree.Equal(src, back) {
+		t.Errorf("XSLT round trip: %s", xmltree.Diff(src, back))
+	}
+}
+
+// TestXSLTRoundTripProperty: σd and σd⁻¹ stylesheets round-trip random
+// instances for both Figure 1 embeddings (invariant 4 of DESIGN.md).
+func TestXSLTRoundTripProperty(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		emb  *embedding.Embedding
+	}{
+		{"sigma1", workload.ClassEmbedding()},
+		{"sigma2", workload.StudentEmbedding()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fwd, err := xslt.ForwardStylesheet(tc.emb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inv, err := xslt.InverseStylesheet(tc.emb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prop := func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				src := xmltree.MustGenerate(tc.emb.Source, r, xmltree.GenOptions{})
+				mapped, err := fwd.Run(src)
+				if err != nil {
+					t.Logf("seed %d: forward: %v", seed, err)
+					return false
+				}
+				if err := mapped.Validate(tc.emb.Target); err != nil {
+					t.Logf("seed %d: conformance: %v", seed, err)
+					return false
+				}
+				direct, err := tc.emb.Apply(src)
+				if err != nil {
+					t.Logf("seed %d: instmap: %v", seed, err)
+					return false
+				}
+				if !xmltree.Equal(mapped, direct.Tree) {
+					t.Logf("seed %d: XSLT vs InstMap: %s", seed, xmltree.Diff(direct.Tree, mapped))
+					return false
+				}
+				back, err := inv.Run(mapped)
+				if err != nil {
+					t.Logf("seed %d: inverse: %v", seed, err)
+					return false
+				}
+				if !xmltree.Equal(src, back) {
+					t.Logf("seed %d: round trip: %s", seed, xmltree.Diff(src, back))
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestExample46Shapes: the serialized σd stylesheet contains the
+// Example 4.6 structures — the class rule with inlined defaults, the
+// guarded type rules, and the db prefix/suffix pair with a dedicated
+// mode.
+func TestExample46Shapes(t *testing.T) {
+	emb := workload.ClassEmbedding()
+	sheet, err := xslt.ForwardStylesheet(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := sheet.Serialize()
+	for _, want := range []string{
+		`match="class"`,
+		`<credit>`,
+		`#s`,
+		`match="type[regular]"`,
+		`match="type[project]"`,
+		`<mandatory>`,
+		`<advanced>`,
+		`match="db"`,
+		`mode="M-db"`,
+		`<courses>`,
+		`<current>`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("serialized σd stylesheet lacks %q\n%s", want, text)
+		}
+	}
+}
+
+// TestExample45Shapes: the serialized σd⁻¹ stylesheet matches the
+// Example 4.5 structure — the course rule selecting basic/cno,
+// class/semester/title and category, and guarded category rules.
+func TestExample45Shapes(t *testing.T) {
+	emb := workload.ClassEmbedding()
+	sheet, err := xslt.InverseStylesheet(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := sheet.Serialize()
+	for _, want := range []string{
+		`match="course"`,
+		`select="basic/cno`,
+		`semester[position() = 1]/title`,
+		`match="category[mandatory/regular]"`,
+		`match="category[advanced/project]"`,
+		`select="mandatory/regular"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("serialized σd⁻¹ stylesheet lacks %q\n%s", want, text)
+		}
+	}
+}
+
+// TestNonInjectiveLambdaInverse: per-type modes keep the inverse
+// stylesheet unambiguous when λ maps two source types to one target
+// type (Figure 3(c)).
+func TestNonInjectiveLambdaInverse(t *testing.T) {
+	var scen workload.Fig3Scenario
+	for _, sc := range workload.Figure3() {
+		if strings.HasPrefix(sc.Name, "c-") {
+			scen = sc
+		}
+	}
+	emb := scen.Build()
+	fwd, err := xslt.ForwardStylesheet(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := xslt.InverseStylesheet(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := xmltree.ParseString(`<A><B/><C/></A>`)
+	mapped, err := fwd.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := inv.Run(mapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(src, back) {
+		t.Errorf("non-injective λ round trip: %s", xmltree.Diff(src, back))
+	}
+}
+
+func TestInvalidEmbeddingRejected(t *testing.T) {
+	emb := workload.Figure2Mapping()
+	if _, err := xslt.ForwardStylesheet(emb); err == nil {
+		t.Error("ForwardStylesheet accepted an invalid embedding")
+	}
+	if _, err := xslt.InverseStylesheet(emb); err == nil {
+		t.Error("InverseStylesheet accepted an invalid embedding")
+	}
+}
