@@ -1,0 +1,31 @@
+GO ?= go
+FUZZTIME ?= 5s
+
+.PHONY: all build vet test race fuzz bench check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Fuzz smoke: run each native fuzz target briefly. Lengthen with e.g.
+# `make fuzz FUZZTIME=5m` for a real session.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzDTDParse -fuzztime=$(FUZZTIME) ./internal/dtd
+	$(GO) test -run='^$$' -fuzz=FuzzXPathParse -fuzztime=$(FUZZTIME) ./internal/xpath
+	$(GO) test -run='^$$' -fuzz=FuzzXMLDecode -fuzztime=$(FUZZTIME) ./internal/xmltree
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Tier-1+ gate (see ROADMAP.md): everything a PR must keep green.
+check: vet build race fuzz

@@ -213,7 +213,7 @@ func BenchmarkFindRandom(b *testing.B) {
 // on a mid-sized synthetic pair.
 func BenchmarkFindUnambiguous(b *testing.B) {
 	r := rand.New(rand.NewSource(5))
-	base := workload.SyntheticDTD(r, 60)
+	base := workload.MustSyntheticDTD(r, 60)
 	nc := workload.Noise(base, workload.NoiseLevel(0.2), r)
 	att := embedding.NewSimMatrix()
 	for a, t := range nc.Truth {

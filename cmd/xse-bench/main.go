@@ -20,13 +20,14 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "run one experiment: e1..e7 (default: all)")
-		quick  = flag.Bool("quick", false, "reduced sweeps")
-		trials = flag.Int("trials", 0, "trials per configuration point (default 20, quick 5)")
-		seed   = flag.Int64("seed", 1, "random seed")
+		exp     = flag.String("exp", "", "run one experiment: e1..e7 (default: all)")
+		quick   = flag.Bool("quick", false, "reduced sweeps")
+		trials  = flag.Int("trials", 0, "trials per configuration point (default 20, quick 5)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		timeout = flag.Duration("search-timeout", 0, "deadline per embedding search; timed-out trials count as failures (0 = none)")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick, SearchTimeout: *timeout}
 	if *exp != "" {
 		table, ok := experiments.ByID(*exp, cfg)
 		if !ok {

@@ -7,17 +7,33 @@
 //	xse-embed -source s1.dtd -target s2.dtd [-source-root r1] [-target-root r2]
 //	          [-att lexical|uniform] [-threshold 0.5]
 //	          [-heuristic random|quality|indepset|exact] [-seed 1]
-//	          [-restarts 40] [-o mapping.xse]
+//	          [-restarts 40] [-timeout 30s] [-max-input 67108864]
+//	          [-o mapping.xse]
+//
+// Exit codes: 0 success, 1 internal error, 2 usage, 3 invalid input
+// (unreadable or malformed schemas, resource limits exceeded),
+// 4 timeout or cancellation, 5 no embedding found.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/search"
+)
+
+const (
+	exitInternal = 1
+	exitUsage    = 2
+	exitInvalid  = 3
+	exitTimeout  = 4
+	exitNotFound = 5
 )
 
 func main() {
@@ -32,17 +48,20 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		restarts   = flag.Int("restarts", 40, "max random restarts")
 		parallel   = flag.Int("parallel", 1, "worker goroutines for restarts")
+		timeout    = flag.Duration("timeout", 0, "bound the embedding search (0 = no deadline)")
+		maxInput   = flag.Int("max-input", 0, "max schema file size in bytes (0 = default 64MiB, -1 = unlimited)")
 		output     = flag.String("o", "", "output file (default: stdout)")
 		verbose    = flag.Bool("v", false, "print search statistics to stderr")
 	)
 	flag.Parse()
 	if *sourceFile == "" || *targetFile == "" {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
+	lim := core.Limits{MaxInputBytes: *maxInput}
 
-	src := mustSchema(*sourceFile, *sourceRoot)
-	tgt := mustSchema(*targetFile, *targetRoot)
+	src := mustSchema(*sourceFile, *sourceRoot, lim)
+	tgt := mustSchema(*targetFile, *targetRoot, lim)
 
 	var att *core.SimMatrix
 	switch *attKind {
@@ -51,7 +70,7 @@ func main() {
 	case "uniform":
 		att = core.UniformSim(src, tgt)
 	default:
-		fatalf("unknown -att %q (want lexical or uniform)", *attKind)
+		fatalf(exitUsage, "unknown -att %q (want lexical or uniform)", *attKind)
 	}
 
 	var h core.Heuristic
@@ -65,27 +84,37 @@ func main() {
 	case "exact":
 		h = search.Exact
 	default:
-		fatalf("unknown -heuristic %q", *heuristic)
+		fatalf(exitUsage, "unknown -heuristic %q", *heuristic)
 	}
 
-	res, err := core.Find(src, tgt, att, core.FindOptions{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := core.FindCtx(ctx, src, tgt, att, core.FindOptions{
 		Heuristic:   h,
 		Seed:        *seed,
 		MaxRestarts: *restarts,
 		Parallel:    *parallel,
 	})
-	if err != nil {
-		fatalf("search: %v", err)
+	if *verbose && res != nil {
+		fmt.Fprintf(os.Stderr, "heuristic=%s restarts=%d steps=%d paths=%d elapsed=%s exhausted=%v\n",
+			h, res.Restarts, res.Steps, res.PathsEnumerated, res.Elapsed, res.Exhausted)
 	}
-	if *verbose {
-		fmt.Fprintf(os.Stderr, "heuristic=%s restarts=%d steps=%d elapsed=%s exhausted=%v\n",
-			h, res.Restarts, res.Steps, res.Elapsed, res.Exhausted)
+	if err != nil {
+		if errors.Is(err, core.ErrDeadline) || errors.Is(err, core.ErrCanceled) {
+			fatalf(exitTimeout, "%v after %s (restarts=%d, paths enumerated=%d)",
+				err, res.Elapsed.Round(time.Millisecond), res.Restarts, res.PathsEnumerated)
+		}
+		fatalf(exitInternal, "search: %v", err)
 	}
 	if res.Embedding == nil {
 		if res.Exhausted {
-			fatalf("no embedding exists within the search bounds")
+			fatalf(exitNotFound, "no embedding exists within the search bounds")
 		}
-		fatalf("no embedding found (budget exhausted; try -restarts or -att uniform)")
+		fatalf(exitNotFound, "no embedding found (budget exhausted; try -restarts or -att uniform)")
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "quality=%.2f of %d types\n", res.Quality, src.Size())
@@ -96,23 +125,23 @@ func main() {
 		return
 	}
 	if err := os.WriteFile(*output, []byte(text), 0o644); err != nil {
-		fatalf("write %s: %v", *output, err)
+		fatalf(exitInternal, "write %s: %v", *output, err)
 	}
 }
 
-func mustSchema(path, root string) *core.DTD {
+func mustSchema(path, root string, lim core.Limits) *core.DTD {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fatalf("read %s: %v", path, err)
+		fatalf(exitInvalid, "read %s: %v", path, err)
 	}
-	d, err := core.ParseDTD(string(data), root)
+	d, err := core.ParseDTDLimits(string(data), root, lim)
 	if err != nil {
-		fatalf("%s: %v", path, err)
+		fatalf(exitInvalid, "%s: %v", path, err)
 	}
 	return d
 }
 
-func fatalf(format string, args ...any) {
+func fatalf(code int, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "xse-embed: "+format+"\n", args...)
-	os.Exit(1)
+	os.Exit(code)
 }

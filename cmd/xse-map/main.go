@@ -9,17 +9,31 @@
 //	-invert        apply σd⁻¹ instead of σd
 //	-xslt          print the stylesheet instead of transforming
 //	-via-xslt      transform by running the generated stylesheet
+//	-timeout d     abort the whole run after duration d (exit 4)
+//	-max-input n   max input size in bytes (0 = default, -1 = unlimited)
 //	-o file        output file (default stdout)
+//
+// Exit codes: 0 success, 1 internal error, 2 usage, 3 invalid input
+// (unreadable/malformed schemas, mappings or documents, resource
+// limits exceeded), 4 timeout.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/embedding"
 	"repro/internal/xmltree"
+)
+
+const (
+	exitInternal = 1
+	exitUsage    = 2
+	exitInvalid  = 3
+	exitTimeout  = 4
 )
 
 func main() {
@@ -32,23 +46,34 @@ func main() {
 		invert      = flag.Bool("invert", false, "apply the inverse mapping σd⁻¹")
 		emitXSLT    = flag.Bool("xslt", false, "print the XSLT stylesheet and exit")
 		viaXSLT     = flag.Bool("via-xslt", false, "transform by executing the generated stylesheet")
+		timeout     = flag.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
+		maxInput    = flag.Int("max-input", 0, "max input size in bytes (0 = default 64MiB, -1 = unlimited)")
 		output      = flag.String("o", "", "output file (default: stdout)")
 	)
 	flag.Parse()
 	if *mappingFile == "" || *sourceFile == "" || *targetFile == "" {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
+	if *timeout > 0 {
+		// The mapping stages are not context-aware; a watchdog turns a
+		// stuck run into a clean, distinguishable exit.
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintf(os.Stderr, "xse-map: timeout after %s\n", *timeout)
+			os.Exit(exitTimeout)
+		})
+	}
+	lim := core.Limits{MaxInputBytes: *maxInput}
 
-	src := mustSchema(*sourceFile, *sourceRoot)
-	tgt := mustSchema(*targetFile, *targetRoot)
+	src := mustSchema(*sourceFile, *sourceRoot, lim)
+	tgt := mustSchema(*targetFile, *targetRoot, lim)
 	sigma := mustMapping(*mappingFile, src, tgt)
 
 	out := os.Stdout
 	if *output != "" {
 		f, err := os.Create(*output)
 		if err != nil {
-			fatalf("%v", err)
+			fatalf(exitInternal, "%v", err)
 		}
 		defer f.Close()
 		out = f
@@ -57,38 +82,38 @@ func main() {
 	if *emitXSLT {
 		sheet, err := stylesheet(sigma, *invert)
 		if err != nil {
-			fatalf("generate stylesheet: %v", err)
+			fatalf(exitInternal, "generate stylesheet: %v", err)
 		}
 		fmt.Fprint(out, sheet.Serialize())
 		return
 	}
 
 	if flag.NArg() != 1 {
-		fatalf("exactly one input document expected")
+		fatalf(exitUsage, "exactly one input document expected")
 	}
-	doc := mustDoc(flag.Arg(0))
+	doc := mustDoc(flag.Arg(0), lim)
 
 	var result *xmltree.Tree
 	switch {
 	case *viaXSLT:
 		sheet, err := stylesheet(sigma, *invert)
 		if err != nil {
-			fatalf("generate stylesheet: %v", err)
+			fatalf(exitInternal, "generate stylesheet: %v", err)
 		}
 		result, err = sheet.Run(doc)
 		if err != nil {
-			fatalf("stylesheet execution: %v", err)
+			fatalf(exitInvalid, "stylesheet execution: %v", err)
 		}
 	case *invert:
 		var err error
 		result, err = sigma.Invert(doc)
 		if err != nil {
-			fatalf("inverse mapping: %v", err)
+			fatalf(exitInvalid, "inverse mapping: %v", err)
 		}
 	default:
 		res, err := sigma.Apply(doc)
 		if err != nil {
-			fatalf("instance mapping: %v", err)
+			fatalf(exitInvalid, "instance mapping: %v", err)
 		}
 		result = res.Tree
 	}
@@ -98,7 +123,7 @@ func main() {
 		check = src
 	}
 	if err := result.Validate(check); err != nil {
-		fatalf("internal error: output does not conform: %v", err)
+		fatalf(exitInternal, "internal error: output does not conform: %v", err)
 	}
 	fmt.Fprint(out, result)
 }
@@ -110,14 +135,14 @@ func stylesheet(sigma *core.Embedding, invert bool) (*core.Stylesheet, error) {
 	return core.ForwardXSLT(sigma)
 }
 
-func mustSchema(path, root string) *core.DTD {
+func mustSchema(path, root string, lim core.Limits) *core.DTD {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fatalf("read %s: %v", path, err)
+		fatalf(exitInvalid, "read %s: %v", path, err)
 	}
-	d, err := core.ParseDTD(string(data), root)
+	d, err := core.ParseDTDLimits(string(data), root, lim)
 	if err != nil {
-		fatalf("%s: %v", path, err)
+		fatalf(exitInvalid, "%s: %v", path, err)
 	}
 	return d
 }
@@ -125,32 +150,32 @@ func mustSchema(path, root string) *core.DTD {
 func mustMapping(path string, src, tgt *core.DTD) *core.Embedding {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fatalf("read %s: %v", path, err)
+		fatalf(exitInvalid, "read %s: %v", path, err)
 	}
 	sigma, err := embedding.Unmarshal(string(data), src, tgt)
 	if err != nil {
-		fatalf("%s: %v", path, err)
+		fatalf(exitInvalid, "%s: %v", path, err)
 	}
 	if err := sigma.Validate(nil); err != nil {
-		fatalf("%s: invalid embedding: %v", path, err)
+		fatalf(exitInvalid, "%s: invalid embedding: %v", path, err)
 	}
 	return sigma
 }
 
-func mustDoc(path string) *xmltree.Tree {
+func mustDoc(path string, lim core.Limits) *xmltree.Tree {
 	f, err := os.Open(path)
 	if err != nil {
-		fatalf("%v", err)
+		fatalf(exitInvalid, "%v", err)
 	}
 	defer f.Close()
-	doc, err := xmltree.Parse(f)
+	doc, err := core.ParseXMLLimits(f, lim)
 	if err != nil {
-		fatalf("%s: %v", path, err)
+		fatalf(exitInvalid, "%s: %v", path, err)
 	}
 	return doc
 }
 
-func fatalf(format string, args ...any) {
+func fatalf(code int, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "xse-map: "+format+"\n", args...)
-	os.Exit(1)
+	os.Exit(code)
 }

@@ -11,16 +11,31 @@
 //	               document and verify Q(T) = idM(Tr(Q)(σd(T)))
 //	-show-anfa     print the translated automaton
 //	-show-regex    expand the automaton back to regular XPath (small automata)
+//	-timeout d     abort the whole run after duration d (exit 4)
+//	-max-input n   max input size in bytes (0 = default, -1 = unlimited)
+//
+// Exit codes: 0 success, 1 internal error or failed preservation
+// check, 2 usage, 3 invalid input (unreadable/malformed schemas,
+// mappings, queries or documents, resource limits exceeded),
+// 4 timeout.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/embedding"
 	"repro/internal/xmltree"
+)
+
+const (
+	exitInternal = 1
+	exitUsage    = 2
+	exitInvalid  = 3
+	exitTimeout  = 4
 )
 
 func main() {
@@ -35,28 +50,39 @@ func main() {
 		srcDocFile  = flag.String("source-doc", "", "source document for a preservation check")
 		showANFA    = flag.Bool("show-anfa", false, "print the translated automaton")
 		showRegex   = flag.Bool("show-regex", false, "print the translated query as regular XPath")
+		timeout     = flag.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
+		maxInput    = flag.Int("max-input", 0, "max input size in bytes (0 = default 64MiB, -1 = unlimited)")
 	)
 	flag.Parse()
 	if *mappingFile == "" || *sourceFile == "" || *targetFile == "" || *queryText == "" {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
+	if *timeout > 0 {
+		// Translation and evaluation are not context-aware; a watchdog
+		// turns a stuck run into a clean, distinguishable exit.
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintf(os.Stderr, "xse-query: timeout after %s\n", *timeout)
+			os.Exit(exitTimeout)
+		})
+	}
+	lim := core.Limits{MaxInputBytes: *maxInput}
 
-	src := mustSchema(*sourceFile, *sourceRoot)
-	tgt := mustSchema(*targetFile, *targetRoot)
+	src := mustSchema(*sourceFile, *sourceRoot, lim)
+	tgt := mustSchema(*targetFile, *targetRoot, lim)
 	sigma := mustMapping(*mappingFile, src, tgt)
 
-	q, err := core.ParseQuery(*queryText)
+	q, err := core.ParseQueryLimits(*queryText, lim)
 	if err != nil {
-		fatalf("parse query: %v", err)
+		fatalf(exitInvalid, "parse query: %v", err)
 	}
 	tr, err := core.NewTranslator(sigma)
 	if err != nil {
-		fatalf("%v", err)
+		fatalf(exitInvalid, "%v", err)
 	}
 	auto, err := tr.Translate(q)
 	if err != nil {
-		fatalf("translate: %v", err)
+		fatalf(exitInvalid, "translate: %v", err)
 	}
 	fmt.Printf("query:      %s\n", core.QueryString(q))
 	fmt.Printf("automaton:  %d states+transitions\n", auto.Size())
@@ -77,10 +103,10 @@ func main() {
 	}
 
 	if *srcDocFile != "" {
-		srcDoc := mustDoc(*srcDocFile)
+		srcDoc := mustDoc(*srcDocFile, lim)
 		res, err := sigma.Apply(srcDoc)
 		if err != nil {
-			fatalf("map source document: %v", err)
+			fatalf(exitInvalid, "map source document: %v", err)
 		}
 		want := core.EvalQuery(q, srcDoc.Root)
 		got := auto.Eval(res.Tree.Root)
@@ -101,12 +127,12 @@ func main() {
 		}
 		fmt.Printf("Q(T) = idM(Tr(Q)(σd(T))): %v\n", ok)
 		if !ok {
-			os.Exit(1)
+			os.Exit(exitInternal)
 		}
 		return
 	}
 
-	doc := mustDoc(*docFile)
+	doc := mustDoc(*docFile, lim)
 	answers := auto.Eval(doc.Root)
 	fmt.Printf("answers (%d):\n", len(answers))
 	for _, n := range answers {
@@ -122,14 +148,14 @@ func main() {
 	}
 }
 
-func mustSchema(path, root string) *core.DTD {
+func mustSchema(path, root string, lim core.Limits) *core.DTD {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fatalf("read %s: %v", path, err)
+		fatalf(exitInvalid, "read %s: %v", path, err)
 	}
-	d, err := core.ParseDTD(string(data), root)
+	d, err := core.ParseDTDLimits(string(data), root, lim)
 	if err != nil {
-		fatalf("%s: %v", path, err)
+		fatalf(exitInvalid, "%s: %v", path, err)
 	}
 	return d
 }
@@ -137,32 +163,32 @@ func mustSchema(path, root string) *core.DTD {
 func mustMapping(path string, src, tgt *core.DTD) *core.Embedding {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fatalf("read %s: %v", path, err)
+		fatalf(exitInvalid, "read %s: %v", path, err)
 	}
 	sigma, err := embedding.Unmarshal(string(data), src, tgt)
 	if err != nil {
-		fatalf("%s: %v", path, err)
+		fatalf(exitInvalid, "%s: %v", path, err)
 	}
 	if err := sigma.Validate(nil); err != nil {
-		fatalf("%s: invalid embedding: %v", path, err)
+		fatalf(exitInvalid, "%s: invalid embedding: %v", path, err)
 	}
 	return sigma
 }
 
-func mustDoc(path string) *xmltree.Tree {
+func mustDoc(path string, lim core.Limits) *xmltree.Tree {
 	f, err := os.Open(path)
 	if err != nil {
-		fatalf("%v", err)
+		fatalf(exitInvalid, "%v", err)
 	}
 	defer f.Close()
-	doc, err := xmltree.Parse(f)
+	doc, err := core.ParseXMLLimits(f, lim)
 	if err != nil {
-		fatalf("%s: %v", path, err)
+		fatalf(exitInvalid, "%s: %v", path, err)
 	}
 	return doc
 }
 
-func fatalf(format string, args ...any) {
+func fatalf(code int, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "xse-query: "+format+"\n", args...)
-	os.Exit(1)
+	os.Exit(code)
 }

@@ -21,12 +21,14 @@
 package core
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
 	"repro/internal/anfa"
 	"repro/internal/dtd"
 	"repro/internal/embedding"
+	"repro/internal/guard"
 	"repro/internal/match"
 	"repro/internal/search"
 	"repro/internal/translate"
@@ -101,6 +103,32 @@ const (
 	Exact          = search.Exact
 )
 
+// Resource-limit types (see internal/guard).
+type (
+	// Limits bounds parser and generator resource use: recursion depth,
+	// input bytes, declared types and document nodes. The zero value
+	// selects defaults; negative fields disable a bound.
+	Limits = guard.Limits
+	// LimitError is the structured error returned when a Limits bound
+	// is exceeded.
+	LimitError = guard.LimitError
+)
+
+// DefaultLimits returns the default resource bounds.
+func DefaultLimits() Limits { return guard.Default() }
+
+// UnlimitedLimits returns bounds that disable every limit.
+func UnlimitedLimits() Limits { return guard.Unlimited() }
+
+// Typed cancellation errors from FindCtx. Each also matches the
+// corresponding context error under errors.Is.
+var (
+	// ErrDeadline reports a search cut short by a context deadline.
+	ErrDeadline = search.ErrDeadline
+	// ErrCanceled reports a search cut short by context cancellation.
+	ErrCanceled = search.ErrCanceled
+)
+
 // StrChild is the pseudo child naming str edges in EdgeRef.
 const StrChild = embedding.StrChild
 
@@ -125,10 +153,18 @@ var (
 // content models); root "" selects the first declared element.
 func ParseDTD(src, root string) (*DTD, error) { return dtd.Parse(src, root) }
 
+// ParseDTDLimits is ParseDTD with explicit resource bounds.
+func ParseDTDLimits(src, root string, lim Limits) (*DTD, error) {
+	return dtd.ParseLimits(src, root, lim)
+}
+
 // Documents.
 
 // ParseXML reads an XML document.
 func ParseXML(r io.Reader) (*Tree, error) { return xmltree.Parse(r) }
+
+// ParseXMLLimits is ParseXML with explicit resource bounds.
+func ParseXMLLimits(r io.Reader, lim Limits) (*Tree, error) { return xmltree.ParseLimits(r, lim) }
 
 // ParseXMLString reads an XML document from a string.
 func ParseXMLString(s string) (*Tree, error) { return xmltree.ParseString(s) }
@@ -145,6 +181,9 @@ func GenerateDoc(d *DTD, r *rand.Rand, opts xmltree.GenOptions) (*Tree, error) {
 
 // ParseQuery parses an X_R (or X) query.
 func ParseQuery(src string) (Query, error) { return xpath.Parse(src) }
+
+// ParseQueryLimits is ParseQuery with explicit resource bounds.
+func ParseQueryLimits(src string, lim Limits) (Query, error) { return xpath.ParseLimits(src, lim) }
 
 // EvalQuery evaluates a query at a context node.
 func EvalQuery(q Query, ctx *Node) []*Node { return xpath.Eval(q, ctx) }
@@ -177,6 +216,14 @@ func LexicalSim(src, tgt *DTD, threshold float64) *SimMatrix {
 // Find searches for a valid embedding; see search.Find.
 func Find(src, tgt *DTD, att *SimMatrix, opts FindOptions) (*FindResult, error) {
 	return search.Find(src, tgt, att, opts)
+}
+
+// FindCtx is Find with cancellation and deadline support: when ctx
+// ends, the search stops at the next loop boundary and returns
+// ErrDeadline or ErrCanceled alongside partial-progress statistics
+// (and the best embedding found so far, if any).
+func FindCtx(ctx context.Context, src, tgt *DTD, att *SimMatrix, opts FindOptions) (*FindResult, error) {
+	return search.FindCtx(ctx, src, tgt, att, opts)
 }
 
 // Query translation.

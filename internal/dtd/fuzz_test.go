@@ -1,0 +1,51 @@
+package dtd
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/guard"
+)
+
+// FuzzDTDParse asserts that Parse never panics on arbitrary input and
+// that accepted schemas round-trip: the normal form is a fixpoint of
+// parse → String → parse.
+func FuzzDTDParse(f *testing.F) {
+	seeds := []string{
+		"<!ELEMENT a (#PCDATA)>",
+		"<!ELEMENT a EMPTY>",
+		"<!ELEMENT a (b, c)>\n<!ELEMENT b EMPTY>\n<!ELEMENT c (#PCDATA)>",
+		"<!ELEMENT a (b | c)>\n<!ELEMENT b EMPTY>\n<!ELEMENT c EMPTY>",
+		"<!ELEMENT a (b)*>\n<!ELEMENT b (#PCDATA)>",
+		"<!ELEMENT a (b?, (c | d)+)>\n<!ELEMENT b EMPTY>\n<!ELEMENT c EMPTY>\n<!ELEMENT d EMPTY>",
+		"<!ELEMENT a ((((b))))>\n<!ELEMENT b EMPTY>",
+		"<!ELEMENT a (a | b)>\n<!ELEMENT b EMPTY>",
+		"<!ELEMENT x.1 (x.2)>\n<!ELEMENT x.2 EMPTY>",
+		"<!ELEMENT a",
+		"<!ELEMENT a ()>",
+		"garbage",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	tight := guard.Limits{MaxDepth: 8, MaxInputBytes: 1 << 12, MaxTypes: 16}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Tight limits must reject gracefully — a structured LimitError
+		// or a parse error, never a panic or stack overflow.
+		if _, err := ParseLimits(src, "", tight); err != nil {
+			var le *guard.LimitError
+			_ = errors.As(err, &le)
+		}
+		d, err := Parse(src, "")
+		if err != nil {
+			return
+		}
+		d2, err := Parse(d.String(), d.Root)
+		if err != nil {
+			t.Fatalf("reparse of normal form failed: %v\ninput: %q\nnormal form:\n%s", err, src, d.String())
+		}
+		if !d2.Equal(d) {
+			t.Errorf("normal form not a parse fixpoint\ninput: %q\nfirst:\n%s\nsecond:\n%s", src, d.String(), d2.String())
+		}
+	})
+}

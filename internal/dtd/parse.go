@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+
+	"repro/internal/guard"
 )
 
 // Parse reads DTD element declarations from src and returns the schema
@@ -13,11 +15,22 @@ import (
 // (the paper's model has no attributes). ANY content models and
 // parameter entities are not supported.
 //
+// Parse enforces the default guard.Limits (input size, content-group
+// nesting depth, declaration count); hostile input fails with a
+// *guard.LimitError instead of exhausting the stack or the heap. Use
+// ParseLimits to tighten or lift the bounds.
+//
 // Go's encoding/xml deliberately does not parse or validate DTDs, so
 // this parser is the substrate standing in for a validating XML
 // processor's DTD front end.
 func Parse(src, root string) (*DTD, error) {
-	g, err := ParseGeneral(src, root)
+	return ParseLimits(src, root, guard.Limits{})
+}
+
+// ParseLimits is Parse under explicit resource limits (zero fields
+// select the defaults; guard.Unlimited() disables the checks).
+func ParseLimits(src, root string, lim guard.Limits) (*DTD, error) {
+	g, err := ParseGeneralLimits(src, root, lim)
 	if err != nil {
 		return nil, err
 	}
@@ -25,9 +38,18 @@ func Parse(src, root string) (*DTD, error) {
 }
 
 // ParseGeneral reads DTD element declarations without normalizing the
-// content models.
+// content models, under the default limits.
 func ParseGeneral(src, root string) (*GeneralDTD, error) {
-	p := &dtdParser{src: src}
+	return ParseGeneralLimits(src, root, guard.Limits{})
+}
+
+// ParseGeneralLimits is ParseGeneral under explicit resource limits.
+func ParseGeneralLimits(src, root string, lim guard.Limits) (*GeneralDTD, error) {
+	lim = lim.WithDefaults()
+	if err := lim.CheckInputBytes(len(src), "dtd: parse"); err != nil {
+		return nil, err
+	}
+	p := &dtdParser{src: src, lim: lim}
 	g := &GeneralDTD{Prods: make(map[string]Expr)}
 	for {
 		p.skipSpace()
@@ -46,6 +68,9 @@ func ParseGeneral(src, root string) (*GeneralDTD, error) {
 			}
 			if _, dup := g.Prods[name]; dup {
 				return nil, fmt.Errorf("dtd: duplicate declaration of element %q", name)
+			}
+			if err := p.lim.CheckTypes(len(g.Types)+1, "dtd: parse"); err != nil {
+				return nil, err
 			}
 			g.Types = append(g.Types, name)
 			g.Prods[name] = expr
@@ -89,8 +114,10 @@ func ParseGeneral(src, root string) (*GeneralDTD, error) {
 }
 
 type dtdParser struct {
-	src string
-	pos int
+	src   string
+	pos   int
+	lim   guard.Limits
+	depth int // current content-group nesting depth
 }
 
 func (p *dtdParser) eof() bool { return p.pos >= len(p.src) }
@@ -202,10 +229,16 @@ func (p *dtdParser) elementDecl() (string, Expr, error) {
 }
 
 // contentGroup parses a parenthesized group with its optional
-// repetition suffix.
+// repetition suffix. Nesting depth is bounded so hostile input like
+// "((((…" fails with a LimitError instead of exhausting the stack.
 func (p *dtdParser) contentGroup() (Expr, error) {
 	if !p.consume("(") {
 		return nil, p.errf("expected '(' in content model, found %q", p.peekContext())
+	}
+	p.depth++
+	defer func() { p.depth-- }()
+	if err := p.lim.CheckDepth(p.depth, "dtd: parse"); err != nil {
+		return nil, err
 	}
 	p.skipSpace()
 	first, err := p.cp()

@@ -10,11 +10,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
 	"time"
 
+	"repro/internal/dtd"
 	"repro/internal/embedding"
 	"repro/internal/match"
 	"repro/internal/reduction"
@@ -33,6 +35,22 @@ type Config struct {
 	Trials int
 	// Quick shrinks sweeps for use inside go test / CI.
 	Quick bool
+	// SearchTimeout bounds each individual embedding search; a timed-out
+	// trial counts as a failure instead of stalling the whole sweep.
+	// Zero means no per-search deadline.
+	SearchTimeout time.Duration
+}
+
+// find runs one embedding search under the Config's per-search
+// timeout via search.FindCtx.
+func (c Config) find(src, tgt *dtd.DTD, att *embedding.SimMatrix, opts search.Options) (*search.Result, error) {
+	ctx := context.Background()
+	if c.SearchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.SearchTimeout)
+		defer cancel()
+	}
+	return search.FindCtx(ctx, src, tgt, att, opts)
 }
 
 func (c Config) withDefaults() Config {
@@ -123,7 +141,7 @@ func E1AccuracyVsNoise(cfg Config) Table {
 					nc := workload.Noise(base.DTD, workload.NoiseLevel(level), r)
 					att := match.Synthetic(base.DTD, nc.DTD, nc.Truth,
 						match.SyntheticOptions{Accuracy: 1, Ambiguity: 2}, r)
-					res, err := search.Find(base.DTD, nc.DTD, att,
+					res, err := cfg.find(base.DTD, nc.DTD, att,
 						search.Options{Heuristic: h, Seed: cfg.Seed + int64(trial), MaxRestarts: 25})
 					if err != nil || res.Embedding == nil {
 						continue
@@ -172,7 +190,7 @@ func E2AccuracyVsAtt(cfg Config) Table {
 				nc := workload.Noise(base, workload.NoiseLevel(0.2), r)
 				att := match.Synthetic(base, nc.DTD, nc.Truth,
 					match.SyntheticOptions{Accuracy: acc, Ambiguity: amb}, r)
-				res, err := search.Find(base, nc.DTD, att,
+				res, err := cfg.find(base, nc.DTD, att,
 					search.Options{Heuristic: search.Random, Seed: cfg.Seed + int64(trial), MaxRestarts: 25})
 				if err != nil || res.Embedding == nil {
 					continue
@@ -218,12 +236,15 @@ func E3RuntimeVsSize(cfg Config) Table {
 		tgtSize := 0
 		for trial := 0; trial < trials; trial++ {
 			r := rand.New(rand.NewSource(cfg.Seed + int64(size*1000+trial)))
-			base := workload.SyntheticDTD(r, size)
+			base, err := workload.SyntheticDTD(r, size)
+			if err != nil {
+				continue
+			}
 			nc := workload.Noise(base, workload.NoiseLevel(0.2), r)
 			tgtSize = nc.DTD.Size()
 			att := match.Synthetic(base, nc.DTD, nc.Truth,
 				match.SyntheticOptions{Accuracy: 1, Ambiguity: 2}, r)
-			res, err := search.Find(base, nc.DTD, att,
+			res, err := cfg.find(base, nc.DTD, att,
 				search.Options{Heuristic: search.Random, Seed: cfg.Seed + int64(trial), MaxRestarts: 15})
 			if err != nil {
 				continue
@@ -414,7 +435,7 @@ func E7Ablation(cfg Config) Table {
 		for trial := 0; trial < cfg.Trials; trial++ {
 			r := rand.New(rand.NewSource(cfg.Seed + int64(trial)))
 			att := match.Synthetic(src, tgt, truth, match.SyntheticOptions{Accuracy: 1, Ambiguity: amb}, r)
-			res, err := search.Find(src, tgt, att, search.Options{Heuristic: search.Random, Seed: int64(trial)})
+			res, err := cfg.find(src, tgt, att, search.Options{Heuristic: search.Random, Seed: int64(trial)})
 			if err != nil {
 				continue
 			}
@@ -438,10 +459,13 @@ func E7Ablation(cfg Config) Table {
 		succ := 0
 		for trial := 0; trial < cfg.Trials; trial++ {
 			r := rand.New(rand.NewSource(cfg.Seed + 31*int64(trial)))
-			base := workload.SyntheticDTD(r, 10)
+			base, err := workload.SyntheticDTD(r, 10)
+			if err != nil {
+				continue
+			}
 			nc := workload.Noise(base, workload.NoiseLevel(0.3), r)
 			att := match.Synthetic(base, nc.DTD, nc.Truth, match.SyntheticOptions{Accuracy: 1, Ambiguity: 2}, r)
-			res, err := search.Find(base, nc.DTD, att, search.Options{Heuristic: h, Seed: int64(trial)})
+			res, err := cfg.find(base, nc.DTD, att, search.Options{Heuristic: h, Seed: int64(trial)})
 			if err != nil {
 				continue
 			}
@@ -466,7 +490,7 @@ func E7Ablation(cfg Config) Table {
 		for trial := 0; trial < cfg.Trials; trial++ {
 			r := rand.New(rand.NewSource(cfg.Seed + int64(trial)))
 			att := match.Synthetic(src, tgt, truth, match.SyntheticOptions{Accuracy: 1, Ambiguity: 8}, r)
-			res, err := search.Find(src, tgt, att, search.Options{Heuristic: search.Random, Seed: int64(trial), Parallel: workers})
+			res, err := cfg.find(src, tgt, att, search.Options{Heuristic: search.Random, Seed: int64(trial), Parallel: workers})
 			if err != nil {
 				continue
 			}
@@ -495,7 +519,7 @@ func E7Ablation(cfg Config) Table {
 			continue
 		}
 		start := time.Now()
-		res, err := search.Find(s1, s2, att, search.Options{Heuristic: search.Exact})
+		res, err := cfg.find(s1, s2, att, search.Options{Heuristic: search.Exact})
 		el := time.Since(start)
 		found := err == nil && res.Embedding != nil
 		t.Rows = append(t.Rows, []string{

@@ -1,0 +1,130 @@
+// Package guard centralizes resource limits for the parsing and
+// generation front ends. Finding a schema embedding is NP-complete
+// (§4), and the DTD/XPath/XML parsers accept arbitrary external input,
+// so every boundary of the pipeline enforces explicit bounds rather
+// than trusting callers: deeply nested or oversized input yields a
+// structured *LimitError instead of stack exhaustion or OOM.
+//
+// The zero Limits value means "use the defaults"; Unlimited disables
+// all checks (for trusted, internally generated input).
+package guard
+
+import "fmt"
+
+// Default bounds. They are generous for real schemas and documents —
+// the paper's corpora are a few hundred types and the XMark-style
+// documents a few hundred thousand nodes — while keeping hostile
+// input ("(((((…", a gigabyte of text, a million element types) from
+// exhausting the stack or the heap.
+const (
+	// DefaultMaxDepth bounds recursion: nesting of parenthesized
+	// content groups in DTDs, parenthesized subexpressions in XPath,
+	// and element nesting in XML documents.
+	DefaultMaxDepth = 1000
+	// DefaultMaxInputBytes bounds the size of a parsed input text.
+	DefaultMaxInputBytes = 64 << 20 // 64 MiB
+	// DefaultMaxTypes bounds the number of element type declarations
+	// accepted from one DTD.
+	DefaultMaxTypes = 100_000
+	// DefaultMaxNodes bounds the number of nodes decoded from (or
+	// generated into) one XML document.
+	DefaultMaxNodes = 5_000_000
+)
+
+// Limits bounds the resources a parser or generator may consume. The
+// zero value selects the package defaults field by field; a negative
+// field disables that single check.
+type Limits struct {
+	// MaxDepth bounds nesting/recursion depth.
+	MaxDepth int
+	// MaxInputBytes bounds input text size in bytes.
+	MaxInputBytes int
+	// MaxTypes bounds DTD element type declarations.
+	MaxTypes int
+	// MaxNodes bounds XML document nodes.
+	MaxNodes int
+}
+
+// Default returns the default limits, spelled out.
+func Default() Limits {
+	return Limits{
+		MaxDepth:      DefaultMaxDepth,
+		MaxInputBytes: DefaultMaxInputBytes,
+		MaxTypes:      DefaultMaxTypes,
+		MaxNodes:      DefaultMaxNodes,
+	}
+}
+
+// Unlimited returns limits with every check disabled.
+func Unlimited() Limits {
+	return Limits{MaxDepth: -1, MaxInputBytes: -1, MaxTypes: -1, MaxNodes: -1}
+}
+
+// WithDefaults resolves zero fields to the package defaults.
+func (l Limits) WithDefaults() Limits {
+	if l.MaxDepth == 0 {
+		l.MaxDepth = DefaultMaxDepth
+	}
+	if l.MaxInputBytes == 0 {
+		l.MaxInputBytes = DefaultMaxInputBytes
+	}
+	if l.MaxTypes == 0 {
+		l.MaxTypes = DefaultMaxTypes
+	}
+	if l.MaxNodes == 0 {
+		l.MaxNodes = DefaultMaxNodes
+	}
+	return l
+}
+
+// LimitError reports which limit a parse or generation exceeded.
+type LimitError struct {
+	// Limit names the exceeded bound: "depth", "input-bytes", "types"
+	// or "nodes".
+	Limit string
+	// Max is the enforced bound.
+	Max int
+	// Context says where the limit was hit (package/operation).
+	Context string
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("%s: %s limit exceeded (max %d)", e.Context, e.Limit, e.Max)
+}
+
+// exceeded reports whether n crosses the bound max; max <= 0 disables
+// the check (0 should not reach here — WithDefaults resolves it — but
+// is treated as disabled for safety).
+func exceeded(n, max int) bool { return max > 0 && n > max }
+
+// CheckDepth returns a LimitError when depth exceeds l.MaxDepth.
+func (l Limits) CheckDepth(depth int, context string) error {
+	if exceeded(depth, l.MaxDepth) {
+		return &LimitError{Limit: "depth", Max: l.MaxDepth, Context: context}
+	}
+	return nil
+}
+
+// CheckInputBytes returns a LimitError when size exceeds l.MaxInputBytes.
+func (l Limits) CheckInputBytes(size int, context string) error {
+	if exceeded(size, l.MaxInputBytes) {
+		return &LimitError{Limit: "input-bytes", Max: l.MaxInputBytes, Context: context}
+	}
+	return nil
+}
+
+// CheckTypes returns a LimitError when n exceeds l.MaxTypes.
+func (l Limits) CheckTypes(n int, context string) error {
+	if exceeded(n, l.MaxTypes) {
+		return &LimitError{Limit: "types", Max: l.MaxTypes, Context: context}
+	}
+	return nil
+}
+
+// CheckNodes returns a LimitError when n exceeds l.MaxNodes.
+func (l Limits) CheckNodes(n int, context string) error {
+	if exceeded(n, l.MaxNodes) {
+		return &LimitError{Limit: "nodes", Max: l.MaxNodes, Context: context}
+	}
+	return nil
+}

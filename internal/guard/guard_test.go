@@ -1,0 +1,55 @@
+package guard
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestWithDefaults(t *testing.T) {
+	l := Limits{}.WithDefaults()
+	if l.MaxDepth != DefaultMaxDepth || l.MaxInputBytes != DefaultMaxInputBytes ||
+		l.MaxTypes != DefaultMaxTypes || l.MaxNodes != DefaultMaxNodes {
+		t.Errorf("zero Limits did not resolve to defaults: %+v", l)
+	}
+	// Explicit values survive.
+	l = Limits{MaxDepth: 7}.WithDefaults()
+	if l.MaxDepth != 7 {
+		t.Errorf("explicit MaxDepth overwritten: %+v", l)
+	}
+	// Negative disables.
+	u := Unlimited()
+	if err := u.CheckDepth(1<<30, "test"); err != nil {
+		t.Errorf("Unlimited CheckDepth = %v", err)
+	}
+}
+
+func TestChecks(t *testing.T) {
+	l := Limits{MaxDepth: 2, MaxInputBytes: 10, MaxTypes: 3, MaxNodes: 4}
+	cases := []struct {
+		name string
+		ok   error
+		bad  error
+	}{
+		{"depth", l.CheckDepth(2, "t"), l.CheckDepth(3, "t")},
+		{"input-bytes", l.CheckInputBytes(10, "t"), l.CheckInputBytes(11, "t")},
+		{"types", l.CheckTypes(3, "t"), l.CheckTypes(4, "t")},
+		{"nodes", l.CheckNodes(4, "t"), l.CheckNodes(5, "t")},
+	}
+	for _, c := range cases {
+		if c.ok != nil {
+			t.Errorf("%s: at-bound check failed: %v", c.name, c.ok)
+		}
+		if c.bad == nil {
+			t.Errorf("%s: over-bound check passed", c.name)
+			continue
+		}
+		var le *LimitError
+		if !errors.As(c.bad, &le) {
+			t.Errorf("%s: error is %T, want *LimitError", c.name, c.bad)
+			continue
+		}
+		if le.Limit != c.name {
+			t.Errorf("limit name = %q, want %q", le.Limit, c.name)
+		}
+	}
+}

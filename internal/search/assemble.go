@@ -54,6 +54,9 @@ func (s *searcher) assembleIndepSet() *embedding.Embedding {
 	assign := map[string]string{s.src.Root: s.tgt.Root}
 	chosen := make([]*localOption, len(order))
 	for _, i := range idx {
+		if s.canceled() {
+			return nil
+		}
 		s.steps++
 		var best *localOption
 		for _, o := range options[i] {
@@ -114,7 +117,7 @@ func (s *searcher) localOptions(a string) []*localOption {
 		budget := s.opts.LocalOptions
 		var rec func(j int)
 		rec = func(j int) {
-			if len(out) >= s.opts.LocalOptions || budget <= 0 {
+			if len(out) >= s.opts.LocalOptions || budget <= 0 || s.canceled() {
 				return
 			}
 			if j == len(kids) {

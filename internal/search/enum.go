@@ -55,6 +55,12 @@ type enumerator struct {
 	maxExpand int
 	maxPin    int
 
+	// stop, when set, is polled during BFS so a canceled search
+	// abandons enumeration promptly; enumerated counts the candidate
+	// paths produced, for partial-progress reporting.
+	stop       func() bool
+	enumerated int
+
 	memo map[enumKey][]candidate
 }
 
@@ -105,6 +111,9 @@ func (e *enumerator) enumerate(from, to string, fl flavor) []candidate {
 	queue := []state{{at: from}}
 	expansions := 0
 	for len(queue) > 0 && len(out) < e.maxCands && expansions < e.maxExpand {
+		if e.stop != nil && e.stop() {
+			break
+		}
 		st := queue[0]
 		queue = queue[1:]
 		if st.length >= e.maxLen {
@@ -200,6 +209,7 @@ func (e *enumerator) arrive(queue []state, out *[]candidate, st state, to string
 			p.Text = true
 		}
 		*out = append(*out, candidate{path: p, slots: st.slots, kinds: st.kinds})
+		e.enumerated++
 	}
 	return append(queue, st)
 }

@@ -64,7 +64,7 @@ func localPaths(e *enumerator, src *dtd.DTD, a string, lam map[string]string) ma
 			}
 		}
 		chosen := make([]candidate, len(edges))
-		if !pickCompatible(edges, chosen, 0, prod.Kind == dtd.KindDisj) {
+		if !pickCompatible(edges, chosen, 0, prod.Kind == dtd.KindDisj, e.stop) {
 			return nil
 		}
 		out := make(map[embedding.EdgeRef]xpath.Path, len(edges))
@@ -77,10 +77,14 @@ func localPaths(e *enumerator, src *dtd.DTD, a string, lam map[string]string) ma
 }
 
 // pickCompatible backtracks over candidate choices enforcing pairwise
-// compatibility.
-func pickCompatible(edges []localEdge, chosen []candidate, i int, disj bool) bool {
+// compatibility. A non-nil stop aborts the backtracking (reported as
+// "no selection"; the caller distinguishes cancellation separately).
+func pickCompatible(edges []localEdge, chosen []candidate, i int, disj bool, stop func() bool) bool {
 	if i == len(edges) {
 		return true
+	}
+	if stop != nil && stop() {
+		return false
 	}
 	for _, c := range edges[i].cands {
 		ok := true
@@ -94,7 +98,7 @@ func pickCompatible(edges []localEdge, chosen []candidate, i int, disj bool) boo
 			continue
 		}
 		chosen[i] = c
-		if pickCompatible(edges, chosen, i+1, disj) {
+		if pickCompatible(edges, chosen, i+1, disj, stop) {
 			return true
 		}
 	}

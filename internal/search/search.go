@@ -1,6 +1,8 @@
 package search
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -11,6 +13,27 @@ import (
 	"repro/internal/embedding"
 	"repro/internal/xpath"
 )
+
+// Typed cancellation errors returned by FindCtx. They wrap the
+// corresponding context errors, so errors.Is(err, context.Canceled)
+// and errors.Is(err, search.ErrCanceled) both hold.
+var (
+	// ErrDeadline reports that the context deadline expired before the
+	// search concluded. The accompanying Result carries the partial
+	// progress made (restarts completed, steps taken, paths enumerated,
+	// and any embedding already found).
+	ErrDeadline = fmt.Errorf("search: deadline exceeded: %w", context.DeadlineExceeded)
+	// ErrCanceled reports that the context was canceled mid-search.
+	ErrCanceled = fmt.Errorf("search: canceled: %w", context.Canceled)
+)
+
+// ctxError maps a context error to the package's typed errors.
+func ctxError(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrDeadline
+	}
+	return ErrCanceled
+}
 
 // Heuristic selects the embedding-search strategy.
 type Heuristic int
@@ -132,6 +155,9 @@ type Result struct {
 	// explored without success — for Exact on nonrecursive targets this
 	// proves no embedding exists within the bounds.
 	Exhausted bool
+	// PathsEnumerated counts candidate target paths produced by the
+	// path enumerator across the search (all workers).
+	PathsEnumerated int
 	// Elapsed is the wall-clock search time.
 	Elapsed time.Duration
 }
@@ -139,7 +165,23 @@ type Result struct {
 // Find searches for a valid schema embedding σ : src → tgt w.r.t. att.
 // A nil att behaves as the unrestricted matrix (all pairs similar).
 // Every returned embedding has passed the independent validity checker.
+// Find never gives up on its own beyond the Options bounds; use
+// FindCtx to impose a deadline or cancellation.
 func Find(src, tgt *dtd.DTD, att *embedding.SimMatrix, opts Options) (*Result, error) {
+	return FindCtx(context.Background(), src, tgt, att, opts)
+}
+
+// FindCtx is Find under a context: the search checks ctx at loop
+// boundaries (restarts, backtracking steps, path-enumeration
+// expansions) and stops early when it is done, returning a typed
+// ErrDeadline or ErrCanceled together with a non-nil Result holding
+// the partial progress made so far (restarts completed, steps taken,
+// paths enumerated, best embedding found). An already-expired context
+// returns immediately without touching the schemas.
+func FindCtx(ctx context.Context, src, tgt *dtd.DTD, att *embedding.SimMatrix, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return &Result{}, ctxError(err)
+	}
 	opts = opts.withDefaults()
 	if err := src.Check(); err != nil {
 		return nil, err
@@ -158,32 +200,75 @@ func Find(src, tgt *dtd.DTD, att *embedding.SimMatrix, opts Options) (*Result, e
 		}
 	}
 	s := &searcher{
+		ctx:  ctx,
 		src:  src,
 		tgt:  tgt,
 		att:  att,
 		opts: opts,
 		rng:  rand.New(rand.NewSource(opts.Seed)),
-		enum: newEnumerator(tgt, maxLen, opts.MaxCandidates, opts.MaxExpansions, opts.MaxPin),
 	}
+	s.enum = newEnumerator(tgt, maxLen, opts.MaxCandidates, opts.MaxExpansions, opts.MaxPin)
+	s.enum.stop = s.canceled
 	start := time.Now()
 	res := s.run()
 	res.Elapsed = time.Since(start)
+	res.PathsEnumerated += s.enum.enumerated
 	if res.Embedding != nil {
+		// A win that raced a late cancellation is still a win.
 		if err := res.Embedding.Validate(att); err != nil {
 			return nil, fmt.Errorf("search: internal error: found embedding fails validation: %w", err)
 		}
 		res.Quality = res.Embedding.Quality(att)
+		return res, nil
+	}
+	if s.stopped || ctx.Err() != nil {
+		res.Exhausted = false // an aborted search proves nothing
+		return res, ctxError(ctx.Err())
 	}
 	return res, nil
 }
 
 type searcher struct {
+	ctx      context.Context
 	src, tgt *dtd.DTD
 	att      *embedding.SimMatrix
 	opts     Options
 	rng      *rand.Rand
 	enum     *enumerator
 	steps    int
+
+	// stopped latches the first observed cancellation; checkN
+	// amortizes the ctx polls in hot loops.
+	stopped bool
+	checkN  uint
+}
+
+// ctxDone polls the context directly; used at coarse boundaries
+// (restarts).
+func (s *searcher) ctxDone() bool {
+	if s.stopped {
+		return true
+	}
+	select {
+	case <-s.ctx.Done():
+		s.stopped = true
+		return true
+	default:
+		return false
+	}
+}
+
+// canceled is the amortized check for hot loops: it polls the context
+// once every 256 calls.
+func (s *searcher) canceled() bool {
+	if s.stopped {
+		return true
+	}
+	s.checkN++
+	if s.checkN&255 != 0 {
+		return false
+	}
+	return s.ctxDone()
 }
 
 func (s *searcher) run() *Result {
@@ -191,6 +276,9 @@ func (s *searcher) run() *Result {
 	switch s.opts.Heuristic {
 	case IndepSet:
 		for r := 0; r <= s.opts.MaxRestarts; r++ {
+			if s.ctxDone() {
+				break
+			}
 			res.Restarts = r
 			if emb := s.assembleIndepSet(); emb != nil {
 				res.Embedding = emb
@@ -205,13 +293,16 @@ func (s *searcher) run() *Result {
 		emb, exhausted := s.attempt(false)
 		res.Embedding = emb
 		res.Steps = s.steps
-		res.Exhausted = exhausted && emb == nil
+		res.Exhausted = exhausted && emb == nil && !s.stopped
 		return res
 	default:
 		if s.opts.Parallel > 1 {
 			return s.runParallel()
 		}
 		for r := 0; r <= s.opts.MaxRestarts; r++ {
+			if s.ctxDone() {
+				break
+			}
 			res.Restarts = r
 			s.steps = 0
 			emb, exhausted := s.attempt(s.opts.Heuristic == Random)
@@ -220,7 +311,7 @@ func (s *searcher) run() *Result {
 				res.Embedding = emb
 				return res
 			}
-			if exhausted {
+			if exhausted && !s.stopped {
 				// The candidate space was fully explored; restarts
 				// cannot help.
 				res.Exhausted = true
@@ -246,10 +337,12 @@ func (s *searcher) runParallel() *Result {
 	type outcome struct {
 		emb       *embedding.Embedding
 		steps     int
+		paths     int
 		restart   int
 		exhausted bool
+		canceled  bool
 	}
-	results := make(chan outcome, workers)
+	results := make(chan outcome, s.opts.MaxRestarts+1)
 	var wg sync.WaitGroup
 	var won atomic.Bool
 
@@ -262,20 +355,37 @@ func (s *searcher) runParallel() *Result {
 					return
 				}
 				local := &searcher{
+					ctx:  s.ctx,
 					src:  s.src,
 					tgt:  s.tgt,
 					att:  s.att,
 					opts: s.opts,
 					rng:  rand.New(rand.NewSource(s.opts.Seed + int64(r)*2654435761)),
-					enum: newEnumerator(s.tgt, s.enum.maxLen, s.enum.maxCands, s.enum.maxExpand, s.enum.maxPin),
 				}
-				emb, exhausted := local.attempt(s.opts.Heuristic == Random)
-				if emb != nil || exhausted {
-					won.Store(emb != nil)
-					results <- outcome{emb: emb, steps: local.steps, restart: r, exhausted: exhausted}
+				local.enum = newEnumerator(s.tgt, s.enum.maxLen, s.enum.maxCands, s.enum.maxExpand, s.enum.maxPin)
+				local.enum.stop = local.canceled
+				if local.ctxDone() {
+					results <- outcome{restart: r, canceled: true}
 					return
 				}
-				results <- outcome{steps: local.steps, restart: r}
+				emb, exhausted := local.attempt(s.opts.Heuristic == Random)
+				o := outcome{
+					steps:    local.steps,
+					paths:    local.enum.enumerated,
+					restart:  r,
+					canceled: local.stopped,
+				}
+				if emb != nil || (exhausted && !local.stopped) {
+					won.Store(emb != nil)
+					o.emb = emb
+					o.exhausted = exhausted
+					results <- o
+					return
+				}
+				results <- o
+				if local.stopped {
+					return
+				}
 			}
 		}(w)
 	}
@@ -287,6 +397,7 @@ func (s *searcher) runParallel() *Result {
 	res := &Result{}
 	for o := range results {
 		res.Steps += o.steps
+		res.PathsEnumerated += o.paths
 		if o.restart > res.Restarts {
 			res.Restarts = o.restart
 		}
@@ -295,6 +406,9 @@ func (s *searcher) runParallel() *Result {
 		}
 		if o.exhausted && o.emb == nil {
 			res.Exhausted = true
+		}
+		if o.canceled {
+			s.stopped = true
 		}
 	}
 	return res
@@ -423,7 +537,7 @@ func (s *searcher) attempt(shuffle bool) (*embedding.Embedding, bool) {
 
 		var assign func(j int) (bool, bool)
 		assign = func(j int) (bool, bool) {
-			if s.steps >= budget {
+			if s.steps >= budget || s.canceled() {
 				return false, false
 			}
 			s.steps++

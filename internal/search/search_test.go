@@ -273,7 +273,7 @@ func TestNoisySearch(t *testing.T) {
 func TestFoundEmbeddingsAlwaysValid(t *testing.T) {
 	prop := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		base := workload.SyntheticDTD(r, 8+r.Intn(8))
+		base := workload.MustSyntheticDTD(r, 8+r.Intn(8))
 		nc := workload.Noise(base, workload.NoiseLevel(0.3), r)
 		att := match.Synthetic(base, nc.DTD, nc.Truth,
 			match.SyntheticOptions{Accuracy: 0.8, Ambiguity: 2}, r)

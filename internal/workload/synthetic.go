@@ -11,8 +11,11 @@ import (
 // approximately the requested number of element types, mixing the five
 // production shapes with realistic proportions (concatenation-heavy,
 // as real document schemas are). The result is deterministic per
-// random source and always passes dtd.Check and consistency.
-func SyntheticDTD(r *rand.Rand, size int) *dtd.DTD {
+// random source and always passes dtd.Check and consistency; a
+// violation of that invariant is reported as an error rather than a
+// panic, so callers embedding the generator in long-running services
+// degrade gracefully.
+func SyntheticDTD(r *rand.Rand, size int) (*dtd.DTD, error) {
 	if size < 2 {
 		size = 2
 	}
@@ -126,7 +129,17 @@ func SyntheticDTD(r *rand.Rand, size int) *dtd.DTD {
 		}
 	}
 	if err := d.Check(); err != nil {
-		panic(fmt.Sprintf("workload: synthetic DTD invalid: %v", err))
+		return nil, fmt.Errorf("workload: synthetic DTD invalid: %w", err)
+	}
+	return d, nil
+}
+
+// MustSyntheticDTD is SyntheticDTD panicking on error, for tests and
+// benchmarks where an invalid result is a bug in the generator itself.
+func MustSyntheticDTD(r *rand.Rand, size int) *dtd.DTD {
+	d, err := SyntheticDTD(r, size)
+	if err != nil {
+		panic(err)
 	}
 	return d
 }

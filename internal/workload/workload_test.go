@@ -52,7 +52,11 @@ func TestSyntheticDTDProperty(t *testing.T) {
 	prop := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		size := 4 + r.Intn(40)
-		d := workload.SyntheticDTD(r, size)
+		d, err := workload.SyntheticDTD(r, size)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
 		if err := d.Check(); err != nil {
 			t.Logf("seed %d: %v", seed, err)
 			return false

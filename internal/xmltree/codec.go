@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/guard"
 )
 
 // Parse reads an XML document into a Tree using encoding/xml's
@@ -12,24 +14,46 @@ import (
 // (the paper's model is element content plus PCDATA leaves); attributes,
 // comments, processing instructions and directives are ignored. Node ids
 // are assigned in document order.
+//
+// Parse enforces the default guard.Limits: input size, element nesting
+// depth and total node count are bounded, and hostile input fails with
+// a *guard.LimitError instead of exhausting the stack or the heap. Use
+// ParseLimits to tighten or lift the bounds.
 func Parse(r io.Reader) (*Tree, error) {
-	dec := xml.NewDecoder(r)
+	return ParseLimits(r, guard.Limits{})
+}
+
+// ParseLimits is Parse under explicit resource limits (zero fields
+// select the defaults; guard.Unlimited() disables the checks).
+func ParseLimits(r io.Reader, lim guard.Limits) (*Tree, error) {
+	lim = lim.WithDefaults()
+	cr := &countingReader{r: r, lim: lim}
+	dec := xml.NewDecoder(cr)
 	t := &Tree{}
+	nodes := 0
+	addNode := func() error {
+		nodes++
+		return lim.CheckNodes(nodes, "xmltree: parse")
+	}
 	var stack []*Node
 	var pending strings.Builder
-	flushText := func() {
+	flushText := func() error {
 		if pending.Len() == 0 {
-			return
+			return nil
 		}
 		text := pending.String()
 		pending.Reset()
 		if strings.TrimSpace(text) == "" {
-			return
+			return nil
 		}
 		if len(stack) == 0 {
-			return
+			return nil
+		}
+		if err := addNode(); err != nil {
+			return err
 		}
 		Append(stack[len(stack)-1], t.NewText(strings.TrimSpace(text)))
+		return nil
 	}
 	for {
 		tok, err := dec.Token()
@@ -37,11 +61,22 @@ func Parse(r io.Reader) (*Tree, error) {
 			break
 		}
 		if err != nil {
+			if le := cr.limitErr; le != nil {
+				return nil, le
+			}
 			return nil, fmt.Errorf("xmltree: parse: %w", err)
 		}
 		switch tok := tok.(type) {
 		case xml.StartElement:
-			flushText()
+			if err := flushText(); err != nil {
+				return nil, err
+			}
+			if err := lim.CheckDepth(len(stack)+1, "xmltree: parse"); err != nil {
+				return nil, err
+			}
+			if err := addNode(); err != nil {
+				return nil, err
+			}
 			n := t.NewElement(tok.Name.Local)
 			if len(stack) == 0 {
 				if t.Root != nil {
@@ -53,7 +88,9 @@ func Parse(r io.Reader) (*Tree, error) {
 			}
 			stack = append(stack, n)
 		case xml.EndElement:
-			flushText()
+			if err := flushText(); err != nil {
+				return nil, err
+			}
 			if len(stack) == 0 {
 				return nil, fmt.Errorf("xmltree: unbalanced end element %q", tok.Name.Local)
 			}
@@ -69,6 +106,25 @@ func Parse(r io.Reader) (*Tree, error) {
 		return nil, fmt.Errorf("xmltree: unclosed element %q", stack[len(stack)-1].Label)
 	}
 	return t, nil
+}
+
+// countingReader bounds the bytes read from the underlying reader,
+// surfacing a LimitError through the decoder.
+type countingReader struct {
+	r        io.Reader
+	n        int
+	lim      guard.Limits
+	limitErr error
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	if lerr := c.lim.CheckInputBytes(c.n, "xmltree: parse"); lerr != nil {
+		c.limitErr = lerr
+		return n, lerr
+	}
+	return n, err
 }
 
 // ParseString is Parse over a string.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/dtd"
+	"repro/internal/guard"
 )
 
 // GenOptions steers random instance generation.
@@ -19,6 +20,10 @@ type GenOptions struct {
 	// TextValues, when non-empty, is the vocabulary for PCDATA; values
 	// are drawn uniformly. Default: "v0".."v9".
 	TextValues []string
+	// Limits bounds the generated tree (MaxNodes); wide stars under a
+	// deep budget can otherwise explode exponentially. Zero fields
+	// select the guard defaults; guard.Unlimited() disables the check.
+	Limits guard.Limits
 }
 
 func (o GenOptions) withDefaults() GenOptions {
@@ -33,12 +38,15 @@ func (o GenOptions) withDefaults() GenOptions {
 			o.TextValues = append(o.TextValues, fmt.Sprintf("v%d", i))
 		}
 	}
+	o.Limits = o.Limits.WithDefaults()
 	return o
 }
 
 // Generate produces a random instance of the DTD. The DTD must be
 // consistent (every type productive); Generate returns an error
-// otherwise. The generated tree always validates against the DTD.
+// otherwise. Generation is bounded by opts.Limits.MaxNodes and fails
+// with a *guard.LimitError when exceeded. The generated tree always
+// validates against the DTD.
 func Generate(d *dtd.DTD, r *rand.Rand, opts GenOptions) (*Tree, error) {
 	opts = opts.withDefaults()
 	depth := d.MinDepth()
@@ -53,6 +61,9 @@ func Generate(d *dtd.DTD, r *rand.Rand, opts GenOptions) (*Tree, error) {
 	g := &generator{d: d, r: r, opts: opts, minDepth: depth}
 	t := &Tree{}
 	t.Root = g.gen(t, d.Root, opts.DepthBudget)
+	if g.err != nil {
+		return nil, g.err
+	}
 	return t, nil
 }
 
@@ -71,14 +82,30 @@ type generator struct {
 	r        *rand.Rand
 	opts     GenOptions
 	minDepth map[string]int
+	nodes    int
+	err      error
 }
 
 func (g *generator) text() string {
 	return g.opts.TextValues[g.r.Intn(len(g.opts.TextValues))]
 }
 
+// addNode charges one node against the budget; once the budget is
+// blown, generation unwinds without descending further (Generate
+// discards the partial tree and returns the error).
+func (g *generator) addNode() bool {
+	g.nodes++
+	if g.err == nil {
+		g.err = g.opts.Limits.CheckNodes(g.nodes, "xmltree: generate")
+	}
+	return g.err == nil
+}
+
 func (g *generator) gen(t *Tree, label string, budget int) *Node {
 	n := t.NewElement(label)
+	if !g.addNode() {
+		return n
+	}
 	p := g.d.Prods[label]
 	switch p.Kind {
 	case dtd.KindStr:

@@ -17,6 +17,7 @@
 package xpath
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -222,13 +223,26 @@ func SeqOf(es ...Expr) Expr {
 }
 
 // UnionOf folds a non-empty list of expressions into nested Unions.
-func UnionOf(es ...Expr) Expr {
+// Unlike SeqOf — where the empty fold has the natural unit ε — an
+// empty union has no X_R expression denoting it, so zero expressions
+// is an error.
+func UnionOf(es ...Expr) (Expr, error) {
 	if len(es) == 0 {
-		panic("xpath: UnionOf of zero expressions")
+		return nil, errors.New("xpath: UnionOf of zero expressions")
 	}
 	e := es[0]
 	for _, r := range es[1:] {
 		e = Union{L: e, R: r}
+	}
+	return e, nil
+}
+
+// MustUnionOf is UnionOf panicking on error, for static expression
+// literals over lists known to be non-empty.
+func MustUnionOf(es ...Expr) Expr {
+	e, err := UnionOf(es...)
+	if err != nil {
+		panic(err)
 	}
 	return e
 }

@@ -14,7 +14,12 @@ func DesugarDesc(e Expr, alphabet []string) Expr {
 	for i, a := range alphabet {
 		steps[i] = Label{Name: a}
 	}
-	anyStar := Star{P: UnionOf(steps...)}
+	any, err := UnionOf(steps...)
+	if err != nil {
+		// Unreachable: alphabet is non-empty (checked above).
+		return e
+	}
+	anyStar := Star{P: any}
 	return desugar(e, anyStar)
 }
 

@@ -36,16 +36,25 @@ func TestSeqOfUnionOf(t *testing.T) {
 	if String(e) != "a/b/text()" {
 		t.Errorf("SeqOf = %s", String(e))
 	}
-	u := UnionOf(Label{Name: "a"}, Label{Name: "b"})
+	u, err := UnionOf(Label{Name: "a"}, Label{Name: "b"})
+	if err != nil {
+		t.Fatalf("UnionOf: %v", err)
+	}
 	if String(u) != "a | b" {
 		t.Errorf("UnionOf = %s", String(u))
 	}
+	if _, err := UnionOf(); err == nil {
+		t.Error("UnionOf() should error")
+	}
+	if m := MustUnionOf(Label{Name: "a"}); String(m) != "a" {
+		t.Errorf("MustUnionOf = %s", String(m))
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("UnionOf() should panic")
+			t.Error("MustUnionOf() should panic")
 		}
 	}()
-	UnionOf()
+	MustUnionOf()
 }
 
 // TestPathWithTextClone: WithText does not mutate the receiver.

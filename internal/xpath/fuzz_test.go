@@ -1,0 +1,55 @@
+package xpath
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/guard"
+)
+
+// FuzzXPathParse asserts that Parse never panics on arbitrary input
+// and that accepted queries round-trip: String renders a query that
+// reparses to the same canonical rendering.
+func FuzzXPathParse(f *testing.F) {
+	seeds := []string{
+		"a",
+		"a/b/c",
+		"a/text()",
+		"_",
+		"(a | b)*/c",
+		"a[b/c]",
+		`a[b/text() = "x"]`,
+		"a[!b]",
+		"a[b & (c | !d)]",
+		"a//b",
+		"(a/(b | c)*)*[d]",
+		"((((a))))",
+		"a[",
+		"a |",
+		"//",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	tight := guard.Limits{MaxDepth: 8, MaxInputBytes: 1 << 10}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Deeply nested input must fail with a structured LimitError
+		// under tight bounds, never a stack overflow.
+		if _, err := ParseLimits(src, tight); err != nil {
+			var le *guard.LimitError
+			_ = errors.As(err, &le)
+		}
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		s := String(e)
+		e2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("reparse of rendering failed: %v\ninput: %q\nrendering: %q", err, src, s)
+		}
+		if s2 := String(e2); s2 != s {
+			t.Errorf("rendering not a parse fixpoint\ninput: %q\nfirst: %q\nsecond: %q", src, s, s2)
+		}
+	})
+}

@@ -5,11 +5,27 @@ import (
 	"strconv"
 	"strings"
 	"unicode"
+
+	"repro/internal/guard"
 )
 
-// Parse parses an X_R / X expression from the package's textual syntax.
+// Parse parses an X_R / X expression from the package's textual
+// syntax, under the default guard.Limits: oversized input and deeply
+// nested subexpressions ("(((((…", "!!!!!…") fail with a
+// *guard.LimitError instead of exhausting the stack. Use ParseLimits
+// to tighten or lift the bounds.
 func Parse(src string) (Expr, error) {
-	p := &parser{src: src}
+	return ParseLimits(src, guard.Limits{})
+}
+
+// ParseLimits is Parse under explicit resource limits (zero fields
+// select the defaults; guard.Unlimited() disables the checks).
+func ParseLimits(src string, lim guard.Limits) (Expr, error) {
+	lim = lim.WithDefaults()
+	if err := lim.CheckInputBytes(len(src), "xpath: parse"); err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, lim: lim}
 	e, err := p.expr()
 	if err != nil {
 		return nil, err
@@ -31,9 +47,22 @@ func MustParse(src string) Expr {
 }
 
 type parser struct {
-	src string
-	pos int
+	src   string
+	pos   int
+	lim   guard.Limits
+	depth int // recursion depth across expr/qual nesting
 }
+
+// enter bounds the recursion depth of the mutually recursive grammar
+// functions; leave undoes it. Every nesting construct (parenthesized
+// subexpression, qualifier, not/!) passes through one of the guarded
+// entry points.
+func (p *parser) enter() error {
+	p.depth++
+	return p.lim.CheckDepth(p.depth, "xpath: parse")
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) eof() bool { return p.pos >= len(p.src) }
 
@@ -94,6 +123,10 @@ func (p *parser) peekByte() byte {
 
 // expr := seq (('|' | '∪') seq)*
 func (p *parser) expr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	e, err := p.seq()
 	if err != nil {
 		return nil, err
@@ -213,6 +246,10 @@ func isNameStartByte(c byte) bool {
 
 // qual := andq (('or' | '||') andq)*
 func (p *parser) qual() (Qual, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	q, err := p.andQual()
 	if err != nil {
 		return nil, err
@@ -243,6 +280,10 @@ func (p *parser) andQual() (Qual, error) {
 }
 
 func (p *parser) notQual() (Qual, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch {
 	case p.consumeWord("not"):
 		if !p.consume("(") {

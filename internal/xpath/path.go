@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/guard"
 	"repro/internal/xmltree"
 )
 
@@ -139,12 +140,23 @@ func (p Path) Expr() Expr {
 	return e
 }
 
-// Concat returns p/o.
-func (p Path) Concat(o Path) Path {
+// Concat returns p/o. A path ending in text() selects text nodes and
+// cannot be extended, so concatenating onto one is an error.
+func (p Path) Concat(o Path) (Path, error) {
 	if p.Text {
-		panic("xpath: cannot extend a path ending in text()")
+		return Path{}, fmt.Errorf("xpath: cannot extend %q: path ends in text()", p.String())
 	}
-	return Path{Steps: append(append([]Step(nil), p.Steps...), o.Steps...), Text: o.Text}
+	return Path{Steps: append(append([]Step(nil), p.Steps...), o.Steps...), Text: o.Text}, nil
+}
+
+// MustConcat is Concat panicking on error, for static path literals
+// known not to end in text().
+func (p Path) MustConcat(o Path) Path {
+	q, err := p.Concat(o)
+	if err != nil {
+		panic(err)
+	}
+	return q
 }
 
 // EvalPath follows the path from ctx, returning the reached nodes in
@@ -187,8 +199,12 @@ func (p Path) EvalPath(ctx *xmltree.Node) []*xmltree.Node {
 
 // ParsePath parses an X_R path from its textual form: steps separated
 // by '/', each a label optionally followed by [position() = k] (or the
-// shorthand [k]), optionally ending in text().
+// shorthand [k]), optionally ending in text(). Input size is bounded
+// by the default guard.Limits (parsing itself is iterative).
 func ParsePath(src string) (Path, error) {
+	if err := (guard.Limits{}).WithDefaults().CheckInputBytes(len(src), "xpath: parse path"); err != nil {
+		return Path{}, err
+	}
 	var p Path
 	parts := splitPathSteps(src)
 	for i, part := range parts {

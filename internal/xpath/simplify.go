@@ -46,7 +46,12 @@ func Simplify(e Expr) Expr {
 		if len(branches) == 1 {
 			return branches[0]
 		}
-		return UnionOf(branches...)
+		u, err := UnionOf(branches...)
+		if err != nil {
+			// Unreachable: flattenUnion returns at least one branch.
+			return Union{L: l, R: r}
+		}
+		return u
 	case Star:
 		p := Simplify(e.P)
 		if isEmpty(p) {

@@ -277,16 +277,25 @@ func TestPathPrefix(t *testing.T) {
 }
 
 func TestPathConcat(t *testing.T) {
-	p := MustParsePath("a/b").Concat(MustParsePath("c/text()"))
+	p, err := MustParsePath("a/b").Concat(MustParsePath("c/text()"))
+	if err != nil {
+		t.Fatalf("Concat: %v", err)
+	}
 	if p.String() != "a/b/c/text()" {
 		t.Errorf("Concat = %q", p.String())
 	}
+	if _, err := p.Concat(MustParsePath("d")); err == nil {
+		t.Error("Concat after text() should error")
+	}
+	if q := MustParsePath("a").MustConcat(MustParsePath("b")); q.String() != "a/b" {
+		t.Errorf("MustConcat = %q", q.String())
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("Concat after text() should panic")
+			t.Error("MustConcat after text() should panic")
 		}
 	}()
-	_ = p.Concat(MustParsePath("d"))
+	_ = p.MustConcat(MustParsePath("d"))
 }
 
 func TestEvalPathMatchesExpr(t *testing.T) {
