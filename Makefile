@@ -1,7 +1,9 @@
 GO ?= go
 FUZZTIME ?= 5s
+ORACLE_TRIALS ?= 500
+ORACLE_SEED ?= 1
 
-.PHONY: all build vet test race fuzz bench check
+.PHONY: all build vet test race fuzz bench check oracle
 
 all: build
 
@@ -27,5 +29,11 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Property-based conformance oracle (see TESTING.md): randomized
+# end-to-end verification of type safety, invertibility and query
+# preservation. Deepen with `make oracle ORACLE_TRIALS=5000`.
+oracle:
+	$(GO) run ./cmd/xse-oracle -trials $(ORACLE_TRIALS) -seed $(ORACLE_SEED)
+
 # Tier-1+ gate (see ROADMAP.md): everything a PR must keep green.
-check: vet build race fuzz
+check: vet build race fuzz oracle

@@ -1,0 +1,118 @@
+// Command xse-oracle runs the property-based information-preservation
+// oracle: randomized end-to-end verification that schema embeddings
+// are type safe, invertible, and query preserving (Theorems 4.1/4.2),
+// with differential cross-checks of ANFA evaluation and the generated
+// XSLT against the programmatic instance mapping.
+//
+// Usage:
+//
+//	xse-oracle [-trials 500] [-seed 1] [-queries 3]
+//	           [-min-types 4] [-max-types 12] [-noise 0.8]
+//	           [-timeout 0] [-no-shrink] [-repro-dir DIR] [-q]
+//	xse-oracle -emit-corpus REPOROOT [-corpus-per-target 24]
+//
+// Counterexamples are shrunk to minimal failing inputs and, with
+// -repro-dir, serialized to replayable reproducer files.
+//
+// Exit codes: 0 all properties hold, 1 internal error, 2 usage,
+// 4 timeout or cancellation, 6 property violations found.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/oracle"
+)
+
+const (
+	exitInternal  = 1
+	exitUsage     = 2
+	exitTimeout   = 4
+	exitViolation = 6
+)
+
+func main() {
+	var (
+		trials     = flag.Int("trials", 500, "number of generated scenarios")
+		seed       = flag.Int64("seed", 1, "base random seed (trial i uses seed+i)")
+		queries    = flag.Int("queries", 3, "random X_R queries checked per scenario")
+		minTypes   = flag.Int("min-types", 4, "minimum synthetic source schema size")
+		maxTypes   = flag.Int("max-types", 12, "maximum synthetic source schema size")
+		noise      = flag.Float64("noise", 0.8, "maximum schema perturbation level in [0,1]")
+		timeout    = flag.Duration("timeout", 0, "overall deadline (0 = none)")
+		noShrink   = flag.Bool("no-shrink", false, "disable counterexample minimization")
+		reproDir   = flag.String("repro-dir", "", "write reproducer files to this directory")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+		corpusRoot = flag.String("emit-corpus", "", "seed parser fuzz corpora under this repository root and exit")
+		corpusPer  = flag.Int("corpus-per-target", 24, "corpus files per fuzz target with -emit-corpus")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "xse-oracle: unexpected arguments %v\n", flag.Args())
+		os.Exit(exitUsage)
+	}
+	if *trials <= 0 || *queries < 0 || *minTypes < 2 || *maxTypes < *minTypes || *noise < 0 || *noise > 1 {
+		fmt.Fprintln(os.Stderr, "xse-oracle: invalid flag values")
+		os.Exit(exitUsage)
+	}
+
+	cfg := oracle.Config{
+		Trials:          *trials,
+		Seed:            *seed,
+		QueriesPerTrial: *queries,
+		MinTypes:        *minTypes,
+		MaxTypes:        *maxTypes,
+		MaxNoise:        *noise,
+		NoShrink:        *noShrink,
+		ReproDir:        *reproDir,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "xse-oracle: "+format+"\n", args...)
+		}
+	}
+
+	if *corpusRoot != "" {
+		n, err := oracle.EmitCorpus(*corpusRoot, cfg, *corpusPer)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xse-oracle: emit corpus: %v\n", err)
+			os.Exit(exitInternal)
+		}
+		fmt.Printf("wrote %d fuzz corpus files under %s\n", n, *corpusRoot)
+		return
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	rep, err := oracle.Run(ctx, cfg)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "xse-oracle: stopped after %d trials: %v\n", rep.Trials, err)
+			os.Exit(exitTimeout)
+		}
+		fmt.Fprintf(os.Stderr, "xse-oracle: %v\n", err)
+		os.Exit(exitInternal)
+	}
+	fmt.Printf("%s  (%.1fs)\n", rep.Summary(), time.Since(start).Seconds())
+	if rep.Failed() {
+		for i := range rep.Violations {
+			v := &rep.Violations[i]
+			fmt.Printf("VIOLATION %s\n", v.String())
+			if v.ReproFile != "" {
+				fmt.Printf("  reproducer: %s\n", v.ReproFile)
+			}
+		}
+		os.Exit(exitViolation)
+	}
+}

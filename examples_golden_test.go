@@ -1,0 +1,58 @@
+package repro
+
+import (
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the examples' golden files from current output")
+
+// TestExamplesGolden runs every example program and diffs its full
+// stdout against the committed golden file. The examples are seeded
+// deterministic pipelines, so their output is part of the repository's
+// observable behavior; regenerate the goldens after an intentional
+// change with:
+//
+//	go test -run TestExamplesGolden -update .
+func TestExamplesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs example binaries; skipped with -short")
+	}
+	examples := []string{"quickstart", "migration", "p2pquery", "partialpreserve", "integration"}
+	for _, name := range examples {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			var stderr []byte
+			out, err := cmd.Output()
+			if ee, ok := err.(*exec.ExitError); ok {
+				stderr = ee.Stderr
+			}
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\nstderr:\n%s", name, err, stderr)
+			}
+			golden := filepath.Join("testdata", "examples", name+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, out, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if string(out) != string(want) {
+				t.Errorf("output differs from %s.\ngot:\n%s\nwant:\n%s\n(re-run with -update after an intentional change)",
+					golden, out, want)
+			}
+		})
+	}
+}

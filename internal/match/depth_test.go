@@ -1,0 +1,168 @@
+package match_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/guard"
+	"repro/internal/match"
+	"repro/internal/workload"
+)
+
+// TestNameSimilarityTable sweeps the scoring edge cases: separator and
+// case normalization, empty names, and the trigram-vs-edit maximum.
+func TestNameSimilarityTable(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b string
+		want func(s float64) bool
+	}{
+		{"identical", "order", "order", func(s float64) bool { return s == 1 }},
+		{"case and separators normalize away", "Order-ID", "order_id", func(s float64) bool { return s == 1 }},
+		{"dots and colons normalize away", "ns:item.id", "nsitemid", func(s float64) bool { return s == 1 }},
+		{"both empty", "", "", func(s float64) bool { return s == 1 }},
+		{"empty vs nonempty", "", "order", func(s float64) bool { return s == 0 }},
+		{"only separators vs nonempty", "-_.", "x", func(s float64) bool { return s == 0 }},
+		{"disjoint short names score low", "ab", "xy", func(s float64) bool { return s == 0 }},
+		{"shared prefix scores between", "orderline", "orderitem", func(s float64) bool { return s > 0.3 && s < 1 }},
+		{"rename keeps signal", "customer", "customers", func(s float64) bool { return s > 0.7 && s < 1 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s := match.NameSimilarity(tc.a, tc.b)
+			if s < 0 || s > 1 {
+				t.Fatalf("NameSimilarity(%q, %q) = %v out of [0, 1]", tc.a, tc.b, s)
+			}
+			if !tc.want(s) {
+				t.Errorf("NameSimilarity(%q, %q) = %v", tc.a, tc.b, s)
+			}
+			if back := match.NameSimilarity(tc.b, tc.a); back != s {
+				t.Errorf("asymmetric: %v vs %v", s, back)
+			}
+		})
+	}
+}
+
+// TestLexicalThresholds: the threshold is a hard floor — 0 admits every
+// pair, 1 only exact (normalized) matches, and above 1 nothing.
+func TestLexicalThresholds(t *testing.T) {
+	src, tgt := workload.ClassDTD(), workload.SchoolDTD()
+	all := match.Lexical(src, tgt, 0)
+	want := 0
+	for _, a := range src.Types {
+		for _, b := range tgt.Types {
+			if match.NameSimilarity(a, b) > 0 {
+				want++
+			}
+		}
+	}
+	// The matrix stores only positive scores, so threshold 0 keeps
+	// exactly the pairs with any lexical signal.
+	if all.Pairs() != want {
+		t.Errorf("threshold 0 kept %d pairs, want %d", all.Pairs(), want)
+	}
+	exact := match.Lexical(src, tgt, 1)
+	for _, a := range src.Types {
+		for _, b := range tgt.Types {
+			if s := exact.Get(a, b); s > 0 && match.NameSimilarity(a, b) != 1 {
+				t.Errorf("threshold 1 kept non-exact pair (%s, %s) = %v", a, b, s)
+			}
+		}
+	}
+	if none := match.Lexical(src, tgt, 1.01); none.Pairs() != 0 {
+		t.Errorf("threshold 1.01 kept %d pairs, want 0", none.Pairs())
+	}
+}
+
+// TestSyntheticTable covers the generator's knobs and degenerate
+// inputs.
+func TestSyntheticTable(t *testing.T) {
+	src, tgt := workload.ClassDTD(), workload.SchoolDTD()
+	truth := map[string]string{}
+	for i, a := range src.Types {
+		truth[a] = tgt.Types[i%tgt.Size()]
+	}
+
+	t.Run("ambiguity below one normalizes to truth only", func(t *testing.T) {
+		m := match.Synthetic(src, tgt, truth, match.SyntheticOptions{Accuracy: 1, Ambiguity: 0}, rand.New(rand.NewSource(1)))
+		for _, a := range src.Types {
+			if got := len(m.Candidates(a)); got != 1 {
+				t.Errorf("%s has %d candidates, want 1", a, got)
+			}
+		}
+	})
+
+	t.Run("missing truth entries are skipped", func(t *testing.T) {
+		partialTruth := map[string]string{src.Root: tgt.Root}
+		m := match.Synthetic(src, tgt, partialTruth, match.SyntheticOptions{Accuracy: 1, Ambiguity: 3}, rand.New(rand.NewSource(1)))
+		for _, a := range src.Types {
+			if a == src.Root {
+				continue
+			}
+			if got := len(m.Candidates(a)); got != 0 {
+				t.Errorf("unmapped type %s has %d candidates, want 0", a, got)
+			}
+		}
+	})
+
+	t.Run("ambiguity beyond the target pool is clamped", func(t *testing.T) {
+		m := match.Synthetic(src, tgt, truth, match.SyntheticOptions{Accuracy: 1, Ambiguity: tgt.Size() + 50}, rand.New(rand.NewSource(1)))
+		for _, a := range src.Types {
+			if got := len(m.Candidates(a)); got > tgt.Size() {
+				t.Errorf("%s has %d candidates, more than the %d target types", a, got, tgt.Size())
+			}
+		}
+	})
+
+	t.Run("perfect accuracy ranks truth first", func(t *testing.T) {
+		m := match.Synthetic(src, tgt, truth, match.SyntheticOptions{Accuracy: 1, Ambiguity: 4}, rand.New(rand.NewSource(2)))
+		for _, a := range src.Types {
+			want := truth[a]
+			for _, b := range m.Candidates(a) {
+				if b != want && m.Get(a, b) >= m.Get(a, want) {
+					t.Errorf("%s: decoy %s (%.3f) outranks truth %s (%.3f) at accuracy 1",
+						a, b, m.Get(a, b), want, m.Get(a, want))
+				}
+			}
+		}
+	})
+
+	t.Run("zero accuracy lets decoys win", func(t *testing.T) {
+		m := match.Synthetic(src, tgt, truth, match.SyntheticOptions{Accuracy: 0, Ambiguity: 3}, rand.New(rand.NewSource(3)))
+		outranked := 0
+		for _, a := range src.Types {
+			want := truth[a]
+			for _, b := range m.Candidates(a) {
+				if b != want && m.Get(a, b) > m.Get(a, want) {
+					outranked++
+					break
+				}
+			}
+		}
+		if outranked == 0 {
+			t.Error("accuracy 0 never let a decoy outrank the truth")
+		}
+	})
+
+	t.Run("same seed reproduces the matrix", func(t *testing.T) {
+		opts := match.SyntheticOptions{Accuracy: 0.5, Ambiguity: 3}
+		m1 := match.Synthetic(src, tgt, truth, opts, rand.New(rand.NewSource(7)))
+		m2 := match.Synthetic(src, tgt, truth, opts, rand.New(rand.NewSource(7)))
+		if m1.String() != m2.String() {
+			t.Error("same seed produced different matrices")
+		}
+	})
+}
+
+// TestLexicalOnLimitedParse: the matcher sits downstream of schema
+// parsing, so hostile schema text is stopped by PR 1's guard limits
+// before any similarity scoring happens.
+func TestLexicalOnLimitedParse(t *testing.T) {
+	_, err := dtd.ParseLimits(workload.ClassDTD().String(), "db", guard.Limits{MaxTypes: 3})
+	var le *guard.LimitError
+	if !errors.As(err, &le) || le.Limit != "types" {
+		t.Fatalf("ParseLimits = %v, want types LimitError", err)
+	}
+}

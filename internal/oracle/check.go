@@ -1,0 +1,191 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/anfa"
+	"repro/internal/translate"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+	"repro/internal/xslt"
+)
+
+// checkTrial runs every property over the scenario and returns the
+// violations found, with the scenario attached for shrinking and
+// reporting.
+func checkTrial(tr *Trial, rep *Report) []Violation {
+	var out []Violation
+	add := func(p Property, q xpath.Expr, v *Violation) {
+		rep.Checks[p]++
+		if v == nil {
+			return
+		}
+		v.Property = p
+		v.Source, v.Target, v.Emb = tr.Source, tr.Target, tr.Emb
+		v.Doc, v.Query = tr.Doc, q
+		out = append(out, *v)
+	}
+	for _, p := range []Property{PropTypeSafety, PropInvert, PropXSLTForward, PropXSLTInverse} {
+		p := p
+		add(p, nil, guardPanic(func() *Violation {
+			return checkProperty(p, tr, tr.Doc, nil)
+		}))
+	}
+	for _, q := range tr.Queries {
+		q := q
+		nonEmpty := len(xpath.Eval(q, tr.Doc.Root)) > 0
+		for _, p := range []Property{PropQueryPreserv, PropANFADiff} {
+			p := p
+			if nonEmpty {
+				rep.NonTrivial[p]++
+			}
+			add(p, q, guardPanic(func() *Violation {
+				return checkProperty(p, tr, tr.Doc, q)
+			}))
+		}
+	}
+	return out
+}
+
+// checkProperty evaluates one property on the scenario with the given
+// document (and query, for query-driven properties). It is
+// self-contained so the shrinker can replay it on candidate inputs.
+func checkProperty(p Property, tr *Trial, doc *xmltree.Tree, q xpath.Expr) *Violation {
+	switch p {
+	case PropTypeSafety:
+		return checkTypeSafety(tr, doc)
+	case PropInvert:
+		return checkInvert(tr, doc)
+	case PropXSLTForward:
+		return checkXSLTForward(tr, doc)
+	case PropXSLTInverse:
+		return checkXSLTInverse(tr, doc)
+	case PropQueryPreserv:
+		return checkQueryPreservation(tr, doc, q)
+	case PropANFADiff:
+		return checkANFADifferential(tr, doc, q)
+	}
+	return &Violation{Detail: fmt.Sprintf("unknown property %q", p)}
+}
+
+// checkTypeSafety: σd is total on conforming documents and its image
+// conforms to the target schema (Theorem 4.1).
+func checkTypeSafety(tr *Trial, doc *xmltree.Tree) *Violation {
+	res, err := tr.Emb.Apply(doc)
+	if err != nil {
+		return &Violation{Detail: fmt.Sprintf("σd failed on a conforming document: %v", err)}
+	}
+	if err := res.Tree.Validate(tr.Target); err != nil {
+		return &Violation{Detail: fmt.Sprintf("σd(T) does not conform to the target schema: %v", err)}
+	}
+	return nil
+}
+
+// checkInvert: σd⁻¹(σd(T)) is value-isomorphic to T (Theorem 4.1).
+func checkInvert(tr *Trial, doc *xmltree.Tree) *Violation {
+	res, err := tr.Emb.Apply(doc)
+	if err != nil {
+		return &Violation{Detail: fmt.Sprintf("σd failed: %v", err)}
+	}
+	back, err := tr.Emb.Invert(res.Tree)
+	if err != nil {
+		return &Violation{Detail: fmt.Sprintf("σd⁻¹ failed on σd(T): %v", err)}
+	}
+	if !xmltree.Equal(back, doc) {
+		return &Violation{Detail: "σd⁻¹(σd(T)) differs from T: " + xmltree.Diff(back, doc)}
+	}
+	return nil
+}
+
+// checkXSLTForward: the generated forward stylesheet computes σd.
+func checkXSLTForward(tr *Trial, doc *xmltree.Tree) *Violation {
+	res, err := tr.Emb.Apply(doc)
+	if err != nil {
+		return &Violation{Detail: fmt.Sprintf("σd failed: %v", err)}
+	}
+	sheet, err := xslt.ForwardStylesheet(tr.Emb)
+	if err != nil {
+		return &Violation{Detail: fmt.Sprintf("forward stylesheet generation failed: %v", err)}
+	}
+	got, err := sheet.Run(doc)
+	if err != nil {
+		return &Violation{Detail: fmt.Sprintf("forward stylesheet run failed: %v", err)}
+	}
+	if !xmltree.Equal(got, res.Tree) {
+		return &Violation{Detail: "XSLT forward output differs from programmatic σd(T): " + xmltree.Diff(got, res.Tree)}
+	}
+	return nil
+}
+
+// checkXSLTInverse: the generated inverse stylesheet recovers T from
+// σd(T).
+func checkXSLTInverse(tr *Trial, doc *xmltree.Tree) *Violation {
+	res, err := tr.Emb.Apply(doc)
+	if err != nil {
+		return &Violation{Detail: fmt.Sprintf("σd failed: %v", err)}
+	}
+	sheet, err := xslt.InverseStylesheet(tr.Emb)
+	if err != nil {
+		return &Violation{Detail: fmt.Sprintf("inverse stylesheet generation failed: %v", err)}
+	}
+	got, err := sheet.Run(res.Tree)
+	if err != nil {
+		return &Violation{Detail: fmt.Sprintf("inverse stylesheet run failed: %v", err)}
+	}
+	if !xmltree.Equal(got, doc) {
+		return &Violation{Detail: "XSLT inverse output differs from T: " + xmltree.Diff(got, doc)}
+	}
+	return nil
+}
+
+// checkQueryPreservation: Q(T) = idM(Tr(Q)(σd(T))) (Theorem 4.2). The
+// translated automaton must select exactly the images of Q's answers
+// and never a default-fill node.
+func checkQueryPreservation(tr *Trial, doc *xmltree.Tree, q xpath.Expr) *Violation {
+	res, err := tr.Emb.Apply(doc)
+	if err != nil {
+		return &Violation{Detail: fmt.Sprintf("σd failed: %v", err)}
+	}
+	trl, err := translate.New(tr.Emb)
+	if err != nil {
+		return &Violation{Detail: fmt.Sprintf("translator construction failed: %v", err)}
+	}
+	auto, err := trl.Translate(q)
+	if err != nil {
+		return &Violation{Detail: fmt.Sprintf("translation failed: %v", err)}
+	}
+	direct := idSet(xpath.IDs(xpath.Eval(q, doc.Root)))
+	var mapped []xmltree.NodeID
+	for _, n := range auto.Eval(res.Tree.Root) {
+		srcID, ok := res.IDM[n.ID]
+		if !ok {
+			return &Violation{Detail: fmt.Sprintf(
+				"translated query selected node %d outside idM's domain (a default-fill or structural node, label %q)",
+				n.ID, n.Label)}
+		}
+		mapped = append(mapped, srcID)
+	}
+	if got := idSet(mapped); !idSetsEqual(direct, got) {
+		return &Violation{Detail: fmt.Sprintf(
+			"answer mismatch: Q(T) = %v but idM(Tr(Q)(σd(T))) = %v", direct, got)}
+	}
+	return nil
+}
+
+// checkANFADifferential: the automaton M_Q built directly from Q by
+// anfa.FromExpr agrees with the reference X_R evaluator on the source
+// document.
+func checkANFADifferential(tr *Trial, doc *xmltree.Tree, q xpath.Expr) *Violation {
+	dq := xpath.DesugarDesc(q, tr.Source.Types)
+	auto, err := anfa.FromExpr(dq)
+	if err != nil {
+		return &Violation{Detail: fmt.Sprintf("ANFA construction failed: %v", err)}
+	}
+	direct := idSet(xpath.IDs(xpath.Eval(dq, doc.Root)))
+	viaANFA := idSet(xpath.IDs(auto.Eval(doc.Root)))
+	if !idSetsEqual(direct, viaANFA) {
+		return &Violation{Detail: fmt.Sprintf(
+			"ANFA evaluation disagrees with direct evaluation: direct = %v, anfa = %v", direct, viaANFA)}
+	}
+	return nil
+}

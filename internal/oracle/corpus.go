@@ -1,0 +1,75 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/xpath"
+)
+
+// Corpus targets: fuzz-target name → package corpus directory relative
+// to the repository root (Go's native fuzzing reads seed corpora from
+// testdata/fuzz/<FuzzTarget> in the target's package).
+var corpusDirs = map[string]string{
+	"FuzzDTDParse":   "internal/dtd/testdata/fuzz/FuzzDTDParse",
+	"FuzzXPathParse": "internal/xpath/testdata/fuzz/FuzzXPathParse",
+	"FuzzXMLDecode":  "internal/xmltree/testdata/fuzz/FuzzXMLDecode",
+}
+
+// EmitCorpus generates cfg.Trials scenarios and seeds the parser fuzz
+// corpora under root (the repository root) with the interesting inputs
+// they produce: schema texts for FuzzDTDParse, query texts for
+// FuzzXPathParse, and document XML for FuzzXMLDecode. perTarget bounds
+// the files written per fuzz target. It returns the number of corpus
+// files written.
+func EmitCorpus(root string, cfg Config, perTarget int) (int, error) {
+	cfg = cfg.withDefaults()
+	if perTarget <= 0 {
+		perTarget = 24
+	}
+	seeds := map[string][]string{}
+	seen := map[string]bool{}
+	add := func(target, input string) {
+		key := target + "\x00" + input
+		if seen[key] || len(seeds[target]) >= perTarget {
+			return
+		}
+		seen[key] = true
+		seeds[target] = append(seeds[target], input)
+	}
+	for i := 0; i < cfg.Trials; i++ {
+		r := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+		tr, err := genTrial(r, cfg)
+		if err != nil {
+			continue
+		}
+		add("FuzzDTDParse", tr.Source.String())
+		add("FuzzDTDParse", tr.Target.String())
+		add("FuzzXMLDecode", tr.Doc.String())
+		for _, q := range tr.Queries {
+			add("FuzzXPathParse", xpath.String(q))
+		}
+		for _, p := range tr.Emb.Paths {
+			add("FuzzXPathParse", p.String())
+		}
+	}
+	written := 0
+	for target, inputs := range seeds {
+		dir := filepath.Join(root, corpusDirs[target])
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return written, err
+		}
+		for i, input := range inputs {
+			body := "go test fuzz v1\nstring(" + strconv.Quote(input) + ")\n"
+			name := fmt.Sprintf("oracle-seed-%03d", i)
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+				return written, err
+			}
+			written++
+		}
+	}
+	return written, nil
+}

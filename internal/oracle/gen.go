@@ -1,0 +1,109 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dtd"
+	"repro/internal/embedding"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Trial is one generated scenario: a synthetic source schema, a noisy
+// copy as embedding target, the ground-truth embedding between them, a
+// random conforming instance, and random X_R queries over the source.
+type Trial struct {
+	Source  *dtd.DTD
+	Target  *dtd.DTD
+	Emb     *embedding.Embedding
+	Doc     *xmltree.Tree
+	Queries []xpath.Expr
+}
+
+// genTrial builds a scenario from the trial's random source. Errors
+// indicate generator defects (every synthetic schema must admit its
+// truth embedding and random instances), which Run reports as
+// violations of the generation property.
+func genTrial(r *rand.Rand, cfg Config) (*Trial, error) {
+	size := cfg.MinTypes + r.Intn(cfg.MaxTypes-cfg.MinTypes+1)
+	// Repeated concatenation children force occurrence-qualified paths
+	// (A/B#2 → B[position()=2]) through resolution, instance mapping,
+	// translation and inversion — without them the oracle never
+	// exercises position annotations at all.
+	src, err := workload.SyntheticDTDOpts(r, size, workload.SynthOptions{ConcatRepeatFrac: 0.35})
+	if err != nil {
+		return nil, fmt.Errorf("synthetic source schema: %w", err)
+	}
+	level := r.Float64() * cfg.MaxNoise
+	nc := workload.Noise(src, workload.NoiseLevel(level), r)
+	if err := nc.DTD.Check(); err != nil {
+		return nil, fmt.Errorf("noisy target schema invalid: %w", err)
+	}
+	emb, err := workload.TruthEmbedding(src, nc)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := xmltree.Generate(src, r, xmltree.GenOptions{
+		StarMax:     cfg.StarMax,
+		DepthBudget: cfg.DepthBudget,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("instance generation: %w", err)
+	}
+	tr := &Trial{Source: src, Target: nc.DTD, Emb: emb, Doc: doc}
+	for i := 0; i < cfg.QueriesPerTrial; i++ {
+		// Alternate the grammar-directed generator with targeted
+		// downward-path queries: the former covers unions, stars and
+		// Boolean qualifiers, the latter keeps position() qualifiers on
+		// repeated children dense enough to have discriminating power
+		// (they are where translation positions are easiest to get
+		// wrong, and the grammar generator reaches them rarely).
+		var q xpath.Expr
+		if i%2 == 0 {
+			q = xpath.RandomQuery(r, src, xpath.GenOptions{
+				TranslatableOnly: true,
+				MaxDepth:         3,
+			})
+		} else {
+			q = targetedQuery(r, src)
+		}
+		tr.Queries = append(tr.Queries, q)
+	}
+	return tr, nil
+}
+
+// targetedQuery builds a random downward label path from the root,
+// attaching position() qualifiers to steps under star or repeating
+// parents with high probability and occasionally ending in text().
+func targetedQuery(r *rand.Rand, d *dtd.DTD) xpath.Expr {
+	cur := d.Root
+	var expr xpath.Expr = xpath.Empty{}
+	steps := 1 + r.Intn(5)
+	for i := 0; i < steps; i++ {
+		prod := d.Prods[cur]
+		if len(prod.Children) == 0 {
+			break
+		}
+		c := prod.Children[r.Intn(len(prod.Children))]
+		var step xpath.Expr = xpath.Label{Name: c}
+		positional := prod.Kind == dtd.KindStar || prod.Occurrences(c) > 1
+		if positional && r.Intn(4) > 0 {
+			step = xpath.Filter{P: step, Q: xpath.QPos{K: 1 + r.Intn(3)}}
+		}
+		expr = seqOf(expr, step)
+		cur = c
+	}
+	if d.Prods[cur].Kind == dtd.KindStr && r.Intn(2) == 0 {
+		expr = seqOf(expr, xpath.Text{})
+	}
+	return expr
+}
+
+func seqOf(l, r xpath.Expr) xpath.Expr {
+	if _, ok := l.(xpath.Empty); ok {
+		return r
+	}
+	return xpath.Seq{L: l, R: r}
+}

@@ -1,0 +1,347 @@
+package oracle
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/embedding"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// TestRunShortDeterministic is the checked-in oracle mode: a fixed-seed
+// run that must stay green and non-vacuous, and must produce the exact
+// same report when repeated.
+func TestRunShortDeterministic(t *testing.T) {
+	cfg := Config{Trials: 120, Seed: 1}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v.String())
+	}
+	if rep.Trials != cfg.Trials {
+		t.Fatalf("ran %d trials, want %d", rep.Trials, cfg.Trials)
+	}
+	for _, p := range Properties() {
+		if rep.Checks[p] == 0 {
+			t.Errorf("property %s was never checked", p)
+		}
+	}
+	// Vacuity guard: a healthy run must evaluate plenty of queries with
+	// non-empty reference answers, or the query properties test nothing.
+	for _, p := range []Property{PropQueryPreserv, PropANFADiff} {
+		if min := rep.Checks[p] / 4; rep.NonTrivial[p] < min {
+			t.Errorf("property %s: only %d/%d checks had non-empty answers (want >= %d)",
+				p, rep.NonTrivial[p], rep.Checks[p], min)
+		}
+	}
+	again, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	if rep.Summary() != again.Summary() {
+		t.Errorf("same seed produced different reports:\n%s\nvs\n%s", rep.Summary(), again.Summary())
+	}
+}
+
+// TestRunLong is the opt-in deep mode: XSE_ORACLE_TRIALS=5000 go test
+// ./internal/oracle -run TestRunLong.
+func TestRunLong(t *testing.T) {
+	env := os.Getenv("XSE_ORACLE_TRIALS")
+	if env == "" {
+		t.Skip("set XSE_ORACLE_TRIALS to run the long oracle mode")
+	}
+	trials, err := strconv.Atoi(env)
+	if err != nil || trials <= 0 {
+		t.Fatalf("invalid XSE_ORACLE_TRIALS=%q", env)
+	}
+	rep, err := Run(context.Background(), Config{Trials: trials, Seed: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v.String())
+	}
+	t.Log(rep.Summary())
+}
+
+func TestRunHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Run(ctx, Config{Trials: 50, Seed: 1})
+	if err == nil {
+		t.Fatal("Run with canceled context returned nil error")
+	}
+	if rep == nil || rep.Trials != 0 {
+		t.Fatalf("canceled run should report zero completed trials, got %+v", rep)
+	}
+}
+
+// TestReproRoundTrip checks that a serialized counterexample parses
+// back into the identical scenario and that replaying a healthy
+// scenario reports no violation.
+func TestReproRoundTrip(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	tr, err := genTrial(rand.New(rand.NewSource(7)), cfg)
+	if err != nil {
+		t.Fatalf("genTrial: %v", err)
+	}
+	v := &Violation{
+		Trial:    3,
+		Seed:     10,
+		Property: PropQueryPreserv,
+		Detail:   "first line\nsecond line",
+		Source:   tr.Source,
+		Target:   tr.Target,
+		Emb:      tr.Emb,
+		Doc:      tr.Doc,
+		Query:    tr.Queries[0],
+	}
+	text := FormatRepro(v)
+	r, err := ParseRepro(text)
+	if err != nil {
+		t.Fatalf("ParseRepro: %v\nreproducer was:\n%s", err, text)
+	}
+	if r.Property != PropQueryPreserv {
+		t.Errorf("property %q, want %q", r.Property, PropQueryPreserv)
+	}
+	if got, want := r.Trial.Source.String(), tr.Source.String(); got != want {
+		t.Errorf("source schema round-trip:\n%s\nwant:\n%s", got, want)
+	}
+	if got, want := r.Trial.Target.String(), tr.Target.String(); got != want {
+		t.Errorf("target schema round-trip:\n%s\nwant:\n%s", got, want)
+	}
+	if got, want := r.Trial.Emb.Marshal(), tr.Emb.Marshal(); got != want {
+		t.Errorf("mapping round-trip:\n%s\nwant:\n%s", got, want)
+	}
+	if got, want := r.Trial.Doc.String(), tr.Doc.String(); got != want {
+		t.Errorf("document round-trip:\n%s\nwant:\n%s", got, want)
+	}
+	if got, want := xpath.String(r.Query), xpath.String(tr.Queries[0]); got != want {
+		t.Errorf("query round-trip: %q, want %q", got, want)
+	}
+	if viol := r.Check(); viol != nil {
+		t.Errorf("replaying a healthy scenario reported a violation: %s", viol.Detail)
+	}
+}
+
+func TestParseReproMissingSection(t *testing.T) {
+	if _, err := ParseRepro("== property type-safety\n"); err == nil {
+		t.Fatal("ParseRepro accepted a reproducer with no schemas")
+	}
+}
+
+// TestDetectionAndShrink plants a defect — the target production for
+// one mapped str type is emptied, so σd's image can no longer conform —
+// and checks that the oracle detects it and that shrinking produces a
+// smaller document that still witnesses the failure with canonical
+// text.
+func TestDetectionAndShrink(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	for seed := int64(1); seed < 50; seed++ {
+		tr, err := genTrial(rand.New(rand.NewSource(seed)), cfg)
+		if err != nil {
+			t.Fatalf("genTrial(seed %d): %v", seed, err)
+		}
+		broken, docHasType := "", false
+		for a, p := range tr.Source.Prods {
+			if p.Kind != dtd.KindStr {
+				continue
+			}
+			tr.Doc.Walk(func(n *xmltree.Node) {
+				if n.Label == a {
+					docHasType = true
+				}
+			})
+			if docHasType {
+				broken = a
+				break
+			}
+		}
+		if broken == "" {
+			continue
+		}
+		tr.Target.Prods[tr.Emb.Lambda[broken]] = dtd.Empty()
+
+		v := guardPanic(func() *Violation {
+			return checkProperty(PropTypeSafety, tr, tr.Doc, nil)
+		})
+		if v == nil {
+			t.Fatalf("seed %d: planted type-safety defect in %q was not detected", seed, broken)
+		}
+		v.Property = PropTypeSafety
+		v.Source, v.Target, v.Emb, v.Doc = tr.Source, tr.Target, tr.Emb, tr.Doc
+
+		before := countNodes(v.Doc)
+		shrink(v)
+		after := countNodes(v.Doc)
+		if after > before {
+			t.Errorf("seed %d: shrinking grew the document: %d -> %d nodes", seed, before, after)
+		}
+		if still := guardPanic(func() *Violation {
+			return checkProperty(PropTypeSafety, &Trial{Source: v.Source, Target: v.Target, Emb: v.Emb, Doc: v.Doc}, v.Doc, nil)
+		}); still == nil {
+			t.Errorf("seed %d: shrunk document no longer witnesses the failure", seed)
+		}
+		// The defect is text-independent, so every surviving text value
+		// must have been canonicalized.
+		v.Doc.Walk(func(n *xmltree.Node) {
+			if n.IsText() && n.Text != canonicalText {
+				t.Errorf("seed %d: text %q survived canonicalization", seed, n.Text)
+			}
+		})
+		return
+	}
+	t.Fatal("no trial contained a mapped str type present in its document")
+}
+
+// TestQueryShrinkConverges drives the query shrinker with a synthetic
+// failure predicate and checks it reaches the minimal witness.
+func TestQueryShrinkConverges(t *testing.T) {
+	q, err := xpath.Parse("a/(b | c)[text() = \"x\"]/d")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	v := &Violation{Query: q}
+	// The "defect" needs only label b somewhere in the query.
+	fails := func(_ *xmltree.Tree, cand xpath.Expr) bool {
+		return strings.Contains(xpath.String(cand), "b")
+	}
+	for {
+		next, ok := shrinkQueryOnce(v, fails)
+		if !ok {
+			break
+		}
+		v.Query = next
+	}
+	if got := xpath.String(v.Query); got != "b" {
+		t.Errorf("query shrinking stopped at %q, want \"b\"", got)
+	}
+}
+
+func TestEmitCorpus(t *testing.T) {
+	root := t.TempDir()
+	n, err := EmitCorpus(root, Config{Trials: 10, Seed: 1}, 5)
+	if err != nil {
+		t.Fatalf("EmitCorpus: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("EmitCorpus wrote no files")
+	}
+	total := 0
+	for _, dir := range corpusDirs {
+		files, err := os.ReadDir(filepath.Join(root, dir))
+		if err != nil {
+			t.Fatalf("corpus dir %s: %v", dir, err)
+		}
+		if len(files) == 0 || len(files) > 5 {
+			t.Errorf("corpus dir %s has %d files, want 1..5", dir, len(files))
+		}
+		for _, f := range files {
+			body, err := os.ReadFile(filepath.Join(root, dir, f.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.HasPrefix(string(body), "go test fuzz v1\nstring(") {
+				t.Errorf("%s/%s is not a go fuzz corpus entry:\n%s", dir, f.Name(), body)
+			}
+			total++
+		}
+	}
+	if total != n {
+		t.Errorf("EmitCorpus reported %d files, found %d", n, total)
+	}
+}
+
+// TestShrinkReducesRealViolation exercises the document shrinker on a
+// scenario with star repetition: the planted defect fires on any
+// document containing the broken type, so the shrinker should strip
+// unrelated star children.
+func TestShrinkReducesRealViolation(t *testing.T) {
+	const schema = `
+<!ELEMENT root (item)*>
+<!ELEMENT item (name, note)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT note (#PCDATA)>`
+	source, err := dtd.Parse(schema, "root")
+	if err != nil {
+		t.Fatalf("source: %v", err)
+	}
+	target, err := dtd.Parse(schema, "root")
+	if err != nil {
+		t.Fatalf("target: %v", err)
+	}
+	doc, err := xmltree.ParseString(
+		"<root>" + strings.Repeat("<item><name>v1</name><note>v2</note></item>", 6) + "</root>")
+	if err != nil {
+		t.Fatalf("doc: %v", err)
+	}
+	tr := trialForIdentity(t, source, target, doc)
+	// Break the target so σd's image cannot conform.
+	tr.Target.Prods["note"] = dtd.Empty()
+	v := guardPanic(func() *Violation {
+		return checkProperty(PropTypeSafety, tr, tr.Doc, nil)
+	})
+	if v == nil {
+		t.Fatal("planted defect was not detected")
+	}
+	v.Property = PropTypeSafety
+	v.Source, v.Target, v.Emb, v.Doc = tr.Source, tr.Target, tr.Emb, tr.Doc
+	shrink(v)
+	items := 0
+	v.Doc.Walk(func(n *xmltree.Node) {
+		if n.Label == "item" {
+			items++
+		}
+	})
+	if items != 1 {
+		t.Errorf("shrunk document keeps %d star children, want 1:\n%s", items, v.Doc)
+	}
+}
+
+// trialForIdentity builds the identity embedding between two copies of
+// the same schema (λ = id, every edge mapped to the one-step path of
+// its own label, str edges to text()).
+func trialForIdentity(t *testing.T, source, target *dtd.DTD, doc *xmltree.Tree) *Trial {
+	t.Helper()
+	e := embedding.New(source, target)
+	for _, a := range source.Types {
+		e.MapType(a, a)
+		p := source.Prods[a]
+		if p.Kind == dtd.KindStr {
+			e.SetPath(embedding.EdgeRef{Parent: a, Child: embedding.StrChild, Occ: 1}, "text()")
+			continue
+		}
+		seen := map[string]int{}
+		for _, c := range p.Children {
+			seen[c]++
+			e.Paths[embedding.EdgeRef{Parent: a, Child: c, Occ: seen[c]}] = identityStep(c, seen[c], p)
+		}
+	}
+	if err := e.Validate(nil); err != nil {
+		t.Fatalf("identity embedding invalid: %v", err)
+	}
+	return &Trial{Source: source, Target: target, Emb: e, Doc: doc}
+}
+
+func identityStep(label string, occ int, p dtd.Production) xpath.Path {
+	step := xpath.Step{Label: label}
+	if p.Kind == dtd.KindConcat && occ > 0 && p.Occurrences(label) > 1 {
+		step.Pos = occ
+	}
+	return xpath.Path{Steps: []xpath.Step{step}}
+}
+
+func countNodes(tr *xmltree.Tree) int {
+	n := 0
+	tr.Walk(func(*xmltree.Node) { n++ })
+	return n
+}

@@ -1,0 +1,38 @@
+package oracle
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRegressionReproducers replays every checked-in counterexample
+// under testdata/regress. Each file records a scenario that once
+// witnessed a defect (or a canary-planted one); the library must keep
+// all of them passing. New oracle findings are added here by copying
+// the shrunk reproducer file the CLI writes with -repro-dir.
+func TestRegressionReproducers(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "regress", "*.repro"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no regression reproducers found")
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := ParseRepro(string(data))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if v := r.Check(); v != nil {
+				t.Errorf("defect reproduces again: %s", v.Detail)
+			}
+		})
+	}
+}

@@ -1,0 +1,153 @@
+package oracle
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/dtd"
+	"repro/internal/embedding"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Repro is a self-contained, replayable counterexample: everything
+// checkProperty needs to reproduce a violation.
+type Repro struct {
+	Property Property
+	Trial    *Trial
+	// Query is non-nil for query-driven properties (it is also the
+	// single element of Trial.Queries).
+	Query xpath.Expr
+}
+
+// FormatRepro serializes a violation to the reproducer format: a
+// commented header followed by sections for the two schemas, the
+// mapping, the document, and (for query-driven properties) the query.
+func FormatRepro(v *Violation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# xse-oracle counterexample (trial %d, seed %d)\n", v.Trial, v.Seed)
+	fmt.Fprintf(&b, "# replay: go run ./cmd/xse-oracle -trials 1 -seed %d\n", v.Seed)
+	for _, line := range strings.Split(strings.TrimRight(v.Detail, "\n"), "\n") {
+		fmt.Fprintf(&b, "# %s\n", line)
+	}
+	fmt.Fprintf(&b, "== property %s\n", v.Property)
+	fmt.Fprintf(&b, "== source-dtd %s\n%s", v.Source.Root, v.Source)
+	fmt.Fprintf(&b, "== target-dtd %s\n%s", v.Target.Root, v.Target)
+	fmt.Fprintf(&b, "== mapping\n%s", v.Emb.Marshal())
+	fmt.Fprintf(&b, "== document\n%s", v.Doc)
+	if v.Query != nil {
+		fmt.Fprintf(&b, "== query\n%s\n", xpath.String(v.Query))
+	}
+	return b.String()
+}
+
+// ParseRepro loads a reproducer back into a replayable scenario.
+func ParseRepro(src string) (*Repro, error) {
+	sections := map[string]string{}
+	var name string
+	var buf strings.Builder
+	flush := func() {
+		if name != "" {
+			sections[name] = buf.String()
+		}
+		buf.Reset()
+	}
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(line, "== ") {
+			flush()
+			name = strings.TrimSpace(strings.TrimPrefix(line, "== "))
+			continue
+		}
+		if name == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+	}
+	flush()
+
+	section := func(prefix string) (arg, body string, err error) {
+		for key, val := range sections {
+			if key == prefix {
+				return "", val, nil
+			}
+			if strings.HasPrefix(key, prefix+" ") {
+				return strings.TrimSpace(strings.TrimPrefix(key, prefix+" ")), val, nil
+			}
+		}
+		return "", "", fmt.Errorf("oracle: reproducer is missing a %q section", prefix)
+	}
+
+	prop, _, err := section("property")
+	if err != nil {
+		return nil, err
+	}
+	srcRoot, srcText, err := section("source-dtd")
+	if err != nil {
+		return nil, err
+	}
+	source, err := dtd.Parse(srcText, srcRoot)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: reproducer source schema: %w", err)
+	}
+	tgtRoot, tgtText, err := section("target-dtd")
+	if err != nil {
+		return nil, err
+	}
+	target, err := dtd.Parse(tgtText, tgtRoot)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: reproducer target schema: %w", err)
+	}
+	_, mapText, err := section("mapping")
+	if err != nil {
+		return nil, err
+	}
+	emb, err := embedding.Unmarshal(mapText, source, target)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: reproducer mapping: %w", err)
+	}
+	_, docText, err := section("document")
+	if err != nil {
+		return nil, err
+	}
+	doc, err := xmltree.ParseString(docText)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: reproducer document: %w", err)
+	}
+	r := &Repro{
+		Property: Property(prop),
+		Trial:    &Trial{Source: source, Target: target, Emb: emb, Doc: doc},
+	}
+	if qText, ok := sections["query"]; ok {
+		q, err := xpath.Parse(strings.TrimSpace(qText))
+		if err != nil {
+			return nil, fmt.Errorf("oracle: reproducer query: %w", err)
+		}
+		r.Query = q
+		r.Trial.Queries = []xpath.Expr{q}
+	}
+	return r, nil
+}
+
+// Check replays the reproducer's property and returns the violation it
+// witnesses, or nil if the defect no longer reproduces.
+func (r *Repro) Check() *Violation {
+	return guardPanic(func() *Violation {
+		return checkProperty(r.Property, r.Trial, r.Trial.Doc, r.Query)
+	})
+}
+
+// writeRepro serializes the violation into dir, creating it if needed.
+func writeRepro(dir string, v *Violation) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("oracle-%s-trial%04d.repro", v.Property, v.Trial)
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(FormatRepro(v)), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,238 @@
+package oracle
+
+import (
+	"repro/internal/dtd"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// shrinkBudget bounds the number of candidate re-checks per violation;
+// each re-check replays the full property pipeline on a candidate
+// input, so the budget caps shrinking cost on large counterexamples.
+const shrinkBudget = 500
+
+// canonicalText is the value text nodes are canonicalized to while
+// shrinking (one of the generator's default vocabulary values, so
+// shrunk documents stay within the generated value domain).
+const canonicalText = "v0"
+
+// shrink minimizes the violation's document and query while the
+// property still fails: star children are dropped one subtree at a
+// time (the only structural edit guaranteed to preserve source
+// conformance), text values are canonicalized, and the query is
+// replaced by any strictly smaller variant that still witnesses the
+// failure. Greedy passes repeat to a fixpoint or until the re-check
+// budget is exhausted.
+func shrink(v *Violation) {
+	budget := shrinkBudget
+	fails := func(doc *xmltree.Tree, q xpath.Expr) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		tr := &Trial{Source: v.Source, Target: v.Target, Emb: v.Emb, Doc: doc}
+		return guardPanic(func() *Violation {
+			return checkProperty(v.Property, tr, doc, q)
+		}) != nil
+	}
+	for improved := true; improved && budget > 0; {
+		improved = false
+		if doc, ok := shrinkDocOnce(v, fails); ok {
+			v.Doc = doc
+			improved = true
+			continue
+		}
+		if v.Query != nil {
+			if q, ok := shrinkQueryOnce(v, fails); ok {
+				v.Query = q
+				improved = true
+			}
+		}
+	}
+}
+
+// shrinkDocOnce tries one accepted document edit: dropping a star
+// child, then canonicalizing one text value.
+func shrinkDocOnce(v *Violation, fails func(*xmltree.Tree, xpath.Expr) bool) (*xmltree.Tree, bool) {
+	var found *xmltree.Tree
+	v.Doc.Walk(func(n *xmltree.Node) {
+		if found != nil || n.IsText() {
+			return
+		}
+		if p, ok := v.Source.Prods[n.Label]; !ok || p.Kind != dtd.KindStar {
+			return
+		}
+		for _, c := range n.Children {
+			cand := cloneEditing(v.Doc, c, nil, "")
+			if fails(cand, v.Query) {
+				found = cand
+				return
+			}
+		}
+	})
+	if found != nil {
+		return found, true
+	}
+	v.Doc.Walk(func(n *xmltree.Node) {
+		if found != nil || !n.IsText() || n.Text == canonicalText {
+			return
+		}
+		cand := cloneEditing(v.Doc, nil, n, canonicalText)
+		if fails(cand, v.Query) {
+			found = cand
+		}
+	})
+	return found, found != nil
+}
+
+// shrinkQueryOnce tries the strictly smaller query variants and accepts
+// the first one that still fails.
+func shrinkQueryOnce(v *Violation, fails func(*xmltree.Tree, xpath.Expr) bool) (xpath.Expr, bool) {
+	for _, cand := range queryCandidates(v.Query) {
+		if exprSize(cand) >= exprSize(v.Query) {
+			continue
+		}
+		if fails(v.Doc, cand) {
+			return cand, true
+		}
+	}
+	return nil, false
+}
+
+// cloneEditing deep-copies the document with fresh node ids, skipping
+// the drop subtree (when non-nil) and replacing retext's value (when
+// non-nil) with val.
+func cloneEditing(doc *xmltree.Tree, drop, retext *xmltree.Node, val string) *xmltree.Tree {
+	out := &xmltree.Tree{}
+	var cp func(n *xmltree.Node) *xmltree.Node
+	cp = func(n *xmltree.Node) *xmltree.Node {
+		if n == drop {
+			return nil
+		}
+		var m *xmltree.Node
+		if n.IsText() {
+			text := n.Text
+			if n == retext {
+				text = val
+			}
+			m = out.NewText(text)
+		} else {
+			m = out.NewElement(n.Label)
+		}
+		for _, c := range n.Children {
+			if cc := cp(c); cc != nil {
+				xmltree.Append(m, cc)
+			}
+		}
+		return m
+	}
+	out.Root = cp(doc.Root)
+	return out
+}
+
+// queryCandidates enumerates one-step reductions of an expression:
+// replacing it with a direct subexpression, dropping a filter, and the
+// same reductions applied to any subexpression in place.
+func queryCandidates(e xpath.Expr) []xpath.Expr {
+	var out []xpath.Expr
+	switch e := e.(type) {
+	case xpath.Seq:
+		out = append(out, e.L, e.R)
+		for _, l := range queryCandidates(e.L) {
+			out = append(out, xpath.Seq{L: l, R: e.R})
+		}
+		for _, r := range queryCandidates(e.R) {
+			out = append(out, xpath.Seq{L: e.L, R: r})
+		}
+	case xpath.Union:
+		out = append(out, e.L, e.R)
+		for _, l := range queryCandidates(e.L) {
+			out = append(out, xpath.Union{L: l, R: e.R})
+		}
+		for _, r := range queryCandidates(e.R) {
+			out = append(out, xpath.Union{L: e.L, R: r})
+		}
+	case xpath.Desc:
+		out = append(out, e.L, e.R)
+		for _, l := range queryCandidates(e.L) {
+			out = append(out, xpath.Desc{L: l, R: e.R})
+		}
+		for _, r := range queryCandidates(e.R) {
+			out = append(out, xpath.Desc{L: e.L, R: r})
+		}
+	case xpath.Star:
+		out = append(out, e.P)
+		for _, p := range queryCandidates(e.P) {
+			out = append(out, xpath.Star{P: p})
+		}
+	case xpath.Filter:
+		out = append(out, e.P)
+		for _, q := range qualCandidates(e.Q) {
+			out = append(out, xpath.Filter{P: e.P, Q: q})
+		}
+		for _, p := range queryCandidates(e.P) {
+			out = append(out, xpath.Filter{P: p, Q: e.Q})
+		}
+	}
+	return out
+}
+
+// qualCandidates enumerates one-step reductions of a qualifier.
+func qualCandidates(q xpath.Qual) []xpath.Qual {
+	var out []xpath.Qual
+	switch q := q.(type) {
+	case xpath.QNot:
+		out = append(out, q.Q)
+		for _, inner := range qualCandidates(q.Q) {
+			out = append(out, xpath.QNot{Q: inner})
+		}
+	case xpath.QAnd:
+		out = append(out, q.L, q.R)
+	case xpath.QOr:
+		out = append(out, q.L, q.R)
+	case xpath.QPath:
+		for _, p := range queryCandidates(q.P) {
+			out = append(out, xpath.QPath{P: p})
+		}
+	case xpath.QTextEq:
+		for _, p := range queryCandidates(q.P) {
+			out = append(out, xpath.QTextEq{P: p, Val: q.Val})
+		}
+	}
+	return out
+}
+
+// exprSize counts AST nodes of an expression (qualifiers included).
+func exprSize(e xpath.Expr) int {
+	switch e := e.(type) {
+	case xpath.Seq:
+		return 1 + exprSize(e.L) + exprSize(e.R)
+	case xpath.Union:
+		return 1 + exprSize(e.L) + exprSize(e.R)
+	case xpath.Desc:
+		return 1 + exprSize(e.L) + exprSize(e.R)
+	case xpath.Star:
+		return 1 + exprSize(e.P)
+	case xpath.Filter:
+		return 1 + exprSize(e.P) + qualSize(e.Q)
+	default:
+		return 1
+	}
+}
+
+func qualSize(q xpath.Qual) int {
+	switch q := q.(type) {
+	case xpath.QNot:
+		return 1 + qualSize(q.Q)
+	case xpath.QAnd:
+		return 1 + qualSize(q.L) + qualSize(q.R)
+	case xpath.QOr:
+		return 1 + qualSize(q.L) + qualSize(q.R)
+	case xpath.QPath:
+		return 1 + exprSize(q.P)
+	case xpath.QTextEq:
+		return 1 + exprSize(q.P)
+	default:
+		return 1
+	}
+}

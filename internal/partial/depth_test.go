@@ -1,0 +1,203 @@
+package partial_test
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/embedding"
+	"repro/internal/guard"
+	"repro/internal/partial"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+// choiceDTD is a small schema exercising every production kind,
+// including a type name that collides with the ε-alternative naming
+// scheme.
+func choiceDTD(t *testing.T) *dtd.DTD {
+	t.Helper()
+	d, err := dtd.New("doc",
+		dtd.D("doc", dtd.Concat("choice", "choice.none", "items", "note")),
+		dtd.D("choice", dtd.Disj("yes", "no")),
+		dtd.D("choice.none", dtd.Empty()),
+		dtd.D("items", dtd.Star("item")),
+		dtd.D("item", dtd.Str()),
+		dtd.D("note", dtd.Str()),
+		dtd.D("yes", dtd.Empty()),
+		dtd.D("no", dtd.Empty()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestPruneShapes is the table-driven sweep over every production
+// shape a selection can leave behind.
+func TestPruneShapes(t *testing.T) {
+	d := choiceDTD(t)
+	tests := []struct {
+		name     string
+		drop     []string
+		typ      string
+		wantKind dtd.Kind
+		wantKids int
+	}{
+		{"disjunction fully kept stays verbatim", []string{"note"}, "choice", dtd.KindDisj, 2},
+		{"disjunction partially dropped gains epsilon", []string{"no"}, "choice", dtd.KindDisj, 2},
+		{"disjunction fully dropped becomes empty", []string{"yes", "no"}, "choice", dtd.KindEmpty, 0},
+		{"concatenation fully dropped becomes empty", []string{"choice", "yes", "no", "choice.none", "items", "item", "note"}, "doc", dtd.KindEmpty, 0},
+		{"star over kept child stays verbatim", []string{"note"}, "items", dtd.KindStar, 1},
+		{"star over dropped child becomes empty", []string{"item"}, "items", dtd.KindEmpty, 0},
+		{"str leaf survives verbatim", []string{"yes", "no"}, "note", dtd.KindStr, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			pruned, err := partial.Prune(d, keepAllBut(d, tc.drop...))
+			if err != nil {
+				t.Fatalf("Prune: %v", err)
+			}
+			p := pruned.Prods[tc.typ]
+			if p.Kind != tc.wantKind || len(p.Children) != tc.wantKids {
+				t.Errorf("pruned %s production = %v, want kind %v with %d children", tc.typ, p, tc.wantKind, tc.wantKids)
+			}
+		})
+	}
+}
+
+// TestFreshNoneAvoidsCollision: the ε-alternative name must dodge both
+// schema types and names minted earlier in the same pruning.
+func TestFreshNoneAvoidsCollision(t *testing.T) {
+	d := choiceDTD(t)
+	pruned, err := partial.Prune(d, keepAllBut(d, "no"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pruned.Prods["choice"]
+	none := p.Children[len(p.Children)-1]
+	if none == "choice.none" {
+		t.Fatalf("ε alternative reused the existing type name %q", none)
+	}
+	if pruned.Prods[none].Kind != dtd.KindEmpty {
+		t.Errorf("ε alternative %q has production %v, want EMPTY", none, pruned.Prods[none])
+	}
+	// The original "choice.none" type is untouched.
+	if pruned.Prods["choice.none"].Kind != dtd.KindEmpty {
+		t.Error("pre-existing choice.none type was disturbed")
+	}
+}
+
+// TestProjectDroppedDisjunctToEmptiedProduction: when every disjunct
+// was dropped the projected node simply loses its child.
+func TestProjectDroppedDisjunctToEmptiedProduction(t *testing.T) {
+	d := choiceDTD(t)
+	doc, err := xmltree.ParseString(`<doc><choice><yes/></choice><choice.none/><items><item>a</item></items><note>n</note></doc>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := keepAllBut(d, "yes", "no")
+	got, err := partial.Project(doc, d, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var choice *xmltree.Node
+	got.Walk(func(n *xmltree.Node) {
+		if n.Label == "choice" {
+			choice = n
+		}
+	})
+	if choice == nil || len(choice.Children) != 0 {
+		t.Errorf("projected choice node = %v, want childless element", choice)
+	}
+}
+
+func TestProjectRejectsNonConforming(t *testing.T) {
+	d := choiceDTD(t)
+	doc, err := xmltree.ParseString(`<doc><zebra/></doc>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := keepAllBut(d)
+	if _, err := partial.Project(doc, d, keep); err == nil || !strings.Contains(err.Error(), "conform") {
+		t.Errorf("Project on a non-conforming document: %v", err)
+	}
+}
+
+func TestMappingErrorPaths(t *testing.T) {
+	src := workload.ClassDTD()
+	keep := keepAllBut(src, "project")
+	pruned, err := partial.Prune(src, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An embedding shell with no λ or paths fails validation inside
+	// NewMapping.
+	empty := embedding.New(pruned, workload.SchoolDTD())
+	if _, err := partial.NewMapping(src, keep, empty); err == nil {
+		t.Error("NewMapping accepted an invalid embedding")
+	}
+	// A healthy mapping still rejects non-conforming input documents.
+	e := workload.ClassEmbedding()
+	pe, err := partial.NewMapping(src, keepAllBut(src), mustPrunedIdentity(t, src, e))
+	if err != nil {
+		t.Fatalf("NewMapping: %v", err)
+	}
+	bad, _ := xmltree.ParseString(`<db><zebra/></db>`)
+	if _, err := pe.Apply(bad); err == nil {
+		t.Error("Apply accepted a non-conforming document")
+	}
+	junk, _ := xmltree.ParseString(`<junk/>`)
+	if _, err := pe.Recover(junk); err == nil {
+		t.Error("Recover accepted a document outside σd's image")
+	}
+}
+
+// mustPrunedIdentity reuses e when the full selection leaves the schema
+// unchanged (Prune of everything is the identity), so the class corpus
+// embedding doubles as an embedding of the pruned schema.
+func mustPrunedIdentity(t *testing.T, src *dtd.DTD, e *embedding.Embedding) *embedding.Embedding {
+	t.Helper()
+	pruned, err := partial.Prune(src, keepAllBut(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pruned.Equal(src) {
+		t.Fatal("full selection changed the schema")
+	}
+	return e
+}
+
+// TestPartialPipelineGuardLimits: the resource bounds added in PR 1
+// protect the partial-preservation pipeline's ingestion layer — hostile
+// schema or document text fails fast with a *guard.LimitError before
+// any pruning or projection runs, and instance generation against a
+// pruned schema honors MaxNodes.
+func TestPartialPipelineGuardLimits(t *testing.T) {
+	schemaText := workload.ClassDTD().String()
+	if _, err := dtd.ParseLimits(schemaText, "db", guard.Limits{MaxTypes: 2}); !isLimit(err, "types") {
+		t.Errorf("ParseLimits(MaxTypes: 2) = %v, want types LimitError", err)
+	}
+	if _, err := dtd.ParseLimits(schemaText, "db", guard.Limits{MaxInputBytes: 10}); !isLimit(err, "input-bytes") {
+		t.Errorf("ParseLimits(MaxInputBytes: 10) = %v, want input-bytes LimitError", err)
+	}
+	d := workload.ClassDTD()
+	pruned, err := partial.Prune(d, keepAllBut(d, "project"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = xmltree.Generate(pruned, rand.New(rand.NewSource(1)), xmltree.GenOptions{
+		StarMax: 50,
+		Limits:  guard.Limits{MaxNodes: 3},
+	})
+	if !isLimit(err, "nodes") {
+		t.Errorf("Generate(MaxNodes: 3) = %v, want nodes LimitError", err)
+	}
+}
+
+func isLimit(err error, limit string) bool {
+	var le *guard.LimitError
+	return errors.As(err, &le) && le.Limit == limit
+}

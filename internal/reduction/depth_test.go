@@ -1,0 +1,168 @@
+package reduction_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/reduction"
+	"repro/internal/search"
+	"repro/internal/xmltree"
+)
+
+// TestEmbeddingExistsIffSatisfiable is Theorem 5.1 run end to end: for
+// each formula, exact (complete) search over (S1, S2, att) finds a
+// valid embedding exactly when the formula is satisfiable.
+func TestEmbeddingExistsIffSatisfiable(t *testing.T) {
+	tests := []struct {
+		name string
+		f    reduction.Formula
+	}{
+		{"single positive unit", reduction.Formula{Vars: 1, Clauses: []reduction.Clause{{1}}}},
+		{"contradictory units", reduction.Formula{Vars: 1, Clauses: []reduction.Clause{{1}, {-1}}}},
+		{"satisfiable 2-var", reduction.Formula{Vars: 2, Clauses: []reduction.Clause{{1, -2}, {-1, 2}}}},
+		{"unsatisfiable 2-var", reduction.Formula{Vars: 2, Clauses: []reduction.Clause{{1, 2}, {-1, 2}, {-2}}}},
+		{"satisfiable with pure literal", reduction.Formula{Vars: 2, Clauses: []reduction.Clause{{2}, {2, -1}}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s1, s2, att, err := reduction.Schemas(tc.f)
+			if err != nil {
+				t.Fatalf("Schemas: %v", err)
+			}
+			res, err := search.Find(s1, s2, att, search.Options{Heuristic: search.Exact})
+			if err != nil {
+				t.Fatalf("Find: %v", err)
+			}
+			want := tc.f.Satisfiable()
+			got := res.Embedding != nil
+			if got != want {
+				t.Fatalf("embedding found = %v, satisfiable = %v", got, want)
+			}
+			if got {
+				if err := res.Embedding.Validate(att); err != nil {
+					t.Errorf("found embedding fails validation: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestSchemasCounters checks the counter-leaf arithmetic that pins Ys
+// to its own variable: per variable i, both branches carry W^(2n+i) and
+// U^(2m-i), and clause pools grow as Z^(n+i).
+func TestSchemasCounters(t *testing.T) {
+	f := reduction.Formula{Vars: 3, Clauses: []reduction.Clause{{1, -2, 3}, {-1, 2, -3}}}
+	s1, s2, _, err := reduction.Schemas(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, m := len(f.Clauses), f.Vars
+	count := func(prod []string, leaf string) int {
+		c := 0
+		for _, k := range prod {
+			if k == leaf {
+				c++
+			}
+		}
+		return c
+	}
+	for s := 1; s <= m; s++ {
+		y := s1.Prods["Y"+string(rune('0'+s))].Children
+		if got := count(y, "W"); got != 2*n+s {
+			t.Errorf("Y%d W count = %d, want %d", s, got, 2*n+s)
+		}
+		if got := count(y, "U"); got != 2*m-s {
+			t.Errorf("Y%d U count = %d, want %d", s, got, 2*m-s)
+		}
+		for _, branch := range []string{"T", "F"} {
+			b := s2.Prods[branch+string(rune('0'+s))].Children
+			if got := count(b, "W"); got != 2*n+s {
+				t.Errorf("%s%d W count = %d, want %d", branch, s, got, 2*n+s)
+			}
+			if got := count(b, "U"); got != 2*m-s {
+				t.Errorf("%s%d U count = %d, want %d", branch, s, got, 2*m-s)
+			}
+		}
+	}
+	for i := 1; i <= n; i++ {
+		c := "C" + string(rune('0'+i))
+		if got := count(s1.Prods[c].Children, "Z"); got != n+i {
+			t.Errorf("S1 %s Z count = %d, want %d", c, got, n+i)
+		}
+		if got := count(s2.Prods[c].Children, "Z"); got != n+i {
+			t.Errorf("S2 %s Z count = %d, want %d", c, got, n+i)
+		}
+	}
+}
+
+// TestSchemasDedupesRepeatedLiterals: a literal occurring twice in one
+// clause must not duplicate the clause child under the branch.
+func TestSchemasDedupesRepeatedLiterals(t *testing.T) {
+	f := reduction.Formula{Vars: 2, Clauses: []reduction.Clause{{1, 1, -2}}}
+	_, s2, _, err := reduction.Schemas(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := 0
+	for _, k := range s2.Prods["T1"].Children {
+		if k == "C1" {
+			c1++
+		}
+	}
+	if c1 != 1 {
+		t.Errorf("T1 lists C1 %d times, want once", c1)
+	}
+}
+
+// TestFormulaCheckTable sweeps the validation error paths.
+func TestFormulaCheckTable(t *testing.T) {
+	tests := []struct {
+		name    string
+		f       reduction.Formula
+		wantErr bool
+	}{
+		{"ok", reduction.Formula{Vars: 2, Clauses: []reduction.Clause{{1, -2}}}, false},
+		{"no variables", reduction.Formula{Vars: 0, Clauses: []reduction.Clause{{1}}}, true},
+		{"no clauses", reduction.Formula{Vars: 1}, true},
+		{"empty clause", reduction.Formula{Vars: 1, Clauses: []reduction.Clause{{}}}, true},
+		{"zero literal", reduction.Formula{Vars: 1, Clauses: []reduction.Clause{{0}}}, true},
+		{"literal out of range", reduction.Formula{Vars: 1, Clauses: []reduction.Clause{{2}}}, true},
+		{"negative literal out of range", reduction.Formula{Vars: 1, Clauses: []reduction.Clause{{-3}}}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.f.Check(); (err != nil) != tc.wantErr {
+				t.Errorf("Check() = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestReductionInstancesRespectGuardLimits: reduction schemas force
+// quadratically many counter leaves per document, so bounded instance
+// generation (PR 1's resource guards) must fail fast with a
+// *guard.LimitError instead of materializing an oversized tree.
+func TestReductionInstancesRespectGuardLimits(t *testing.T) {
+	f := reduction.Formula{Vars: 3, Clauses: []reduction.Clause{{1, 2, 3}, {-1, -2, -3}, {1, -2, 3}}}
+	s1, _, _, err := reduction.Schemas(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = xmltree.Generate(s1, rand.New(rand.NewSource(1)), xmltree.GenOptions{
+		Limits: guard.Limits{MaxNodes: 10},
+	})
+	var le *guard.LimitError
+	if !errors.As(err, &le) || le.Limit != "nodes" {
+		t.Errorf("Generate(MaxNodes: 10) = %v, want nodes LimitError", err)
+	}
+	// With default limits the same schema generates fine.
+	doc, err := xmltree.Generate(s1, rand.New(rand.NewSource(1)), xmltree.GenOptions{})
+	if err != nil {
+		t.Fatalf("Generate with defaults: %v", err)
+	}
+	if err := doc.Validate(s1); err != nil {
+		t.Errorf("generated instance does not conform: %v", err)
+	}
+}

@@ -1,0 +1,160 @@
+package sdtd_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/guard"
+	"repro/internal/sdtd"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+func TestCheckErrors(t *testing.T) {
+	if err := (&sdtd.SpecializedDTD{}).Check(); err == nil || !strings.Contains(err.Error(), "nil schema") {
+		t.Errorf("nil schema: %v", err)
+	}
+	bad := &sdtd.SpecializedDTD{DTD: &dtd.DTD{
+		Root:  "r",
+		Types: []string{"r"},
+		Prods: map[string]dtd.Production{"r": dtd.Concat("ghost")},
+	}}
+	if err := bad.Check(); err == nil {
+		t.Error("schema with an undefined child passed Check")
+	}
+}
+
+func TestMergeRejectsInvalidSource(t *testing.T) {
+	ok := sdtd.FromDTD(workload.StudentDTD())
+	bad := &sdtd.SpecializedDTD{DTD: &dtd.DTD{
+		Root:  "r",
+		Types: []string{"r"},
+		Prods: map[string]dtd.Production{"r": dtd.Concat("ghost")},
+	}}
+	if _, err := sdtd.Merge("all", ok, bad); err == nil || !strings.Contains(err.Error(), "source 2") {
+		t.Errorf("invalid second source: %v", err)
+	}
+}
+
+// TestTypingRejectsTable sweeps the shapes the bottom-up automaton must
+// refuse, one production kind at a time.
+func TestTypingRejectsTable(t *testing.T) {
+	d := dtd.MustNew("r",
+		dtd.D("r", dtd.Concat("pair", "many", "leaf", "pick")),
+		dtd.D("pair", dtd.Concat("leaf2", "leaf2")),
+		dtd.D("many", dtd.Star("leaf2")),
+		dtd.D("leaf", dtd.Str()),
+		dtd.D("leaf2", dtd.Empty()),
+		dtd.D("pick", dtd.Disj("leaf2", "leaf")),
+	)
+	s := sdtd.FromDTD(d)
+	good := `<r><pair><leaf2/><leaf2/></pair><many/><leaf>x</leaf><pick><leaf2/></pick></r>`
+	if err := s.Validate(mustParse(t, good)); err != nil {
+		t.Fatalf("baseline document rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		doc  string
+	}{
+		{"concat arity too small", `<r><pair><leaf2/></pair><many/><leaf>x</leaf><pick><leaf2/></pick></r>`},
+		{"concat arity too large", `<r><pair><leaf2/><leaf2/><leaf2/></pair><many/><leaf>x</leaf><pick><leaf2/></pick></r>`},
+		{"star over foreign child", `<r><pair><leaf2/><leaf2/></pair><many><leaf>x</leaf></many><leaf>x</leaf><pick><leaf2/></pick></r>`},
+		{"str without text", `<r><pair><leaf2/><leaf2/></pair><many/><leaf/><pick><leaf2/></pick></r>`},
+		{"empty type with text child", `<r><pair><leaf2/><leaf2/></pair><many/><leaf>x</leaf><pick><leaf2>t</leaf2></pick></r>`},
+		{"disjunction with two children", `<r><pair><leaf2/><leaf2/></pair><many/><leaf>x</leaf><pick><leaf2/><leaf2/></pick></r>`},
+		{"disjunction over foreign child", `<r><pair><leaf2/><leaf2/></pair><many/><leaf>x</leaf><pick><zebra/></pick></r>`},
+		{"wrong root tag", `<z><pair><leaf2/><leaf2/></pair><many/><leaf>x</leaf><pick><leaf2/></pick></z>`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := s.Validate(mustParse(t, tc.doc)); err == nil {
+				t.Error("malformed document accepted")
+			}
+		})
+	}
+}
+
+func TestTypingEmptyDocuments(t *testing.T) {
+	s := sdtd.FromDTD(workload.StudentDTD())
+	if _, err := s.Typing(nil); err == nil {
+		t.Error("nil tree accepted")
+	}
+	if _, err := s.Typing(&xmltree.Tree{}); err == nil {
+		t.Error("tree with nil root accepted")
+	}
+}
+
+// TestMergeThreeSources: a three-way merge types each wrapped instance
+// with its own source's specializations, even though all three share
+// every tag.
+func TestMergeThreeSources(t *testing.T) {
+	mk := func(kind dtd.Production) *sdtd.SpecializedDTD {
+		return sdtd.FromDTD(dtd.MustNew("db",
+			dtd.D("db", kind),
+			dtd.D("x", dtd.Str()),
+		))
+	}
+	one := mk(dtd.Concat("x"))
+	two := mk(dtd.Star("x"))
+	three := mk(dtd.Empty())
+	merged, err := sdtd.Merge("all", one, two, three)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := sdtd.WrapInstances("all",
+		mustParse(t, `<db><x>1</x></db>`),
+		mustParse(t, `<db><x>1</x><x>2</x><x>3</x></db>`),
+		mustParse(t, `<db/>`),
+	)
+	assign, err := merged.Typing(doc)
+	if err != nil {
+		t.Fatalf("Typing: %v", err)
+	}
+	for i, c := range doc.Root.Children {
+		want := []string{"s1.db", "s2.db", "s3.db"}[i]
+		if assign[c] != want {
+			t.Errorf("child %d typed %q, want %q", i, assign[c], want)
+		}
+	}
+	// Swapping the concat instance into the star slot still types (a
+	// one-element star), but the empty slot cannot hold children.
+	bad := sdtd.WrapInstances("all",
+		mustParse(t, `<db><x>1</x></db>`),
+		mustParse(t, `<db><x>1</x></db>`),
+		mustParse(t, `<db><x>1</x></db>`),
+	)
+	if err := merged.Validate(bad); err == nil {
+		t.Error("non-empty instance accepted in the EMPTY source slot")
+	}
+}
+
+// TestTypingOnLimitedParse: documents reach the typing automaton only
+// through the PR 1 resource-guarded decoder, so hostile nesting fails
+// at parse time with a *guard.LimitError rather than exhausting the
+// typing recursion.
+func TestTypingOnLimitedParse(t *testing.T) {
+	depth := guard.DefaultMaxDepth + 10
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteString("<a>")
+	}
+	for i := 0; i < depth; i++ {
+		b.WriteString("</a>")
+	}
+	_, err := xmltree.ParseString(b.String())
+	var le *guard.LimitError
+	if !errors.As(err, &le) || le.Limit != "depth" {
+		t.Fatalf("ParseString on %d-deep document = %v, want depth LimitError", depth, err)
+	}
+}
+
+func mustParse(t *testing.T, s string) *xmltree.Tree {
+	t.Helper()
+	tr, err := xmltree.ParseString(s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return tr
+}

@@ -16,6 +16,22 @@ import (
 // panic, so callers embedding the generator in long-running services
 // degrade gracefully.
 func SyntheticDTD(r *rand.Rand, size int) (*dtd.DTD, error) {
+	return SyntheticDTDOpts(r, size, SynthOptions{})
+}
+
+// SynthOptions steers optional structural features of synthetic
+// schemas beyond the classic shape mix.
+type SynthOptions struct {
+	// ConcatRepeatFrac is the probability that a concatenation
+	// production repeats one of its children (A → (B, C, B)), the shape
+	// that forces occurrence-qualified paths and position annotations
+	// through the whole embedding pipeline. Zero keeps children
+	// distinct, matching the historical generator.
+	ConcatRepeatFrac float64
+}
+
+// SyntheticDTDOpts is SyntheticDTD with explicit structural options.
+func SyntheticDTDOpts(r *rand.Rand, size int, opts SynthOptions) (*dtd.DTD, error) {
 	if size < 2 {
 		size = 2
 	}
@@ -60,7 +76,11 @@ func SyntheticDTD(r *rand.Rand, size int) (*dtd.DTD, error) {
 			if n > remaining {
 				n = remaining
 			}
-			prods[names[i]] = dtd.Concat(laterPick(i, n)...)
+			kids := laterPick(i, n)
+			if opts.ConcatRepeatFrac > 0 && r.Float64() < opts.ConcatRepeatFrac {
+				kids = append(kids, kids[r.Intn(len(kids))])
+			}
+			prods[names[i]] = dtd.Concat(kids...)
 		case roll < 6 && remaining >= 2: // disjunction
 			n := 2 + r.Intn(2)
 			if n > remaining {

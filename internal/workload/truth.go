@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/dtd"
+	"repro/internal/embedding"
+	"repro/internal/xpath"
+)
+
+// TruthEmbedding reconstructs the ground-truth schema embedding of a
+// source schema into its noisy copy: λ is the NoisyCopy's Truth map and
+// every source edge is mapped to the 1- or 2-step path the perturbation
+// left behind (direct edge, or wrapper/child when an intermediate type
+// was inserted on the edge). The result is validated before it is
+// returned, so callers can rely on it being a schema embedding in the
+// sense of §4.1 — which makes it a reference answer for the embedding
+// search and the backbone of the property-based conformance oracle.
+func TruthEmbedding(src *dtd.DTD, nc *NoisyCopy) (*embedding.Embedding, error) {
+	e := embedding.New(src, nc.DTD)
+	original := make(map[string]bool, len(nc.Truth))
+	for _, tgt := range nc.Truth {
+		original[tgt] = true
+	}
+	for _, a := range src.Types {
+		b, ok := nc.Truth[a]
+		if !ok {
+			return nil, fmt.Errorf("workload: truth embedding: no counterpart for source type %q", a)
+		}
+		e.MapType(a, b)
+	}
+	for _, ref := range embedding.SourceEdges(src) {
+		if ref.Child == embedding.StrChild {
+			e.Paths[ref] = xpath.Path{Text: true}
+			continue
+		}
+		p, err := truthPath(nc, original, nc.Truth[ref.Parent], nc.Truth[ref.Child], ref.Occ)
+		if err != nil {
+			return nil, fmt.Errorf("workload: truth embedding: edge %s: %w", ref, err)
+		}
+		e.Paths[ref] = p
+	}
+	if err := e.Validate(nil); err != nil {
+		return nil, fmt.Errorf("workload: truth embedding is not a valid schema embedding: %w", err)
+	}
+	return e, nil
+}
+
+// truthPath finds the occ-th occurrence of tB (directly or behind an
+// inserted wrapper) among the children of tA in the noisy copy and
+// renders it as an X_R path. Wrapper types are recognizable as
+// concatenations outside the Truth image whose first child is tB (Noise
+// creates them as single-child concatenations; enrichment may append
+// extra children but never prepends).
+func truthPath(nc *NoisyCopy, original map[string]bool, tA, tB string, occ int) (xpath.Path, error) {
+	prod, ok := nc.DTD.Prods[tA]
+	if !ok {
+		return xpath.Path{}, fmt.Errorf("no production for %q in the copy", tA)
+	}
+	seen, direct := 0, 0
+	for _, c := range prod.Children {
+		switch {
+		case c == tB:
+			seen++
+			direct++
+			if seen == occ {
+				step := xpath.Step{Label: tB}
+				if prod.Kind == dtd.KindConcat && prod.Occurrences(tB) > 1 {
+					// Position among same-label children of the copy; only
+					// direct occurrences keep the label (wrapping removes it).
+					step.Pos = direct
+				}
+				return xpath.Path{Steps: []xpath.Step{step}}, nil
+			}
+		case !original[c] && isWrapperFor(nc.DTD, c, tB):
+			seen++
+			if seen == occ {
+				return xpath.Path{Steps: []xpath.Step{{Label: c}, {Label: tB}}}, nil
+			}
+		}
+	}
+	return xpath.Path{}, fmt.Errorf("occurrence %d of %q not found under %q", occ, tB, tA)
+}
+
+func isWrapperFor(d *dtd.DTD, wrapper, tB string) bool {
+	p, ok := d.Prods[wrapper]
+	return ok && p.Kind == dtd.KindConcat && len(p.Children) > 0 && p.Children[0] == tB
+}

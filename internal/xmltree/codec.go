@@ -30,6 +30,7 @@ func ParseLimits(r io.Reader, lim guard.Limits) (*Tree, error) {
 	cr := &countingReader{r: r, lim: lim}
 	dec := xml.NewDecoder(cr)
 	t := &Tree{}
+	names := map[string]bool{}
 	nodes := 0
 	addNode := func() error {
 		nodes++
@@ -77,6 +78,9 @@ func ParseLimits(r io.Reader, lim guard.Limits) (*Tree, error) {
 			if err := addNode(); err != nil {
 				return nil, err
 			}
+			if !validName(tok.Name.Local, names) {
+				return nil, fmt.Errorf("xmltree: parse: element name %q is not a valid XML name on its own (namespaced local names like \"ns:%s\" cannot round-trip)", tok.Name.Local, tok.Name.Local)
+			}
 			n := t.NewElement(tok.Name.Local)
 			if len(stack) == 0 {
 				if t.Root != nil {
@@ -106,6 +110,27 @@ func ParseLimits(r io.Reader, lim guard.Limits) (*Tree, error) {
 		return nil, fmt.Errorf("xmltree: unclosed element %q", stack[len(stack)-1].Label)
 	}
 	return t, nil
+}
+
+// validName reports whether encoding/xml accepts label as a complete
+// element name, so that serializing the tree reparses. The decoder
+// splits qualified names at the first colon, and a local part like "0"
+// (from "<A:0/>") is not a name by itself — labels are what this
+// package serializes, so such documents are rejected up front rather
+// than producing trees whose serialization cannot be parsed back.
+// cache memoizes verdicts per document (labels repeat heavily).
+func validName(label string, cache map[string]bool) bool {
+	ok, hit := cache[label]
+	if hit {
+		return ok
+	}
+	tok, err := xml.NewDecoder(strings.NewReader("<" + label + "/>")).Token()
+	if err == nil {
+		se, isStart := tok.(xml.StartElement)
+		ok = isStart && se.Name.Space == "" && se.Name.Local == label && len(se.Attr) == 0
+	}
+	cache[label] = ok
+	return ok
 }
 
 // countingReader bounds the bytes read from the underlying reader,

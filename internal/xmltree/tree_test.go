@@ -163,6 +163,35 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseRejectsUnroundtrippableNames is the minimized fuzz finding
+// (corpus entry testdata/fuzz/FuzzXMLDecode/4b1974856ae82edd): the
+// decoder splits "A:0" into prefix "A" and local name "0", and "0"
+// alone is not a valid XML name — serializing a tree labeled "0" could
+// never be parsed back. Such documents must fail at parse time.
+// Prefixed names whose local part stands alone still parse, with the
+// prefix stripped as documented.
+func TestParseRejectsUnroundtrippableNames(t *testing.T) {
+	for _, doc := range []string{
+		`<ns:a A:0=""><A:0/></ns:a>`,
+		`<A:0/>`,
+		`<x:-bad/>`,
+	} {
+		if _, err := ParseString(doc); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", doc)
+		}
+	}
+	tr, err := ParseString(`<ns:a><ns:b>x</ns:b></ns:a>`)
+	if err != nil {
+		t.Fatalf("prefixed element with valid local name rejected: %v", err)
+	}
+	if tr.Root.Label != "a" || tr.Root.Children[0].Label != "b" {
+		t.Errorf("prefix not stripped: root %q, child %q", tr.Root.Label, tr.Root.Children[0].Label)
+	}
+	if _, err := ParseString(tr.String()); err != nil {
+		t.Errorf("round trip failed: %v", err)
+	}
+}
+
 func TestSerializeRoundTrip(t *testing.T) {
 	tr, err := ParseString(classDoc)
 	if err != nil {
