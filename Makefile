@@ -3,7 +3,7 @@ FUZZTIME ?= 5s
 ORACLE_TRIALS ?= 500
 ORACLE_SEED ?= 1
 
-.PHONY: all build vet test race fuzz bench check oracle
+.PHONY: all build vet test race fuzz bench bench-json check oracle
 
 all: build
 
@@ -28,6 +28,11 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Refresh the checked-in benchmark trajectory file (BENCH_PR<n>.json);
+# see DESIGN.md "Performance" and scripts/bench.sh.
+bench-json:
+	./scripts/bench.sh
 
 # Property-based conformance oracle (see TESTING.md): randomized
 # end-to-end verification of type safety, invertibility and query

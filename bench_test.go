@@ -13,6 +13,7 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -248,6 +249,35 @@ func BenchmarkFindParallel(b *testing.B) {
 		if res.Embedding == nil {
 			b.Fatal("no embedding found")
 		}
+	}
+}
+
+// BenchmarkFindSize measures the Random heuristic along the E3 size
+// trajectory: synthetic schemas of growing size, 20% structural noise,
+// an att of accuracy 1 / ambiguity 2, and the E3 restart budget. The
+// sub-benchmark sizes bracket the paper's "few hundred nodes" regime;
+// their ns/op trend is the headline number tracked in BENCH_*.json.
+func BenchmarkFindSize(b *testing.B) {
+	for _, size := range []int{40, 80, 160} {
+		b.Run(fmt.Sprintf("%d", size), func(b *testing.B) {
+			r := rand.New(rand.NewSource(int64(size)))
+			base := workload.MustSyntheticDTD(r, size)
+			nc := workload.Noise(base, workload.NoiseLevel(0.2), r)
+			att := match.Synthetic(base, nc.DTD, nc.Truth,
+				match.SyntheticOptions{Accuracy: 1, Ambiguity: 2}, r)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := search.Find(base, nc.DTD, att,
+					search.Options{Heuristic: search.Random, Seed: int64(i), MaxRestarts: 15})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Embedding == nil {
+					b.Fatal("no embedding found on the synthetic pair")
+				}
+			}
+		})
 	}
 }
 

@@ -102,6 +102,8 @@ func main() {
 	if *verbose && res != nil {
 		fmt.Fprintf(os.Stderr, "heuristic=%s restarts=%d steps=%d paths=%d elapsed=%s exhausted=%v\n",
 			h, res.Restarts, res.Steps, res.PathsEnumerated, res.Elapsed, res.Exhausted)
+		fmt.Fprintf(os.Stderr, "path cache: %d hits / %d misses; localPaths memo: %d hits / %d misses\n",
+			res.PathQueryHits, res.PathQueryMisses, res.LocalPathsHits, res.LocalPathsMisses)
 	}
 	if err != nil {
 		if errors.Is(err, core.ErrDeadline) || errors.Is(err, core.ErrCanceled) {

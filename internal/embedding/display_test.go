@@ -54,6 +54,52 @@ func TestSimMatrixHelpers(t *testing.T) {
 	}
 }
 
+// TestCandidatesNoAliasing: Candidates guarantees a freshly allocated
+// slice per call — callers (the search shuffles candidate orders in
+// place) must never corrupt the matrix or each other through a shared
+// backing array.
+func TestCandidatesNoAliasing(t *testing.T) {
+	m := embedding.NewSimMatrix()
+	m.Set("a", "x", 0.5)
+	m.Set("a", "y", 0.9)
+	m.Set("a", "z", 0.7)
+	first := m.Candidates("a")
+	want := append([]string(nil), first...)
+	// Clobber the returned slice; a second call must be unaffected.
+	for i := range first {
+		first[i] = "CLOBBERED"
+	}
+	second := m.Candidates("a")
+	if len(second) != len(want) {
+		t.Fatalf("Candidates = %v, want %v", second, want)
+	}
+	for i := range want {
+		if second[i] != want[i] {
+			t.Fatalf("Candidates aliased a previously returned slice: %v, want %v", second, want)
+		}
+	}
+
+	// AllCandidates groups the whole matrix with the same ordering as
+	// per-type Candidates calls.
+	m.Set("b", "w", 0.3)
+	all := m.AllCandidates()
+	if len(all) != 2 {
+		t.Fatalf("AllCandidates groups = %d, want 2", len(all))
+	}
+	for i, c := range all["a"] {
+		if c != want[i] {
+			t.Fatalf("AllCandidates[a] = %v, want %v", all["a"], want)
+		}
+	}
+	if len(all["b"]) != 1 || all["b"][0] != "w" {
+		t.Fatalf("AllCandidates[b] = %v", all["b"])
+	}
+	var nilM *embedding.SimMatrix
+	if len(nilM.AllCandidates()) != 0 {
+		t.Error("nil matrix AllCandidates must be empty")
+	}
+}
+
 func TestMinDefDepth(t *testing.T) {
 	md, err := embedding.MinDef(workload.SchoolDTD())
 	if err != nil {

@@ -67,27 +67,61 @@ func (m *SimMatrix) Get(a, b string) float64 {
 }
 
 // Candidates returns the target types b with att(a, b) > 0, sorted by
-// decreasing similarity (ties broken by name for determinism).
+// decreasing similarity (ties broken by name for determinism). The
+// returned slice is freshly allocated on every call and never aliases
+// matrix state: callers may filter or reorder it in place freely.
 func (m *SimMatrix) Candidates(a string) []string {
-	type cand struct {
-		name  string
-		score float64
-	}
 	var cs []cand
 	for k, v := range m.m {
 		if k[0] == a && v > 0 {
 			cs = append(cs, cand{k[1], v})
 		}
 	}
+	sortCands(cs)
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.name
+	}
+	return out
+}
+
+type cand struct {
+	name  string
+	score float64
+}
+
+func sortCands(cs []cand) {
 	sort.Slice(cs, func(i, j int) bool {
 		if cs[i].score != cs[j].score {
 			return cs[i].score > cs[j].score
 		}
 		return cs[i].name < cs[j].name
 	})
-	out := make([]string, len(cs))
-	for i, c := range cs {
-		out[i] = c.name
+}
+
+// AllCandidates returns the Candidates list of every source type with
+// at least one non-zero entry, computed in a single pass over the
+// matrix — use it instead of per-type Candidates calls when a search
+// needs the whole table. The returned map and slices are freshly
+// allocated and never alias matrix state.
+func (m *SimMatrix) AllCandidates() map[string][]string {
+	if m == nil {
+		return map[string][]string{}
+	}
+	groups := make(map[string][]cand)
+	for k, v := range m.m {
+		if v > 0 {
+			groups[k[0]] = append(groups[k[0]], cand{k[1], v})
+		}
+	}
+	out := make(map[string][]string, len(groups))
+	for a, cs := range groups {
+		sortCands(cs)
+		names := make([]string, len(cs))
+		for i, c := range cs {
+			names[i] = c.name
+		}
+		out[a] = names
 	}
 	return out
 }

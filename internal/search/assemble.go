@@ -122,7 +122,7 @@ func (s *searcher) localOptions(a string) []*localOption {
 			}
 			if j == len(kids) {
 				budget--
-				local := localPaths(s.enum, s.src, a, lam)
+				local := s.localPathsFor(a, lam)
 				if local == nil {
 					return
 				}

@@ -43,8 +43,10 @@ type candidate struct {
 	kinds []dtd.EdgeKind
 }
 
-// enumerator enumerates and memoizes candidate paths in the target
-// schema.
+// enumerator answers candidate-path queries against the target schema.
+// All memoization lives in the shared searchCache, so enumerators are
+// cheap per-worker shells: the same (from, to, flavor) BFS runs at most
+// once per search, across all restarts and workers.
 type enumerator struct {
 	tgt *dtd.DTD
 	// maxLen bounds path length; maxCands bounds candidates per query;
@@ -56,12 +58,17 @@ type enumerator struct {
 	maxPin    int
 
 	// stop, when set, is polled during BFS so a canceled search
-	// abandons enumeration promptly; enumerated counts the candidate
-	// paths produced, for partial-progress reporting.
-	stop       func() bool
-	enumerated int
+	// abandons enumeration promptly. Aborted enumerations are never
+	// cached (see sfCache).
+	stop func() bool
 
-	memo map[enumKey][]candidate
+	cache *searchCache
+
+	// Per-enumerator (per-goroutine) statistics, aggregated into the
+	// Result at restart/search boundaries: hits/misses count cache
+	// lookups, enumerated counts candidate paths produced by real BFS
+	// runs (cache hits do not re-count).
+	hits, misses, enumerated int
 }
 
 type enumKey struct {
@@ -69,14 +76,14 @@ type enumKey struct {
 	fl       flavor
 }
 
-func newEnumerator(tgt *dtd.DTD, maxLen, maxCands, maxExpand, maxPin int) *enumerator {
+func newEnumerator(tgt *dtd.DTD, maxLen, maxCands, maxExpand, maxPin int, cache *searchCache) *enumerator {
 	return &enumerator{
 		tgt:       tgt,
 		maxLen:    maxLen,
 		maxCands:  maxCands,
 		maxExpand: maxExpand,
 		maxPin:    maxPin,
-		memo:      map[enumKey][]candidate{},
+		cache:     cache,
 	}
 }
 
@@ -86,37 +93,50 @@ func newEnumerator(tgt *dtd.DTD, maxLen, maxCands, maxExpand, maxPin int) *enume
 // text() step.
 func (e *enumerator) paths(from, to string, fl flavor) []candidate {
 	key := enumKey{from: from, to: to, fl: fl}
-	if c, ok := e.memo[key]; ok {
-		return c
+	out, hit := e.cache.paths.get(key, func() ([]candidate, bool) {
+		out, aborted := e.enumerate(from, to, fl)
+		// Count real enumeration work even when aborted: the partial
+		// candidates were genuinely produced.
+		e.enumerated += len(out)
+		return out, !aborted
+	})
+	if hit {
+		e.hits++
+	} else {
+		e.misses++
 	}
-	c := e.enumerate(from, to, fl)
-	e.memo[key] = c
-	return c
+	return out
 }
 
-// state is a partial path during BFS.
-type state struct {
+// bfsState is one node of the BFS tree. States form a parent-pointer
+// arena: each holds the single step that extends its parent, and the
+// full path/slots/kinds slices are materialized only for accepted
+// candidates (see materialize) — extending a state allocates nothing.
+type bfsState struct {
 	at     string
-	path   xpath.Path
-	slots  []slot
-	kinds  []dtd.EdgeKind
+	step   xpath.Step
+	sl     slot
+	kind   dtd.EdgeKind
+	parent int32 // arena index; -1 for the root state
 	sawOR  bool
 	sawIt  bool // unpinned (iterator) star step present
 	sawSt  bool // any star step present
-	length int
+	length int32
 }
 
-func (e *enumerator) enumerate(from, to string, fl flavor) []candidate {
+// enumerate runs the bounded BFS for one query. It reports whether the
+// search was aborted by stop (aborted results must not be cached).
+func (e *enumerator) enumerate(from, to string, fl flavor) ([]candidate, bool) {
 	var out []candidate
-	queue := []state{{at: from}}
+	arena := make([]bfsState, 1, 64)
+	arena[0] = bfsState{at: from, parent: -1}
 	expansions := 0
-	for len(queue) > 0 && len(out) < e.maxCands && expansions < e.maxExpand {
+	for head := 0; head < len(arena) && len(out) < e.maxCands && expansions < e.maxExpand; head++ {
 		if e.stop != nil && e.stop() {
-			break
+			return out, true
 		}
-		st := queue[0]
-		queue = queue[1:]
-		if st.length >= e.maxLen {
+		st := arena[head] // copy: appends below may grow the arena
+		if int(st.length) >= e.maxLen {
 			continue
 		}
 		prod, ok := e.tgt.Prods[st.at]
@@ -124,9 +144,29 @@ func (e *enumerator) enumerate(from, to string, fl flavor) []candidate {
 			continue
 		}
 		expansions++
+		// extend appends the child state reached by one step and, when
+		// it satisfies the flavor at its endpoint, materializes it as a
+		// candidate.
+		extend := func(step xpath.Step, sl slot, kind dtd.EdgeKind, sawOR, sawIt bool) {
+			next := bfsState{
+				at:     step.Label,
+				step:   step,
+				sl:     sl,
+				kind:   kind,
+				parent: int32(head),
+				sawOR:  st.sawOR || sawOR,
+				sawIt:  st.sawIt || sawIt,
+				sawSt:  st.sawSt || kind == dtd.EdgeSTAR,
+				length: st.length + 1,
+			}
+			arena = append(arena, next)
+			if len(out) < e.maxCands && e.accepts(next, to, fl) {
+				out = append(out, e.materialize(arena, int32(len(arena)-1), fl))
+			}
+		}
 		switch prod.Kind {
 		case dtd.KindStr:
-			// Only flavorSTR may end here, handled on arrival below.
+			// Only flavorSTR may end here, handled on arrival.
 			continue
 		case dtd.KindEmpty:
 			continue
@@ -138,17 +178,14 @@ func (e *enumerator) enumerate(from, to string, fl flavor) []candidate {
 				if prod.Occurrences(c) > 1 {
 					pos = occ[c]
 				}
-				next := extend(st, xpath.Step{Label: c, Pos: pos}, slot{label: c, occ: occ[c]}, dtd.EdgeAND)
-				queue = e.arrive(queue, &out, next, to, fl)
+				extend(xpath.Step{Label: c, Pos: pos}, slot{label: c, occ: occ[c]}, dtd.EdgeAND, false, false)
 			}
 		case dtd.KindDisj:
 			if fl != flavorOR {
 				continue // OR edges are only legal on OR paths
 			}
 			for _, c := range prod.Children {
-				next := extend(st, xpath.Step{Label: c}, slot{label: c, occ: 1}, dtd.EdgeOR)
-				next.sawOR = true
-				queue = e.arrive(queue, &out, next, to, fl)
+				extend(xpath.Step{Label: c}, slot{label: c, occ: 1}, dtd.EdgeOR, true, false)
 			}
 		case dtd.KindStar:
 			if fl == flavorOR {
@@ -157,61 +194,54 @@ func (e *enumerator) enumerate(from, to string, fl flavor) []candidate {
 			c := prod.Children[0]
 			// Pinned positions (legal on any non-OR path).
 			for p := 1; p <= e.maxPin; p++ {
-				next := extend(st, xpath.Step{Label: c, Pos: p}, slot{label: c, occ: p}, dtd.EdgeSTAR)
-				next.sawSt = true
-				queue = e.arrive(queue, &out, next, to, fl)
+				extend(xpath.Step{Label: c, Pos: p}, slot{label: c, occ: p}, dtd.EdgeSTAR, false, false)
 			}
 			// The unpinned iterator, once, for STAR paths.
 			if fl == flavorSTAR && !st.sawIt {
-				next := extend(st, xpath.Step{Label: c}, slot{label: c, occ: 0}, dtd.EdgeSTAR)
-				next.sawSt = true
-				next.sawIt = true
-				queue = e.arrive(queue, &out, next, to, fl)
+				extend(xpath.Step{Label: c}, slot{label: c, occ: 0}, dtd.EdgeSTAR, false, true)
 			}
 		}
 	}
-	return out
+	return out, false
 }
 
-func extend(st state, step xpath.Step, sl slot, kind dtd.EdgeKind) state {
-	next := state{
-		at:     step.Label,
-		sawOR:  st.sawOR,
-		sawIt:  st.sawIt,
-		sawSt:  st.sawSt,
-		length: st.length + 1,
-	}
-	next.path.Steps = append(append([]xpath.Step(nil), st.path.Steps...), step)
-	next.slots = append(append([]slot(nil), st.slots...), sl)
-	next.kinds = append(append([]dtd.EdgeKind(nil), st.kinds...), kind)
-	return next
-}
-
-// arrive records the state as a candidate when it satisfies the flavor
-// at its endpoint, and enqueues it for further extension.
-func (e *enumerator) arrive(queue []state, out *[]candidate, st state, to string, fl flavor) []state {
-	accept := false
+// accepts reports whether the state satisfies the flavor at its
+// endpoint.
+func (e *enumerator) accepts(st bfsState, to string, fl flavor) bool {
 	switch fl {
 	case flavorAND:
-		accept = st.at == to && !st.sawOR
+		return st.at == to && !st.sawOR
 	case flavorOR:
-		accept = st.at == to && st.sawOR && !st.sawSt
+		return st.at == to && st.sawOR && !st.sawSt
 	case flavorSTAR:
-		accept = st.at == to && st.sawIt && !st.sawOR
+		return st.at == to && st.sawIt && !st.sawOR
 	case flavorSTR:
-		if prod, ok := e.tgt.Prods[st.at]; ok && prod.Kind == dtd.KindStr && !st.sawOR {
-			accept = true
-		}
+		prod, ok := e.tgt.Prods[st.at]
+		return ok && prod.Kind == dtd.KindStr && !st.sawOR
 	}
-	if accept && len(*out) < e.maxCands {
-		p := st.path.Clone()
-		if fl == flavorSTR {
-			p.Text = true
-		}
-		*out = append(*out, candidate{path: p, slots: st.slots, kinds: st.kinds})
-		e.enumerated++
+	return false
+}
+
+// materialize walks the parent chain of the accepted state and builds
+// the candidate's path, slots and kinds slices — the only per-candidate
+// allocations of the enumeration.
+func (e *enumerator) materialize(arena []bfsState, idx int32, fl flavor) candidate {
+	n := int(arena[idx].length)
+	c := candidate{
+		path:  xpath.Path{Steps: make([]xpath.Step, n)},
+		slots: make([]slot, n),
+		kinds: make([]dtd.EdgeKind, n),
 	}
-	return append(queue, st)
+	for i := idx; i >= 0 && arena[i].parent >= 0; i = arena[i].parent {
+		n--
+		c.path.Steps[n] = arena[i].step
+		c.slots[n] = arena[i].sl
+		c.kinds[n] = arena[i].kind
+	}
+	if fl == flavorSTR {
+		c.path.Text = true
+	}
+	return c
 }
 
 // textOnlyCandidate returns the zero-step text() path for a str edge

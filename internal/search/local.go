@@ -12,24 +12,33 @@ type localEdge struct {
 	cands []candidate
 }
 
+// localResult is a localPaths answer as cached by searchCache.local:
+// one target path per source edge, nil when no selection exists (a
+// cacheable answer in its own right).
+type localResult = map[embedding.EdgeRef]xpath.Path
+
 // localPaths solves the prefix-free path problem for one source
 // production (§5.1/5.2): given λ(a) and λ for a's children, pick one
 // candidate path per edge such that sibling paths are mutually prefix
 // free (and, for disjunctions, diverge at OR edges). It returns nil
 // when no selection exists within the enumerated candidates.
-func localPaths(e *enumerator, src *dtd.DTD, a string, lam map[string]string) map[embedding.EdgeRef]xpath.Path {
+//
+// The result is a pure function of (a, λ(a), λ(a's children)) given
+// fixed enumeration bounds; callers memoize it through
+// searcher.localPathsFor and must treat the returned map as read-only.
+func localPaths(e *enumerator, src *dtd.DTD, a string, lam map[string]string) localResult {
 	prod := src.Prods[a]
 	from := lam[a]
 	switch prod.Kind {
 	case dtd.KindEmpty:
-		return map[embedding.EdgeRef]xpath.Path{}
+		return localResult{}
 
 	case dtd.KindStr:
 		cands := e.strCandidates(from)
 		if len(cands) == 0 {
 			return nil
 		}
-		return map[embedding.EdgeRef]xpath.Path{
+		return localResult{
 			embedding.Ref(a, embedding.StrChild): cands[0].path,
 		}
 
@@ -39,7 +48,7 @@ func localPaths(e *enumerator, src *dtd.DTD, a string, lam map[string]string) ma
 		if len(cands) == 0 {
 			return nil
 		}
-		return map[embedding.EdgeRef]xpath.Path{
+		return localResult{
 			embedding.Ref(a, b): cands[0].path,
 		}
 
@@ -52,9 +61,13 @@ func localPaths(e *enumerator, src *dtd.DTD, a string, lam map[string]string) ma
 		occ := map[string]int{}
 		for _, b := range prod.Children {
 			occ[b]++
+			cands := e.paths(from, lam[b], fl)
+			if len(cands) == 0 {
+				return nil // an edge with no candidates dooms the selection
+			}
 			edges = append(edges, localEdge{
 				ref:   embedding.EdgeRef{Parent: a, Child: b, Occ: occ[b]},
-				cands: e.paths(from, lam[b], fl),
+				cands: cands,
 			})
 		}
 		// Fewest candidates first: fail fast, branch late.
@@ -63,33 +76,72 @@ func localPaths(e *enumerator, src *dtd.DTD, a string, lam map[string]string) ma
 				edges[j], edges[j-1] = edges[j-1], edges[j]
 			}
 		}
-		chosen := make([]candidate, len(edges))
-		if !pickCompatible(edges, chosen, 0, prod.Kind == dtd.KindDisj, e.stop) {
+		compat := pairCompat(edges, prod.Kind == dtd.KindDisj)
+		chosen := make([]int, len(edges))
+		if !pickCompatible(edges, compat, chosen, 0, e.stop) {
 			return nil
 		}
-		out := make(map[embedding.EdgeRef]xpath.Path, len(edges))
+		out := make(localResult, len(edges))
 		for i, ed := range edges {
-			out[ed.ref] = chosen[i].path
+			out[ed.ref] = ed.cands[chosen[i]].path
 		}
 		return out
 	}
 	return nil
 }
 
-// pickCompatible backtracks over candidate choices enforcing pairwise
-// compatibility. A non-nil stop aborts the backtracking (reported as
-// "no selection"; the caller distinguishes cancellation separately).
-func pickCompatible(edges []localEdge, chosen []candidate, i int, disj bool, stop func() bool) bool {
-	if i == len(edges) {
+// bitset is a fixed-size bit vector used for the pairwise candidate
+// compatibility tables.
+type bitset []uint64
+
+func (b bitset) set(i int)       { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) test(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// pairCompat precomputes, for every edge pair j < i, a bitset whose bit
+// cj*len(cands_i)+ci records whether candidate cj of edge j and
+// candidate ci of edge i satisfy the prefix-free (and OR-divergence)
+// condition. The backtracking then tests compatibility in O(1) per pair
+// instead of re-walking the candidate slots at every node.
+func pairCompat(edges []localEdge, disj bool) []bitset {
+	n := len(edges)
+	if n < 2 {
+		return nil
+	}
+	compat := make([]bitset, n*n)
+	for j := 0; j < n; j++ {
+		for i := j + 1; i < n; i++ {
+			ci := edges[i].cands
+			bs := make(bitset, (len(edges[j].cands)*len(ci)+63)/64)
+			for x, a := range edges[j].cands {
+				for y, b := range ci {
+					if compatible(a, b, disj) {
+						bs.set(x*len(ci) + y)
+					}
+				}
+			}
+			compat[j*n+i] = bs
+		}
+	}
+	return compat
+}
+
+// pickCompatible backtracks over candidate indices enforcing pairwise
+// compatibility via the precomputed bitsets. A non-nil stop aborts the
+// backtracking (reported as "no selection"; the caller distinguishes
+// cancellation separately).
+func pickCompatible(edges []localEdge, compat []bitset, chosen []int, i int, stop func() bool) bool {
+	n := len(edges)
+	if i == n {
 		return true
 	}
 	if stop != nil && stop() {
 		return false
 	}
-	for _, c := range edges[i].cands {
+	ci := len(edges[i].cands)
+	for c := 0; c < ci; c++ {
 		ok := true
 		for j := 0; j < i; j++ {
-			if !compatible(chosen[j], c, disj) {
+			if !compat[j*n+i].test(chosen[j]*ci + c) {
 				ok = false
 				break
 			}
@@ -98,7 +150,7 @@ func pickCompatible(edges []localEdge, chosen []candidate, i int, disj bool, sto
 			continue
 		}
 		chosen[i] = c
-		if pickCompatible(edges, chosen, i+1, disj, stop) {
+		if pickCompatible(edges, compat, chosen, i+1, stop) {
 			return true
 		}
 	}

@@ -3,6 +3,7 @@ package search_test
 import (
 	"testing"
 
+	"repro/internal/dtd"
 	"repro/internal/search"
 	"repro/internal/workload"
 )
@@ -22,6 +23,59 @@ func TestParallelSearch(t *testing.T) {
 	}
 	if err := res.Embedding.Validate(nil); err != nil {
 		t.Fatalf("parallel result invalid: %v", err)
+	}
+}
+
+// TestParallelFigure1Shared: 8 workers on the Figure 1 class→school
+// pair, across several seeds. Meaningful mostly under -race — the
+// workers share the candidate cache with per-key single-flight — and
+// every winning embedding must pass the independent validity checker.
+func TestParallelFigure1Shared(t *testing.T) {
+	src, tgt := workload.ClassDTD(), workload.SchoolDTD()
+	for seed := int64(0); seed < 4; seed++ {
+		res, err := search.Find(src, tgt, nil, search.Options{
+			Heuristic: search.Random, Seed: seed, MaxRestarts: 60, Parallel: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Embedding == nil {
+			t.Fatalf("seed %d: no embedding (restarts=%d)", seed, res.Restarts)
+		}
+		if err := res.Embedding.Validate(nil); err != nil {
+			t.Fatalf("seed %d: invalid embedding: %v", seed, err)
+		}
+		if res.PathQueryHits+res.PathQueryMisses == 0 {
+			t.Errorf("seed %d: no path queries counted", seed)
+		}
+	}
+}
+
+// TestParallelRecursiveTarget: a recursive target that requires
+// unfolding a cycle (the Figure 3(e) shape), hammered with 8 workers —
+// the shared cache must serve the cyclic BFS queries correctly and the
+// result must validate.
+func TestParallelRecursiveTarget(t *testing.T) {
+	src := dtd.MustNew("A",
+		dtd.D("A", dtd.Concat("B", "C")),
+		dtd.D("B", dtd.Empty()),
+		dtd.D("C", dtd.Empty()))
+	tgt := dtd.MustNew("A1",
+		dtd.D("A1", dtd.Concat("B1")),
+		dtd.D("B1", dtd.Concat("C1", "As")),
+		dtd.D("C1", dtd.Empty()),
+		dtd.D("As", dtd.Star("A1")))
+	res, err := search.Find(src, tgt, nil, search.Options{
+		Heuristic: search.Random, Seed: 2, MaxRestarts: 40, Parallel: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Embedding == nil {
+		t.Fatalf("no embedding on the recursive target (restarts=%d)", res.Restarts)
+	}
+	if err := res.Embedding.Validate(nil); err != nil {
+		t.Fatalf("invalid embedding: %v", err)
 	}
 }
 

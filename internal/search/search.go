@@ -155,9 +155,17 @@ type Result struct {
 	// explored without success — for Exact on nonrecursive targets this
 	// proves no embedding exists within the bounds.
 	Exhausted bool
-	// PathsEnumerated counts candidate target paths produced by the
-	// path enumerator across the search (all workers).
+	// PathsEnumerated counts candidate target paths produced by real
+	// BFS enumerations across the search (all workers); queries served
+	// from the shared candidate cache do not re-count.
 	PathsEnumerated int
+	// PathQueryHits and PathQueryMisses count path-candidate queries
+	// answered from the search-scoped cache vs. computed by a BFS
+	// enumeration, across all restarts and workers.
+	PathQueryHits, PathQueryMisses int
+	// LocalPathsHits and LocalPathsMisses are the same counters for
+	// the localPaths memo (prefix-free selections per λ combination).
+	LocalPathsHits, LocalPathsMisses int
 	// Elapsed is the wall-clock search time.
 	Elapsed time.Duration
 }
@@ -199,20 +207,34 @@ func FindCtx(ctx context.Context, src, tgt *dtd.DTD, att *embedding.SimMatrix, o
 			maxLen = 4
 		}
 	}
+	// The candidate cache is shared by every restart and, in parallel
+	// mode, every worker of this search; the localPaths memo is
+	// per-searcher (per-goroutine), shared across restarts.
+	parallel := opts.Parallel > 1 &&
+		(opts.Heuristic == Random || opts.Heuristic == QualityOrdered)
 	s := &searcher{
-		ctx:  ctx,
-		src:  src,
-		tgt:  tgt,
-		att:  att,
-		opts: opts,
-		rng:  rand.New(rand.NewSource(opts.Seed)),
+		ctx:   ctx,
+		src:   src,
+		tgt:   tgt,
+		att:   att,
+		opts:  opts,
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		cache: newSearchCache(parallel),
+		cands: candidateTable(src, tgt, att),
+		local: make(map[string]localResult),
 	}
-	s.enum = newEnumerator(tgt, maxLen, opts.MaxCandidates, opts.MaxExpansions, opts.MaxPin)
+	s.enum = newEnumerator(tgt, maxLen, opts.MaxCandidates, opts.MaxExpansions, opts.MaxPin, s.cache)
 	s.enum.stop = s.canceled
 	start := time.Now()
 	res := s.run()
 	res.Elapsed = time.Since(start)
+	// Parallel workers aggregated their counters into res already; the
+	// root searcher's own counters cover the sequential modes.
 	res.PathsEnumerated += s.enum.enumerated
+	res.PathQueryHits += s.enum.hits
+	res.PathQueryMisses += s.enum.misses
+	res.LocalPathsHits += s.localHits
+	res.LocalPathsMisses += s.localMisses
 	if res.Embedding != nil {
 		// A win that raced a late cancellation is still a win.
 		if err := res.Embedding.Validate(att); err != nil {
@@ -236,6 +258,21 @@ type searcher struct {
 	rng      *rand.Rand
 	enum     *enumerator
 	steps    int
+
+	// cache is the search-scoped memo shared across restarts and
+	// workers; cands is the per-source-type λ-candidate table,
+	// precomputed once per FindCtx and treated as read-only.
+	cache *searchCache
+	cands map[string][]string
+	// local memoizes localPaths across this searcher's restarts, keyed
+	// by (a, λ(a), λ(children)). It is per-goroutine by design: keyBuf
+	// is reused so lookups are allocation-free, and a plain map avoids
+	// the key-boxing and hashing overhead a shared concurrent map would
+	// pay on every probe. localHits/localMisses count its lookups
+	// (plain ints: parallel workers aggregate via outcomes).
+	local                  map[string]localResult
+	keyBuf                 []byte
+	localHits, localMisses int
 
 	// stopped latches the first observed cancellation; checkN
 	// amortizes the ctx polls in hot loops.
@@ -322,9 +359,25 @@ func (s *searcher) run() *Result {
 	}
 }
 
-// runParallel distributes restarts over worker goroutines, each with
-// its own searcher (the enumerator memo is not shared — path queries
-// are cheap relative to backtracking). The first success wins.
+// latchSettled records a settling restart outcome — a win (embedding
+// found) or a proof of impossibility (exhausted without cancellation) —
+// on the shared early-exit flag. It only ever stores true: a losing
+// outcome racing a prior win must never unlatch the flag (the latch
+// used to be written `done.Store(emb != nil)`, which let a later merely
+// exhausted restart reset it and resurrect idle workers).
+func latchSettled(done *atomic.Bool, win, exhausted, stopped bool) {
+	if win || (exhausted && !stopped) {
+		done.Store(true)
+	}
+}
+
+// runParallel distributes restarts over worker goroutines. Each worker
+// gets its own searcher and enumerator shell — including a private
+// localPaths memo spanning its restarts — but all of them share the
+// search-scoped candidate cache (with per-key single-flight), so
+// identical (from, to, flavor) BFS queries run once per search instead
+// of once per restart per worker. The first success wins; a proof of
+// impossibility also settles the search.
 func (s *searcher) runParallel() *Result {
 	workers := s.opts.Parallel
 	// All restart indices are queued upfront so no feeder goroutine can
@@ -335,48 +388,66 @@ func (s *searcher) runParallel() *Result {
 	}
 	close(restarts)
 	type outcome struct {
-		emb       *embedding.Embedding
-		steps     int
-		paths     int
-		restart   int
-		exhausted bool
-		canceled  bool
+		emb        *embedding.Embedding
+		steps      int
+		restart    int
+		exhausted  bool
+		canceled   bool
+		enumerated int
+		pathHits   int
+		pathMisses int
+		localHits  int
+		localMiss  int
 	}
 	results := make(chan outcome, s.opts.MaxRestarts+1)
 	var wg sync.WaitGroup
-	var won atomic.Bool
+	var done atomic.Bool
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// The localPaths memo and its key buffer span this worker's
+			// restarts; the searcher shell is rebuilt per restart for its
+			// per-restart rng and counters.
+			memo := make(map[string]localResult)
+			var keyBuf []byte
 			for r := range restarts {
-				if won.Load() {
+				if done.Load() {
 					return
 				}
 				local := &searcher{
-					ctx:  s.ctx,
-					src:  s.src,
-					tgt:  s.tgt,
-					att:  s.att,
-					opts: s.opts,
-					rng:  rand.New(rand.NewSource(s.opts.Seed + int64(r)*2654435761)),
+					ctx:    s.ctx,
+					src:    s.src,
+					tgt:    s.tgt,
+					att:    s.att,
+					opts:   s.opts,
+					rng:    rand.New(rand.NewSource(s.opts.Seed + int64(r)*2654435761)),
+					cache:  s.cache,
+					cands:  s.cands,
+					local:  memo,
+					keyBuf: keyBuf,
 				}
-				local.enum = newEnumerator(s.tgt, s.enum.maxLen, s.enum.maxCands, s.enum.maxExpand, s.enum.maxPin)
+				local.enum = newEnumerator(s.tgt, s.enum.maxLen, s.enum.maxCands, s.enum.maxExpand, s.enum.maxPin, s.cache)
 				local.enum.stop = local.canceled
 				if local.ctxDone() {
 					results <- outcome{restart: r, canceled: true}
 					return
 				}
 				emb, exhausted := local.attempt(s.opts.Heuristic == Random)
+				keyBuf = local.keyBuf
 				o := outcome{
-					steps:    local.steps,
-					paths:    local.enum.enumerated,
-					restart:  r,
-					canceled: local.stopped,
+					steps:      local.steps,
+					restart:    r,
+					canceled:   local.stopped,
+					enumerated: local.enum.enumerated,
+					pathHits:   local.enum.hits,
+					pathMisses: local.enum.misses,
+					localHits:  local.localHits,
+					localMiss:  local.localMisses,
 				}
+				latchSettled(&done, emb != nil, exhausted, local.stopped)
 				if emb != nil || (exhausted && !local.stopped) {
-					won.Store(emb != nil)
 					o.emb = emb
 					o.exhausted = exhausted
 					results <- o
@@ -397,7 +468,11 @@ func (s *searcher) runParallel() *Result {
 	res := &Result{}
 	for o := range results {
 		res.Steps += o.steps
-		res.PathsEnumerated += o.paths
+		res.PathsEnumerated += o.enumerated
+		res.PathQueryHits += o.pathHits
+		res.PathQueryMisses += o.pathMisses
+		res.LocalPathsHits += o.localHits
+		res.LocalPathsMisses += o.localMiss
 		if o.restart > res.Restarts {
 			res.Restarts = o.restart
 		}
@@ -434,8 +509,28 @@ func (s *searcher) order() []string {
 	return out
 }
 
+// candidateTable precomputes the filtered, att-ordered λ-candidate list
+// per source type in one pass over the similarity matrix, so the
+// backtracking never rescans and re-sorts the matrix at search time.
+// The lists are shared read-only by all restarts and workers.
+func candidateTable(src, tgt *dtd.DTD, att *embedding.SimMatrix) map[string][]string {
+	table := att.AllCandidates()
+	for a, cands := range table {
+		// Keep only actual target types.
+		kept := cands[:0]
+		for _, c := range cands {
+			if _, ok := tgt.Prods[c]; ok {
+				kept = append(kept, c)
+			}
+		}
+		table[a] = kept
+	}
+	return table
+}
+
 // candidatesFor lists admissible λ targets for a source type, ordered
-// per the heuristic.
+// per the heuristic. Without shuffling the shared precomputed slice is
+// returned directly and must not be mutated; shuffling copies it first.
 func (s *searcher) candidatesFor(a string, shuffle bool) []string {
 	if a == s.src.Root {
 		if s.att.Get(a, s.tgt.Root) <= 0 {
@@ -443,19 +538,50 @@ func (s *searcher) candidatesFor(a string, shuffle bool) []string {
 		}
 		return []string{s.tgt.Root}
 	}
-	cands := s.att.Candidates(a)
-	// Keep only actual target types.
-	kept := cands[:0]
-	for _, c := range cands {
-		if _, ok := s.tgt.Prods[c]; ok {
-			kept = append(kept, c)
-		}
-	}
-	cands = kept
-	if shuffle {
+	cands := s.cands[a]
+	if shuffle && len(cands) > 1 {
+		cands = append([]string(nil), cands...)
 		s.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
 	}
 	return cands
+}
+
+// localPathsFor memoizes localPaths across this searcher's restarts:
+// the selection is a pure function of (a, λ(a), λ(a's children)) given
+// fixed enumeration bounds (see the comment on attempt). Selections
+// aborted by cancellation are not cached. Only multi-edge
+// concatenations and disjunctions go through the memo — the other
+// production kinds reduce to a single already-cached path query, and
+// building their memo key would cost more than the recompute. The key
+// is built in a reused buffer so a memo hit allocates nothing (the
+// map lookup through string(buf) does not copy).
+func (s *searcher) localPathsFor(a string, lam map[string]string) localResult {
+	prod := s.src.Prods[a]
+	if (prod.Kind != dtd.KindConcat && prod.Kind != dtd.KindDisj) || len(prod.Children) < 2 {
+		return localPaths(s.enum, s.src, a, lam)
+	}
+	buf := s.keyBuf[:0]
+	buf = append(buf, a...)
+	buf = append(buf, 0)
+	buf = append(buf, lam[a]...)
+	for _, c := range prod.Children {
+		buf = append(buf, 0)
+		buf = append(buf, lam[c]...)
+	}
+	s.keyBuf = buf
+	if local, ok := s.local[string(buf)]; ok {
+		s.localHits++
+		return local
+	}
+	local := localPaths(s.enum, s.src, a, lam)
+	s.localMisses++
+	// s.stopped latches when the amortized cancellation poll fired
+	// inside the enumeration or selection; such results may be
+	// truncated and must not be cached.
+	if !s.stopped {
+		s.local[string(buf)] = local
+	}
+	return local
 }
 
 // attempt runs one constructive backtracking pass. Only λ choices are
@@ -495,7 +621,7 @@ func (s *searcher) attempt(shuffle bool) (*embedding.Embedding, bool) {
 		// withPaths: λ is complete for this production; find one local
 		// path selection, then solve the children's productions.
 		withPaths := func() (bool, bool) {
-			local := localPaths(s.enum, s.src, a, lam)
+			local := s.localPathsFor(a, lam)
 			if local == nil {
 				return false, true
 			}

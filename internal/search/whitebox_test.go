@@ -1,6 +1,7 @@
 package search
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/dtd"
@@ -9,7 +10,7 @@ import (
 
 func enumFor(t *testing.T, d *dtd.DTD) *enumerator {
 	t.Helper()
-	return newEnumerator(d, d.Size()+2, 64, 1<<14, 2)
+	return newEnumerator(d, d.Size()+2, 64, 1<<14, 2, newSearchCache(false))
 }
 
 func TestEnumeratorANDFlavor(t *testing.T) {
@@ -116,7 +117,7 @@ func TestEnumeratorCaps(t *testing.T) {
 	}
 	defs = append(defs, dtd.D("leaf", dtd.Empty()))
 	tgt := dtd.MustNew("r", defs...)
-	e := newEnumerator(tgt, 8, 2, 1<<14, 2)
+	e := newEnumerator(tgt, 8, 2, 1<<14, 2, newSearchCache(false))
 	if cands := e.paths("r", "leaf", flavorAND); len(cands) > 2 {
 		t.Errorf("candidate cap ignored: %d", len(cands))
 	}
@@ -200,6 +201,38 @@ func TestOptionsDefaults(t *testing.T) {
 	e := Options{Heuristic: Exact}.withDefaults()
 	if e.MaxCandidates != 512 || e.MaxSteps != int(^uint(0)>>1) {
 		t.Errorf("exact defaults wrong: %+v", e)
+	}
+}
+
+// TestLatchSettledWinSticks: regression test for the parallel win
+// latch. It used to be written done.Store(emb != nil), so a losing
+// restart finishing after a win reset the latch and resurrected idle
+// workers; latchSettled must only ever store true.
+func TestLatchSettledWinSticks(t *testing.T) {
+	var done atomic.Bool
+	latchSettled(&done, true, false, false) // a win settles the search
+	if !done.Load() {
+		t.Fatal("win did not settle")
+	}
+	latchSettled(&done, false, false, false) // a late loser must not unlatch
+	if !done.Load() {
+		t.Fatal("losing restart unlatched a prior win")
+	}
+	latchSettled(&done, false, true, true) // nor a canceled 'exhausted' one
+	if !done.Load() {
+		t.Fatal("canceled restart unlatched a prior win")
+	}
+
+	var proof atomic.Bool
+	latchSettled(&proof, false, true, false) // impossibility settles too
+	if !proof.Load() {
+		t.Fatal("uncanceled exhaustion did not settle")
+	}
+
+	var canceled atomic.Bool
+	latchSettled(&canceled, false, true, true) // truncated exhaustion proves nothing
+	if canceled.Load() {
+		t.Fatal("canceled restart settled the search")
 	}
 }
 

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_PR<n>.json: run the micro-benchmark suite and the E3
+# size sweep, and fold the results into the checked-in trajectory file
+# (see DESIGN.md, "Performance"). The existing baseline run in the
+# output file is preserved; pass BASELINE=<file> to (re)set it from a
+# saved `go test -bench` output.
+#
+# Usage:
+#   scripts/bench.sh                # refresh BENCH_PR3.json's after run
+#   PR=4 scripts/bench.sh           # start BENCH_PR4.json
+#   BENCHTIME=5x scripts/bench.sh   # quicker, noisier numbers
+set -eu
+cd "$(dirname "$0")/.."
+
+PR="${PR:-3}"
+OUT="${OUT:-BENCH_PR${PR}.json}"
+BENCHTIME="${BENCHTIME:-1s}"
+# Repeats per benchmark; benchjson keeps the fastest (see its doc).
+COUNT="${COUNT:-3}"
+BENCH_RE="${BENCH_RE:-^(BenchmarkInstMap|BenchmarkInverse|BenchmarkXSLTForward|BenchmarkTranslateQuery|BenchmarkEvalXPath|BenchmarkEvalANFA|BenchmarkFindRandom|BenchmarkFindUnambiguous|BenchmarkFindParallel|BenchmarkFindSize|BenchmarkCompose|BenchmarkSpecializedTyping|BenchmarkLexicalMatrix|BenchmarkValidateEmbedding)\$}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "bench.sh: running micro-benchmarks (benchtime=$BENCHTIME, count=$COUNT)..." >&2
+go test -run '^$' -bench "$BENCH_RE" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" -timeout 60m . | tee "$tmp/after.txt" >&2
+
+echo "bench.sh: running E3 size sweep..." >&2
+go run ./cmd/xse-bench -exp e3 -quick -trials 3 > "$tmp/e3.txt"
+
+if [ -n "${BASELINE:-}" ]; then
+    go run ./scripts/benchjson -pr "$PR" -after "$tmp/after.txt" \
+        -baseline "$BASELINE" -e3 "$tmp/e3.txt" -out "$OUT"
+else
+    go run ./scripts/benchjson -pr "$PR" -after "$tmp/after.txt" \
+        -e3 "$tmp/e3.txt" -out "$OUT"
+fi
+echo "bench.sh: wrote $OUT" >&2
