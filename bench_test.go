@@ -13,7 +13,10 @@
 package repro
 
 import (
+	"bytes"
+	"context"
 	"fmt"
+	"io"
 	"math/rand"
 	"sync"
 	"testing"
@@ -21,6 +24,7 @@ import (
 	"repro/internal/embedding"
 	"repro/internal/experiments"
 	"repro/internal/match"
+	"repro/internal/pipeline"
 	"repro/internal/sdtd"
 	"repro/internal/search"
 	"repro/internal/translate"
@@ -168,6 +172,98 @@ func BenchmarkEvalXPath(b *testing.B) {
 		xpath.Eval(q, doc.Root)
 	}
 }
+
+// BenchmarkEvalInterpreted measures the reference tree-walking
+// interpreter on the standing query workload — the pre-compilation
+// Eval path, kept as the differential-testing oracle. Compare
+// BenchmarkEvalCompiled.
+func BenchmarkEvalInterpreted(b *testing.B) {
+	doc := benchClassDoc(b, 24)
+	q := xpath.MustParse(`class[cno]/(type/regular/prereq/class)*/title/text()`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xpath.EvalInterpreted(q, doc.Root)
+	}
+}
+
+// BenchmarkEvalCompiled measures a pre-compiled Program reused across
+// evaluations — the data-plane steady state (compile once, run per
+// document). The ns/op and allocs/op deltas against
+// BenchmarkEvalInterpreted are headline numbers in BENCH_PR4.json.
+func BenchmarkEvalCompiled(b *testing.B) {
+	doc := benchClassDoc(b, 24)
+	prog := xpath.Compile(xpath.MustParse(`class[cno]/(type/regular/prereq/class)*/title/text()`))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog.Run(doc.Root)
+	}
+}
+
+// BenchmarkTranslateCached measures the query-translation cache in
+// steady state: every Get after the first is a hit returning the
+// memoized automaton. Compare BenchmarkTranslateQuery (the uncached
+// translation this amortizes away).
+func BenchmarkTranslateCached(b *testing.B) {
+	emb := workload.ClassEmbedding()
+	cache := translate.NewCache(0)
+	q := xpath.MustParse(`class[cno/text() = "CS331"]/(type/regular/prereq/class)*`)
+	if _, err := cache.Get(context.Background(), emb, q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.Get(context.Background(), emb, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchMigrate measures σd batch migration end to end
+// (parse, map, validate, serialize) over 64 in-memory documents at
+// 1, 4 and 8 workers; docs/iteration scaling across the sub-benchmarks
+// is the batch-throughput trajectory tracked in BENCH_PR4.json.
+func BenchmarkBatchMigrate(b *testing.B) {
+	emb := workload.ClassEmbedding()
+	r := rand.New(rand.NewSource(11))
+	const nDocs = 64
+	blobs := make([][]byte, nDocs)
+	for i := range blobs {
+		t := xmltree.MustGenerate(emb.Source, r, xmltree.GenOptions{StarMax: 8, DepthBudget: 8})
+		blobs[i] = []byte(t.String())
+	}
+	docs := make([]pipeline.Doc, nDocs)
+	for i := range docs {
+		blob := blobs[i]
+		docs[i] = pipeline.Doc{
+			Name: fmt.Sprintf("doc%02d", i),
+			Open: func() (io.ReadCloser, error) {
+				return io.NopCloser(bytes.NewReader(blob)), nil
+			},
+			Sink: func() (io.WriteCloser, error) { return nopWriteCloser{io.Discard}, nil },
+		}
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("%dworkers", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, stats, err := pipeline.Run(context.Background(), emb, docs, pipeline.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Failed != 0 {
+					b.Fatalf("%d docs failed", stats.Failed)
+				}
+			}
+		})
+	}
+}
+
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
 
 // BenchmarkEvalANFA measures translated-automaton evaluation over the
 // mapped document.

@@ -9,9 +9,18 @@
 //	-invert        apply σd⁻¹ instead of σd
 //	-xslt          print the stylesheet instead of transforming
 //	-via-xslt      transform by running the generated stylesheet
+//	-batch dir     migrate every *.xml in dir (bounded worker pool)
+//	-out dir       batch output directory (default: discard outputs)
+//	-j n           batch worker count (default: GOMAXPROCS)
 //	-timeout d     abort the whole run after duration d (exit 4)
 //	-max-input n   max input size in bytes (0 = default, -1 = unlimited)
-//	-o file        output file (default stdout)
+//	-o file        output file (default stdout; single-document mode)
+//
+// In batch mode each document succeeds or fails on its own: a
+// malformed file is reported and skipped without stopping the run, and
+// the summary line on stderr reports docs/sec and MB/sec. The exit
+// code reflects the worst per-file outcome using the same
+// classification as single-document mode.
 //
 // Exit codes: 0 success, 1 internal error, 2 usage, 3 invalid input
 // (unreadable/malformed schemas, mappings or documents, resource
@@ -19,6 +28,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +57,9 @@ func main() {
 		invert      = flag.Bool("invert", false, "apply the inverse mapping σd⁻¹")
 		emitXSLT    = flag.Bool("xslt", false, "print the XSLT stylesheet and exit")
 		viaXSLT     = flag.Bool("via-xslt", false, "transform by executing the generated stylesheet")
+		batchDir    = flag.String("batch", "", "migrate every *.xml document in this directory")
+		outDir      = flag.String("out", "", "batch output directory (default: discard outputs)")
+		workers     = flag.Int("j", 0, "batch worker count (0 = GOMAXPROCS)")
 		timeout     = flag.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
 		maxInput    = flag.Int("max-input", 0, "max input size in bytes (0 = default 64MiB, -1 = unlimited)")
 		output      = flag.String("o", "", "output file (default: stdout)")
@@ -55,19 +69,28 @@ func main() {
 		flag.Usage()
 		os.Exit(exitUsage)
 	}
+	ctx := context.Background()
 	if *timeout > 0 {
-		// The mapping stages are not context-aware; a watchdog turns a
-		// stuck run into a clean, distinguishable exit.
-		time.AfterFunc(*timeout, func() {
-			fmt.Fprintf(os.Stderr, "xse-map: timeout after %s\n", *timeout)
-			os.Exit(exitTimeout)
-		})
+		// Every mapping stage is context-aware; the deadline propagates
+		// through parse, σd/σd⁻¹, XSLT execution and the batch pool, and
+		// surfaces as a typed CancelError mapped to exit 4.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	lim := core.Limits{MaxInputBytes: *maxInput}
 
 	src := mustSchema(*sourceFile, *sourceRoot, lim)
 	tgt := mustSchema(*targetFile, *targetRoot, lim)
 	sigma := mustMapping(*mappingFile, src, tgt)
+
+	if *batchDir != "" {
+		if flag.NArg() != 0 || *emitXSLT {
+			fatalf(exitUsage, "-batch is incompatible with positional documents and -xslt")
+		}
+		runBatch(ctx, sigma, *batchDir, *outDir, *workers, *invert, *viaXSLT, lim)
+		return
+	}
 
 	out := os.Stdout
 	if *output != "" {
@@ -100,20 +123,20 @@ func main() {
 		if err != nil {
 			fatalf(exitInternal, "generate stylesheet: %v", err)
 		}
-		result, err = sheet.Run(doc)
+		result, err = sheet.RunCtx(ctx, doc)
 		if err != nil {
-			fatalf(exitInvalid, "stylesheet execution: %v", err)
+			fatalCtx(err, "stylesheet execution")
 		}
 	case *invert:
 		var err error
-		result, err = sigma.Invert(doc)
+		result, err = sigma.InvertCtx(ctx, doc)
 		if err != nil {
-			fatalf(exitInvalid, "inverse mapping: %v", err)
+			fatalCtx(err, "inverse mapping")
 		}
 	default:
-		res, err := sigma.Apply(doc)
+		res, err := sigma.ApplyCtx(ctx, doc)
 		if err != nil {
-			fatalf(exitInvalid, "instance mapping: %v", err)
+			fatalCtx(err, "instance mapping")
 		}
 		result = res.Tree
 	}
@@ -126,6 +149,107 @@ func main() {
 		fatalf(exitInternal, "internal error: output does not conform: %v", err)
 	}
 	fmt.Fprint(out, result)
+}
+
+// runBatch migrates a directory of documents through the worker pool
+// and exits with the worst per-file classification.
+func runBatch(ctx context.Context, sigma *core.Embedding, dir, outDir string, workers int, invert, viaXSLT bool, lim core.Limits) {
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			fatalf(exitInternal, "%v", err)
+		}
+	}
+	docs, err := core.BatchDirDocs(dir, outDir)
+	if err != nil {
+		fatalf(exitInvalid, "%v", err)
+	}
+	if len(docs) == 0 {
+		fatalf(exitInvalid, "no *.xml documents in %s", dir)
+	}
+	opts := core.BatchOptions{Workers: workers, Limits: lim}
+	if invert {
+		opts.Op = core.BatchInverse
+	}
+	if viaXSLT {
+		sheet, err := stylesheet(sigma, invert)
+		if err != nil {
+			fatalf(exitInternal, "generate stylesheet: %v", err)
+		}
+		opts.Transform = sheet.RunCtx
+		// The stylesheet output still validates against the direction's
+		// schema.
+		check := sigma.Target
+		if invert {
+			check = sigma.Source
+		}
+		base := opts.Transform
+		opts.Transform = func(ctx context.Context, t *core.Tree) (*core.Tree, error) {
+			out, err := base(ctx, t)
+			if err != nil {
+				return nil, err
+			}
+			if verr := out.Validate(check); verr != nil {
+				return nil, fmt.Errorf("output does not conform: %w", verr)
+			}
+			return out, nil
+		}
+		opts.SkipValidate = true
+	}
+
+	results, stats, err := core.RunBatch(ctx, sigma, docs, opts)
+	if err != nil {
+		fatalf(exitInvalid, "%v", err)
+	}
+	code := 0
+	for _, r := range results {
+		if r.Err == nil {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "xse-map: %v\n", r.Err)
+		code = worseExit(code, classify(r))
+	}
+	fmt.Fprintf(os.Stderr, "xse-map: %d docs (%d failed) in %s — %.1f docs/sec, %.2f MB/sec\n",
+		stats.Docs, stats.Failed, stats.Elapsed.Round(time.Millisecond),
+		stats.DocsPerSec(), stats.MBPerSec())
+	os.Exit(code)
+}
+
+// classify maps a per-document batch failure to the exit code the
+// single-document mode would have used for the same fault.
+func classify(r core.BatchResult) int {
+	if r.Canceled() {
+		return exitTimeout
+	}
+	var de *core.BatchError
+	if errors.As(r.Err, &de) {
+		switch de.Stage {
+		case core.BatchStageRead, core.BatchStageParse, core.BatchStageMap:
+			return exitInvalid
+		default:
+			return exitInternal
+		}
+	}
+	return exitInternal
+}
+
+// worseExit keeps the highest-severity code: timeout > internal >
+// invalid > success.
+func worseExit(a, b int) int {
+	rank := func(c int) int {
+		switch c {
+		case exitTimeout:
+			return 3
+		case exitInternal:
+			return 2
+		case exitInvalid:
+			return 1
+		}
+		return 0
+	}
+	if rank(b) > rank(a) {
+		return b
+	}
+	return a
 }
 
 func stylesheet(sigma *core.Embedding, invert bool) (*core.Stylesheet, error) {
@@ -173,6 +297,16 @@ func mustDoc(path string, lim core.Limits) *xmltree.Tree {
 		fatalf(exitInvalid, "%s: %v", path, err)
 	}
 	return doc
+}
+
+// fatalCtx reports a transformation failure, distinguishing a run cut
+// short by -timeout (exit 4) from invalid input (exit 3).
+func fatalCtx(err error, stage string) {
+	var ce *core.CancelError
+	if errors.As(err, &ce) {
+		fatalf(exitTimeout, "timeout: %v", err)
+	}
+	fatalf(exitInvalid, "%s: %v", stage, err)
 }
 
 func fatalf(code int, format string, args ...any) {

@@ -11,8 +11,13 @@
 //	               document and verify Q(T) = idM(Tr(Q)(σd(T)))
 //	-show-anfa     print the translated automaton
 //	-show-regex    expand the automaton back to regular XPath (small automata)
+//	-v             report translation-cache statistics (hits/misses)
 //	-timeout d     abort the whole run after duration d (exit 4)
 //	-max-input n   max input size in bytes (0 = default, -1 = unlimited)
+//
+// Translation goes through the process-wide query-translation cache;
+// repeated -query flags translate each query once and -v surfaces the
+// hit/miss counters.
 //
 // Exit codes: 0 success, 1 internal error or failed preservation
 // check, 2 usage, 3 invalid input (unreadable/malformed schemas,
@@ -21,10 +26,11 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/embedding"
@@ -38,33 +44,42 @@ const (
 	exitTimeout  = 4
 )
 
+// multiFlag collects repeated -query values.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
 func main() {
+	var queries multiFlag
 	var (
 		mappingFile = flag.String("mapping", "", "embedding file from xse-embed (required)")
 		sourceFile  = flag.String("source", "", "source DTD file (required)")
 		targetFile  = flag.String("target", "", "target DTD file (required)")
 		sourceRoot  = flag.String("source-root", "", "source root element")
 		targetRoot  = flag.String("target-root", "", "target root element")
-		queryText   = flag.String("query", "", "regular XPath query over the source schema (required)")
 		docFile     = flag.String("doc", "", "target document to evaluate against")
 		srcDocFile  = flag.String("source-doc", "", "source document for a preservation check")
 		showANFA    = flag.Bool("show-anfa", false, "print the translated automaton")
 		showRegex   = flag.Bool("show-regex", false, "print the translated query as regular XPath")
+		verbose     = flag.Bool("v", false, "report translation-cache statistics")
 		timeout     = flag.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
 		maxInput    = flag.Int("max-input", 0, "max input size in bytes (0 = default 64MiB, -1 = unlimited)")
 	)
+	flag.Var(&queries, "query", "regular XPath query over the source schema (repeatable, at least one required)")
 	flag.Parse()
-	if *mappingFile == "" || *sourceFile == "" || *targetFile == "" || *queryText == "" {
+	if *mappingFile == "" || *sourceFile == "" || *targetFile == "" || len(queries) == 0 {
 		flag.Usage()
 		os.Exit(exitUsage)
 	}
+	ctx := context.Background()
 	if *timeout > 0 {
-		// Translation and evaluation are not context-aware; a watchdog
-		// turns a stuck run into a clean, distinguishable exit.
-		time.AfterFunc(*timeout, func() {
-			fmt.Fprintf(os.Stderr, "xse-query: timeout after %s\n", *timeout)
-			os.Exit(exitTimeout)
-		})
+		// Translation and evaluation observe the context; the deadline
+		// surfaces as a typed CancelError mapped to exit 4.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	lim := core.Limits{MaxInputBytes: *maxInput}
 
@@ -72,68 +87,91 @@ func main() {
 	tgt := mustSchema(*targetFile, *targetRoot, lim)
 	sigma := mustMapping(*mappingFile, src, tgt)
 
-	q, err := core.ParseQueryLimits(*queryText, lim)
-	if err != nil {
-		fatalf(exitInvalid, "parse query: %v", err)
-	}
-	tr, err := core.NewTranslator(sigma)
-	if err != nil {
-		fatalf(exitInvalid, "%v", err)
-	}
-	auto, err := tr.Translate(q)
-	if err != nil {
-		fatalf(exitInvalid, "translate: %v", err)
-	}
-	fmt.Printf("query:      %s\n", core.QueryString(q))
-	fmt.Printf("automaton:  %d states+transitions\n", auto.Size())
-	if *showANFA {
-		fmt.Print(auto)
-	}
-	if *showRegex {
-		back, err := auto.ToRegex()
-		if err != nil {
-			fmt.Printf("regex:      (not expandable: %v)\n", err)
-		} else {
-			fmt.Printf("regex:      %s\n", core.QueryString(back))
-		}
-	}
-
-	if *docFile == "" && *srcDocFile == "" {
-		return
-	}
-
+	var srcDoc, doc *xmltree.Tree
+	var mapped *core.MapResult
 	if *srcDocFile != "" {
-		srcDoc := mustDoc(*srcDocFile, lim)
-		res, err := sigma.Apply(srcDoc)
+		srcDoc = mustDoc(*srcDocFile, lim)
+		var err error
+		mapped, err = sigma.ApplyCtx(ctx, srcDoc)
 		if err != nil {
-			fatalf(exitInvalid, "map source document: %v", err)
+			fatalCtx(err, "map source document")
 		}
-		want := core.EvalQuery(q, srcDoc.Root)
-		got := auto.Eval(res.Tree.Root)
-		fmt.Printf("source answer:     %d nodes\n", len(want))
-		fmt.Printf("translated answer: %d nodes\n", len(got))
-		ok := len(want) == len(got)
-		seen := map[xmltree.NodeID]int{}
-		for _, n := range want {
-			seen[n.ID]++
-		}
-		for _, n := range got {
-			id, in := res.IDM[n.ID]
-			if !in || seen[id] == 0 {
-				ok = false
-				break
-			}
-			seen[id]--
-		}
-		fmt.Printf("Q(T) = idM(Tr(Q)(σd(T))): %v\n", ok)
-		if !ok {
-			os.Exit(exitInternal)
-		}
-		return
+	} else if *docFile != "" {
+		doc = mustDoc(*docFile, lim)
 	}
 
-	doc := mustDoc(*docFile, lim)
-	answers := auto.Eval(doc.Root)
+	cache := core.NewTranslationCache(0)
+	code := 0
+	for _, queryText := range queries {
+		q, err := core.ParseQueryLimits(queryText, lim)
+		if err != nil {
+			fatalf(exitInvalid, "parse query: %v", err)
+		}
+		auto, err := cache.Get(ctx, sigma, q)
+		if err != nil {
+			fatalCtx(err, "translate")
+		}
+		fmt.Printf("query:      %s\n", core.QueryString(q))
+		fmt.Printf("automaton:  %d states+transitions\n", auto.Size())
+		if *showANFA {
+			fmt.Print(auto)
+		}
+		if *showRegex {
+			back, err := auto.ToRegex()
+			if err != nil {
+				fmt.Printf("regex:      (not expandable: %v)\n", err)
+			} else {
+				fmt.Printf("regex:      %s\n", core.QueryString(back))
+			}
+		}
+
+		switch {
+		case srcDoc != nil:
+			if !checkPreservation(q, auto, srcDoc, mapped) {
+				code = exitInternal
+			}
+		case doc != nil:
+			answers, err := auto.EvalCtx(ctx, doc.Root)
+			if err != nil {
+				fatalCtx(err, "evaluate")
+			}
+			printAnswers(answers)
+		}
+	}
+	if *verbose {
+		st := cache.Stats()
+		fmt.Printf("cache:      %d hits, %d misses, %d entries\n", st.Hits, st.Misses, st.Entries)
+	}
+	if code != 0 {
+		os.Exit(code)
+	}
+}
+
+// checkPreservation verifies Q(T) = idM(Tr(Q)(σd(T))) for one query
+// over the source document, printing the verdict.
+func checkPreservation(q core.Query, auto *core.ANFA, srcDoc *xmltree.Tree, mapped *core.MapResult) bool {
+	want := core.EvalQuery(q, srcDoc.Root)
+	got := auto.Eval(mapped.Tree.Root)
+	fmt.Printf("source answer:     %d nodes\n", len(want))
+	fmt.Printf("translated answer: %d nodes\n", len(got))
+	ok := len(want) == len(got)
+	seen := map[xmltree.NodeID]int{}
+	for _, n := range want {
+		seen[n.ID]++
+	}
+	for _, n := range got {
+		id, in := mapped.IDM[n.ID]
+		if !in || seen[id] == 0 {
+			ok = false
+			break
+		}
+		seen[id]--
+	}
+	fmt.Printf("Q(T) = idM(Tr(Q)(σd(T))): %v\n", ok)
+	return ok
+}
+
+func printAnswers(answers []*xmltree.Node) {
 	fmt.Printf("answers (%d):\n", len(answers))
 	for _, n := range answers {
 		if n.IsText() {
@@ -146,6 +184,16 @@ func main() {
 		}
 		fmt.Printf("  <%s> (id %d)\n", n.Label, n.ID)
 	}
+}
+
+// fatalCtx reports a failure, distinguishing a run cut short by
+// -timeout (exit 4) from invalid input (exit 3).
+func fatalCtx(err error, stage string) {
+	var ce *core.CancelError
+	if errors.As(err, &ce) {
+		fatalf(exitTimeout, "timeout: %v", err)
+	}
+	fatalf(exitInvalid, "%s: %v", stage, err)
 }
 
 func mustSchema(path, root string, lim core.Limits) *core.DTD {

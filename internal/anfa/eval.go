@@ -1,6 +1,10 @@
 package anfa
 
 import (
+	"context"
+	"sync"
+
+	"repro/internal/guard"
 	"repro/internal/xmltree"
 )
 
@@ -10,10 +14,41 @@ import (
 // machine — checking state annotations at the node where the state is
 // entered. Position annotations hold when the node is the K-th among
 // its parent's same-label children.
+//
+// Eval is safe for concurrent use on a shared Automaton (the machines
+// are read-only during evaluation); per-call scratch comes from a
+// pool, so repeated evaluation of one translated query over many
+// documents — the data-plane steady state — does not reallocate its
+// visited sets.
 func (a *Automaton) Eval(ctx *xmltree.Node) []*xmltree.Node {
-	ev := &anfaEval{a: a, memo: map[memoKey]bool{}}
-	return ev.run(a.M, ctx)
+	res, _ := a.EvalCtx(context.Background(), ctx)
+	return res
 }
+
+// EvalCtx is Eval under a context: the BFS checks for cancellation
+// every few thousand explored pairs and returns a *guard.CancelError
+// (matching the context's error under errors.Is) when cut short.
+func (a *Automaton) EvalCtx(cctx context.Context, ctx *xmltree.Node) ([]*xmltree.Node, error) {
+	ev, _ := evalPool.Get().(*anfaEval)
+	if ev == nil {
+		ev = &anfaEval{memo: map[memoKey]bool{}}
+	}
+	ev.a, ev.ctx = a, cctx
+	res := ev.run(a.M, ctx)
+	err := ev.err
+	ev.a, ev.ctx, ev.err, ev.steps = nil, nil, nil, 0
+	clear(ev.memo) // memo keys hold node pointers; do not pin documents
+	evalPool.Put(ev)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// evalPool recycles evaluator scratch (visited maps, BFS queues)
+// across Eval calls and across automata; everything keyed by machine
+// or node is cleared before an evaluator returns to the pool.
+var evalPool sync.Pool
 
 type memoKey struct {
 	name string
@@ -22,7 +57,40 @@ type memoKey struct {
 
 type anfaEval struct {
 	a    *Automaton
+	ctx  context.Context
 	memo map[memoKey]bool
+	// frames is a free list of per-run scratch; nested runs (qualifier
+	// sub-machines evaluated mid-BFS) each borrow their own frame.
+	frames []*runFrame
+	steps  int
+	err    error
+}
+
+// runFrame is one machine run's scratch: the active (state, node) set
+// and the result dedupe set, reused via the evaluator's free list.
+type runFrame struct {
+	active     map[pair]bool
+	resultSeen map[*xmltree.Node]bool
+	queue      []pair
+}
+
+func (ev *anfaEval) getFrame() *runFrame {
+	if n := len(ev.frames); n > 0 {
+		f := ev.frames[n-1]
+		ev.frames = ev.frames[:n-1]
+		return f
+	}
+	return &runFrame{
+		active:     map[pair]bool{},
+		resultSeen: map[*xmltree.Node]bool{},
+	}
+}
+
+func (ev *anfaEval) putFrame(f *runFrame) {
+	clear(f.active)
+	clear(f.resultSeen)
+	f.queue = f.queue[:0]
+	ev.frames = append(ev.frames, f)
 }
 
 type pair struct {
@@ -30,35 +98,47 @@ type pair struct {
 	node  *xmltree.Node
 }
 
+// checkCancel observes the context every 4096 explored pairs; once an
+// error is recorded every in-flight run unwinds promptly.
+func (ev *anfaEval) checkCancel() bool {
+	ev.steps++
+	if ev.steps&4095 == 0 {
+		if err := guard.CheckCtx(ev.ctx, "anfa: eval"); err != nil {
+			ev.err = err
+		}
+	}
+	return ev.err != nil
+}
+
 func (ev *anfaEval) run(m *Machine, ctx *xmltree.Node) []*xmltree.Node {
-	if m.States == 0 {
+	if m.States == 0 || ev.err != nil {
 		return nil
 	}
+	f := ev.getFrame()
 	var result []*xmltree.Node
-	resultSeen := map[*xmltree.Node]bool{}
-	active := map[pair]bool{}
-	var queue []pair
 
 	push := func(s StateID, n *xmltree.Node) {
 		p := pair{state: s, node: n}
-		if active[p] {
+		if f.active[p] {
 			return
 		}
 		if q, ok := m.Ann[s]; ok && !ev.holds(q, n) {
 			return
 		}
-		active[p] = true
-		queue = append(queue, p)
-		if m.Finals[s] && !resultSeen[n] {
-			resultSeen[n] = true
+		f.active[p] = true
+		f.queue = append(f.queue, p)
+		if m.Finals[s] && !f.resultSeen[n] {
+			f.resultSeen[n] = true
 			result = append(result, n)
 		}
 	}
 
 	push(m.Start, ctx)
-	for len(queue) > 0 {
-		p := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(f.queue); head++ {
+		if ev.checkCancel() {
+			break
+		}
+		p := f.queue[head]
 		for _, t := range m.Trans[p.state] {
 			switch t.Label {
 			case Epsilon:
@@ -78,6 +158,7 @@ func (ev *anfaEval) run(m *Machine, ctx *xmltree.Node) []*xmltree.Node {
 			}
 		}
 	}
+	ev.putFrame(f)
 	return result
 }
 
@@ -117,6 +198,10 @@ func (ev *anfaEval) evalName(x string, n *xmltree.Node) []*xmltree.Node {
 		return nil
 	}
 	res := ev.run(sub, n)
+	if ev.err != nil {
+		// A canceled run is not evidence of emptiness; don't memoize.
+		return res
+	}
 	ev.memo[key] = len(res) == 0
 	return res
 }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/embedding"
 	"repro/internal/guard"
 	"repro/internal/match"
+	"repro/internal/pipeline"
 	"repro/internal/search"
 	"repro/internal/translate"
 	"repro/internal/xmltree"
@@ -66,6 +67,9 @@ type (
 	// ANFA is the annotated automaton representation of a translated
 	// query.
 	ANFA = anfa.Automaton
+	// Program is a compiled, reusable evaluation plan for a query; see
+	// CompileQuery.
+	Program = xpath.Program
 )
 
 // Embedding types.
@@ -188,6 +192,11 @@ func ParseQueryLimits(src string, lim Limits) (Query, error) { return xpath.Pars
 // EvalQuery evaluates a query at a context node.
 func EvalQuery(q Query, ctx *Node) []*Node { return xpath.Eval(q, ctx) }
 
+// CompileQuery compiles a query into a reusable Program: one
+// compilation, many Run calls, safe for concurrent use, with pooled
+// per-evaluation scratch. This is the data-plane form of EvalQuery.
+func CompileQuery(q Query) *Program { return xpath.Compile(q) }
+
 // QueryString renders a query.
 func QueryString(q Query) string { return xpath.String(q) }
 
@@ -231,6 +240,68 @@ func FindCtx(ctx context.Context, src, tgt *DTD, att *SimMatrix, opts FindOption
 // NewTranslator validates the embedding and returns a query
 // translator implementing Tr of Theorem 4.2.
 func NewTranslator(e *Embedding) (*Translator, error) { return translate.New(e) }
+
+// Translation caching.
+type (
+	// TranslationCache memoizes query translation per
+	// (embedding, query) with LRU eviction and per-key single-flight;
+	// safe for concurrent use.
+	TranslationCache = translate.Cache
+	// TranslationCacheStats is a snapshot of cache counters.
+	TranslationCacheStats = translate.CacheStats
+)
+
+// NewTranslationCache returns a translation cache holding up to
+// capacity entries (a small default when capacity <= 0).
+func NewTranslationCache(capacity int) *TranslationCache { return translate.NewCache(capacity) }
+
+// Batch migration (see internal/pipeline).
+type (
+	// BatchDoc is one named input (and optional output) of a batch run.
+	BatchDoc = pipeline.Doc
+	// BatchOptions configures a batch run: direction, worker count,
+	// parse limits.
+	BatchOptions = pipeline.Options
+	// BatchResult is the per-document outcome, in input order.
+	BatchResult = pipeline.DocResult
+	// BatchStats aggregates a batch run with throughput accessors.
+	BatchStats = pipeline.Stats
+	// BatchError is a per-document failure tagged with its pipeline
+	// stage.
+	BatchError = pipeline.DocError
+)
+
+// Batch directions.
+const (
+	// BatchForward migrates source documents through σd.
+	BatchForward = pipeline.Forward
+	// BatchInverse recovers source documents through σd⁻¹.
+	BatchInverse = pipeline.Inverse
+)
+
+// Batch pipeline stages, for error classification.
+const (
+	BatchStageRead     = pipeline.StageRead
+	BatchStageParse    = pipeline.StageParse
+	BatchStageMap      = pipeline.StageMap
+	BatchStageValidate = pipeline.StageValidate
+	BatchStageWrite    = pipeline.StageWrite
+)
+
+// RunBatch migrates documents through the embedding with a bounded
+// worker pool; per-document failures are isolated in the results.
+func RunBatch(ctx context.Context, e *Embedding, docs []BatchDoc, opts BatchOptions) ([]BatchResult, BatchStats, error) {
+	return pipeline.Run(ctx, e, docs, opts)
+}
+
+// BatchDirDocs lists *.xml files of dir (name order) as batch inputs,
+// writing outputs of the same base name under outDir ("" discards).
+func BatchDirDocs(dir, outDir string) ([]BatchDoc, error) { return pipeline.DirDocs(dir, outDir) }
+
+// CancelError is the typed error surfaced by context-aware operations
+// (ApplyCtx, InvertCtx, TranslateCtx, RunCtx, RunBatch) when their
+// context ends; it matches the context's own error under errors.Is.
+type CancelError = guard.CancelError
 
 // Compose builds σ2 ∘ σ1, the direct embedding along a two-hop mapping
 // chain (see embedding.Compose).

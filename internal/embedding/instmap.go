@@ -1,9 +1,11 @@
 package embedding
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dtd"
+	"repro/internal/guard"
 	"repro/internal/xmltree"
 )
 
@@ -31,6 +33,15 @@ type Result struct {
 // must conform to the source schema; the produced document is
 // guaranteed to conform to the target schema.
 func (e *Embedding) Apply(src *xmltree.Tree) (*Result, error) {
+	return e.ApplyCtx(context.Background(), src)
+}
+
+// ApplyCtx is Apply under a context: cancellation is observed once
+// per source node during the top-down build and surfaces as a
+// *guard.CancelError matching the context's error under errors.Is.
+// Batch migration (internal/pipeline) uses this to abandon in-flight
+// documents promptly when a run is cut short.
+func (e *Embedding) ApplyCtx(ctx context.Context, src *xmltree.Tree) (*Result, error) {
 	if err := e.ensureResolved(); err != nil {
 		return nil, err
 	}
@@ -45,9 +56,10 @@ func (e *Embedding) Apply(src *xmltree.Tree) (*Result, error) {
 		return nil, err
 	}
 	m := &mapper{
-		e:  e,
-		t:  &xmltree.Tree{},
-		md: md,
+		e:   e,
+		ctx: ctx,
+		t:   &xmltree.Tree{},
+		md:  md,
 		res: &Result{
 			IDM:     make(map[xmltree.NodeID]xmltree.NodeID),
 			Fwd:     make(map[xmltree.NodeID]xmltree.NodeID),
@@ -73,6 +85,7 @@ type nodeMeta struct {
 
 type mapper struct {
 	e    *Embedding
+	ctx  context.Context
 	t    *xmltree.Tree
 	md   MinDefs
 	res  *Result
@@ -90,6 +103,9 @@ func (m *mapper) copyOf(src *xmltree.Node, label string) *xmltree.Node {
 // the hot leaves already replaced by the recursively built fragments of
 // v's children, then completes it with default fills.
 func (m *mapper) build(v *xmltree.Node) (*xmltree.Node, error) {
+	if err := guard.CheckCtx(m.ctx, "embedding: instmap"); err != nil {
+		return nil, err
+	}
 	a := v.Label
 	prod, ok := m.e.Source.Prods[a]
 	if !ok {

@@ -1,9 +1,11 @@
 package embedding
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dtd"
+	"repro/internal/guard"
 	"repro/internal/xmltree"
 )
 
@@ -14,6 +16,13 @@ import (
 // |σd(T)| in the worst case, Theorem 4.3a). It fails when tgt is not in
 // the image of σd.
 func (e *Embedding) Invert(tgt *xmltree.Tree) (*xmltree.Tree, error) {
+	return e.InvertCtx(context.Background(), tgt)
+}
+
+// InvertCtx is Invert under a context: cancellation is observed once
+// per reconstructed source node and surfaces as a *guard.CancelError
+// matching the context's error under errors.Is.
+func (e *Embedding) InvertCtx(ctx context.Context, tgt *xmltree.Tree) (*xmltree.Tree, error) {
 	if err := e.ensureResolved(); err != nil {
 		return nil, err
 	}
@@ -26,7 +35,7 @@ func (e *Embedding) Invert(tgt *xmltree.Tree) (*xmltree.Tree, error) {
 	if tgt.Root.Label != e.Target.Root {
 		return nil, fmt.Errorf("embedding: target root is %q, want %q", tgt.Root.Label, e.Target.Root)
 	}
-	inv := &inverter{e: e, t: &xmltree.Tree{}}
+	inv := &inverter{e: e, ctx: ctx, t: &xmltree.Tree{}}
 	root, err := inv.reconstruct(tgt.Root, e.Source.Root)
 	if err != nil {
 		return nil, err
@@ -36,13 +45,17 @@ func (e *Embedding) Invert(tgt *xmltree.Tree) (*xmltree.Tree, error) {
 }
 
 type inverter struct {
-	e *Embedding
-	t *xmltree.Tree
+	e   *Embedding
+	ctx context.Context
+	t   *xmltree.Tree
 }
 
 // reconstruct recovers the source node of type a that was mapped to
 // target node w.
 func (inv *inverter) reconstruct(w *xmltree.Node, a string) (*xmltree.Node, error) {
+	if err := guard.CheckCtx(inv.ctx, "embedding: invert"); err != nil {
+		return nil, err
+	}
 	n := inv.t.NewElement(a)
 	prod := inv.e.Source.Prods[a]
 	switch prod.Kind {

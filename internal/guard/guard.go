@@ -9,7 +9,10 @@
 // all checks (for trusted, internally generated input).
 package guard
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Default bounds. They are generous for real schemas and documents —
 // the paper's corpora are a few hundred types and the XMark-style
@@ -125,6 +128,38 @@ func (l Limits) CheckTypes(n int, context string) error {
 func (l Limits) CheckNodes(n int, context string) error {
 	if exceeded(n, l.MaxNodes) {
 		return &LimitError{Limit: "nodes", Max: l.MaxNodes, Context: context}
+	}
+	return nil
+}
+
+// CancelError reports an operation cut short by context cancellation
+// or deadline expiry. It wraps the context's error, so errors.Is
+// matches context.Canceled / context.DeadlineExceeded, while callers
+// that need the typed form (CLI exit-code mapping, pipeline
+// accounting) can errors.As for *CancelError.
+type CancelError struct {
+	// Context says where the cancellation was observed
+	// (package/operation), mirroring LimitError.Context.
+	Context string
+	// Err is the underlying context error.
+	Err error
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("%s: canceled: %v", e.Context, e.Err)
+}
+
+// Unwrap exposes the context error to errors.Is/As.
+func (e *CancelError) Unwrap() error { return e.Err }
+
+// CheckCtx returns a *CancelError when ctx has ended, nil otherwise.
+// It is the single cancellation checkpoint used by the data-plane
+// stages (instance mapping, inversion, query translation, XSLT
+// execution); callers place it at loop boundaries so cancellation is
+// observed within one unit of work.
+func CheckCtx(ctx context.Context, context_ string) error {
+	if err := ctx.Err(); err != nil {
+		return &CancelError{Context: context_, Err: err}
 	}
 	return nil
 }

@@ -34,7 +34,7 @@ func checkTrial(tr *Trial, rep *Report) []Violation {
 	for _, q := range tr.Queries {
 		q := q
 		nonEmpty := len(xpath.Eval(q, tr.Doc.Root)) > 0
-		for _, p := range []Property{PropQueryPreserv, PropANFADiff} {
+		for _, p := range []Property{PropQueryPreserv, PropANFADiff, PropCompiledDiff} {
 			p := p
 			if nonEmpty {
 				rep.NonTrivial[p]++
@@ -64,6 +64,8 @@ func checkProperty(p Property, tr *Trial, doc *xmltree.Tree, q xpath.Expr) *Viol
 		return checkQueryPreservation(tr, doc, q)
 	case PropANFADiff:
 		return checkANFADifferential(tr, doc, q)
+	case PropCompiledDiff:
+		return checkCompiledDifferential(tr, doc, q)
 	}
 	return &Violation{Detail: fmt.Sprintf("unknown property %q", p)}
 }
@@ -168,6 +170,30 @@ func checkQueryPreservation(tr *Trial, doc *xmltree.Tree, q xpath.Expr) *Violati
 	if got := idSet(mapped); !idSetsEqual(direct, got) {
 		return &Violation{Detail: fmt.Sprintf(
 			"answer mismatch: Q(T) = %v but idM(Tr(Q)(σd(T))) = %v", direct, got)}
+	}
+	return nil
+}
+
+// checkCompiledDifferential: the compiled evaluation plan agrees with
+// the reference tree-walking interpreter on the source document —
+// same answer nodes, same first-reached order (a stronger contract
+// than the set semantics the other differentials check, because Eval
+// is now a thin wrapper over the compiled path and callers observe
+// its order).
+func checkCompiledDifferential(tr *Trial, doc *xmltree.Tree, q xpath.Expr) *Violation {
+	want := xpath.EvalInterpreted(q, doc.Root)
+	got := xpath.Compile(q).Run(doc.Root)
+	if len(want) != len(got) {
+		return &Violation{Detail: fmt.Sprintf(
+			"compiled evaluation disagrees with the interpreter: %d vs %d answers (interpreted = %v, compiled = %v)",
+			len(want), len(got), xpath.IDs(want), xpath.IDs(got))}
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return &Violation{Detail: fmt.Sprintf(
+				"compiled evaluation order diverges at position %d: interpreted = %v, compiled = %v",
+				i, xpath.IDs(want), xpath.IDs(got))}
+		}
 	}
 	return nil
 }

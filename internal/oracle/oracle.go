@@ -11,6 +11,9 @@
 //     X_R queries Q and the schema-directed translation Tr;
 //   - ANFA differential: evaluating the automaton M_Q built directly
 //     from Q agrees with the reference X_R evaluator on the source;
+//   - compiled differential: the compiled evaluation plan
+//     (xpath.Compile(Q).Run) returns exactly the reference
+//     interpreter's answer, in the same first-reached order;
 //   - XSLT differential: the generated forward stylesheet computes
 //     exactly σd, and the generated inverse stylesheet recovers T.
 //
@@ -43,6 +46,7 @@ const (
 	PropInvert       Property = "invertibility"
 	PropQueryPreserv Property = "query-preservation"
 	PropANFADiff     Property = "anfa-differential"
+	PropCompiledDiff Property = "compiled-differential"
 	PropXSLTForward  Property = "xslt-forward"
 	PropXSLTInverse  Property = "xslt-inverse"
 )
@@ -51,7 +55,8 @@ const (
 func Properties() []Property {
 	return []Property{
 		PropGeneration, PropTypeSafety, PropInvert,
-		PropQueryPreserv, PropANFADiff, PropXSLTForward, PropXSLTInverse,
+		PropQueryPreserv, PropANFADiff, PropCompiledDiff,
+		PropXSLTForward, PropXSLTInverse,
 	}
 }
 

@@ -37,7 +37,7 @@ func TestRunShortDeterministic(t *testing.T) {
 	}
 	// Vacuity guard: a healthy run must evaluate plenty of queries with
 	// non-empty reference answers, or the query properties test nothing.
-	for _, p := range []Property{PropQueryPreserv, PropANFADiff} {
+	for _, p := range []Property{PropQueryPreserv, PropANFADiff, PropCompiledDiff} {
 		if min := rep.Checks[p] / 4; rep.NonTrivial[p] < min {
 			t.Errorf("property %s: only %d/%d checks had non-empty answers (want >= %d)",
 				p, rep.NonTrivial[p], rep.Checks[p], min)

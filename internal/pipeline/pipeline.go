@@ -1,0 +1,383 @@
+// Package pipeline drives batch document migration: it applies an
+// embedding's instance mapping σd (or its inverse σd⁻¹) to a stream of
+// documents with a bounded worker pool, per-document error isolation,
+// and aggregate throughput accounting.
+//
+// The pipeline is the data-plane counterpart of the single-document
+// CLI path: each worker parses under resource limits, transforms under
+// the run's context (cancellation surfaces as *guard.CancelError and
+// abandons in-flight documents promptly), validates the output against
+// the appropriate schema, and serializes through the pooled xmltree
+// encoder. One malformed document fails alone; the batch completes.
+//
+// Results are reported in input order regardless of worker count, so a
+// run with -j 8 is observationally identical to -j 1 (same outputs,
+// same per-document errors) apart from wall-clock time.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/embedding"
+	"repro/internal/guard"
+	"repro/internal/xmltree"
+)
+
+// Op selects the transformation direction.
+type Op int
+
+const (
+	// Forward applies σd: source documents become target documents.
+	Forward Op = iota
+	// Inverse applies σd⁻¹: target documents are mapped back to the
+	// source documents they came from.
+	Inverse
+)
+
+// Stage identifies where in the per-document pipeline an error arose;
+// callers use it to classify failures (malformed input vs internal).
+type Stage int
+
+const (
+	StageRead Stage = iota
+	StageParse
+	StageMap
+	StageValidate
+	StageWrite
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageRead:
+		return "read"
+	case StageParse:
+		return "parse"
+	case StageMap:
+		return "map"
+	case StageValidate:
+		return "validate"
+	case StageWrite:
+		return "write"
+	}
+	return "unknown"
+}
+
+// DocError wraps a per-document failure with its pipeline stage.
+type DocError struct {
+	Name  string
+	Stage Stage
+	Err   error
+}
+
+func (e *DocError) Error() string {
+	return fmt.Sprintf("%s: %s: %v", e.Name, e.Stage, e.Err)
+}
+
+func (e *DocError) Unwrap() error { return e.Err }
+
+// Doc is one unit of batch work: a named input and an optional output
+// destination. A nil Sink discards the serialized result (the
+// transformation and validation still run).
+type Doc struct {
+	Name string
+	Open func() (io.ReadCloser, error)
+	Sink func() (io.WriteCloser, error)
+}
+
+// FileDoc builds a Doc reading from path and writing to outPath
+// (discarding output when outPath is "").
+func FileDoc(path, outPath string) Doc {
+	d := Doc{
+		Name: path,
+		Open: func() (io.ReadCloser, error) { return os.Open(path) },
+	}
+	if outPath != "" {
+		d.Sink = func() (io.WriteCloser, error) { return os.Create(outPath) }
+	}
+	return d
+}
+
+// DirDocs enumerates *.xml files of dir in name order, mapping each to
+// an output file of the same base name under outDir (or discarding
+// output when outDir is ""). It is the work-list builder behind
+// xse-map -batch.
+func DirDocs(dir, outDir string) ([]Doc, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".xml" {
+			continue
+		}
+		paths = append(paths, e.Name())
+	}
+	sort.Strings(paths)
+	docs := make([]Doc, 0, len(paths))
+	for _, name := range paths {
+		out := ""
+		if outDir != "" {
+			out = filepath.Join(outDir, name)
+		}
+		docs = append(docs, FileDoc(filepath.Join(dir, name), out))
+	}
+	return docs, nil
+}
+
+// Options configure a batch run.
+type Options struct {
+	// Op selects σd (Forward) or σd⁻¹ (Inverse). Ignored when Transform
+	// is set.
+	Op Op
+	// Workers bounds pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Limits apply to each document parse (zero fields take the guard
+	// defaults).
+	Limits guard.Limits
+	// SkipValidate disables output conformance checking (the mapping
+	// theorems guarantee conformance; validation catches internal bugs
+	// and costs one extra pass per document).
+	SkipValidate bool
+	// Transform overrides the built-in mapping with a custom
+	// tree-to-tree function (e.g. an XSLT engine run). It must be safe
+	// for concurrent use.
+	Transform func(ctx context.Context, doc *xmltree.Tree) (*xmltree.Tree, error)
+}
+
+// DocResult is the outcome for one document, in input order.
+type DocResult struct {
+	Name     string
+	Err      error // nil on success; *DocError otherwise
+	InBytes  int64
+	OutBytes int64
+	Elapsed  time.Duration
+}
+
+// Canceled reports whether this document failed because the run's
+// context was canceled (as opposed to a fault of the document itself).
+func (r *DocResult) Canceled() bool {
+	var ce *guard.CancelError
+	return errors.As(r.Err, &ce)
+}
+
+// Stats aggregates one Run.
+type Stats struct {
+	Docs     int // documents attempted
+	Failed   int // documents with a non-nil Err
+	InBytes  int64
+	OutBytes int64
+	Elapsed  time.Duration
+}
+
+// DocsPerSec is successful-document throughput over the run's wall
+// clock.
+func (s Stats) DocsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Docs-s.Failed) / s.Elapsed.Seconds()
+}
+
+// MBPerSec is input-byte throughput over the run's wall clock
+// (1 MB = 1e6 bytes).
+func (s Stats) MBPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.InBytes) / 1e6 / s.Elapsed.Seconds()
+}
+
+// Run migrates the documents through the embedding with a bounded
+// worker pool. The returned slice has one entry per input document in
+// input order. Run itself returns an error only for setup failures
+// (an invalid embedding); per-document failures — including
+// cancellation — are reported in the results. Once ctx is canceled,
+// in-flight documents unwind with a *guard.CancelError and queued
+// documents are not started.
+func Run(ctx context.Context, emb *embedding.Embedding, docs []Doc, opts Options) ([]DocResult, Stats, error) {
+	transform := opts.Transform
+	if transform == nil {
+		switch opts.Op {
+		case Inverse:
+			transform = func(ctx context.Context, t *xmltree.Tree) (*xmltree.Tree, error) {
+				return emb.InvertCtx(ctx, t)
+			}
+		default:
+			transform = func(ctx context.Context, t *xmltree.Tree) (*xmltree.Tree, error) {
+				res, err := emb.ApplyCtx(ctx, t)
+				if err != nil {
+					return nil, err
+				}
+				return res.Tree, nil
+			}
+		}
+	}
+	var check *checkSchema
+	if !opts.SkipValidate {
+		check = &checkSchema{emb: emb, inverse: opts.Op == Inverse && opts.Transform == nil}
+	}
+	if emb == nil {
+		return nil, Stats{}, fmt.Errorf("pipeline: nil embedding")
+	}
+	// Validate once up front: workers then share the resolved embedding
+	// read-only, and a broken mapping fails the run, not every document.
+	if err := emb.Validate(nil); err != nil {
+		return nil, Stats{}, fmt.Errorf("pipeline: invalid embedding: %w", err)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(docs) && len(docs) > 0 {
+		workers = len(docs)
+	}
+
+	start := time.Now()
+	results := make([]DocResult, len(docs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runOne(ctx, docs[i], transform, check, opts.Limits)
+			}
+		}()
+	}
+dispatch:
+	for i := range docs {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// Mark everything not yet handed out as canceled without
+			// starting it.
+			for j := i; j < len(docs); j++ {
+				select {
+				case jobs <- j:
+				default:
+					results[j] = DocResult{
+						Name: docs[j].Name,
+						Err:  &DocError{Name: docs[j].Name, Stage: StageMap, Err: guard.CheckCtx(ctx, "pipeline: batch")},
+					}
+				}
+			}
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	stats := Stats{Docs: len(docs), Elapsed: time.Since(start)}
+	for i := range results {
+		if results[i].Err != nil {
+			stats.Failed++
+		}
+		stats.InBytes += results[i].InBytes
+		stats.OutBytes += results[i].OutBytes
+	}
+	return results, stats, nil
+}
+
+// checkSchema validates transformed output against the schema the
+// mapping theorems promise conformance to.
+type checkSchema struct {
+	emb     *embedding.Embedding
+	inverse bool
+}
+
+func (c *checkSchema) validate(t *xmltree.Tree) error {
+	if c.inverse {
+		return t.Validate(c.emb.Source)
+	}
+	return t.Validate(c.emb.Target)
+}
+
+// countingWriter tallies bytes flowing to a sink.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// runOne executes the full per-document pipeline:
+// read+parse → transform → validate → serialize.
+func runOne(ctx context.Context, doc Doc, transform func(context.Context, *xmltree.Tree) (*xmltree.Tree, error), check *checkSchema, lim guard.Limits) DocResult {
+	res := DocResult{Name: doc.Name}
+	t0 := time.Now()
+	defer func() { res.Elapsed = time.Since(t0) }()
+	fail := func(stage Stage, err error) DocResult {
+		res.Err = &DocError{Name: doc.Name, Stage: stage, Err: err}
+		return res
+	}
+
+	if err := guard.CheckCtx(ctx, "pipeline: batch"); err != nil {
+		return fail(StageMap, err)
+	}
+	rc, err := doc.Open()
+	if err != nil {
+		return fail(StageRead, err)
+	}
+	in := &countingReader{r: rc}
+	tree, perr := xmltree.ParseLimits(in, lim)
+	rc.Close()
+	res.InBytes = in.n
+	if perr != nil {
+		return fail(StageParse, perr)
+	}
+
+	out, err := transform(ctx, tree)
+	if err != nil {
+		return fail(StageMap, err)
+	}
+	if check != nil {
+		if err := check.validate(out); err != nil {
+			return fail(StageValidate, err)
+		}
+	}
+
+	if doc.Sink == nil {
+		return res
+	}
+	wc, err := doc.Sink()
+	if err != nil {
+		return fail(StageWrite, err)
+	}
+	cw := &countingWriter{w: wc}
+	werr := out.Write(cw)
+	if cerr := wc.Close(); werr == nil {
+		werr = cerr
+	}
+	res.OutBytes = cw.n
+	if werr != nil {
+		return fail(StageWrite, werr)
+	}
+	return res
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

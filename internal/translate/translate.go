@@ -18,11 +18,13 @@
 package translate
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/anfa"
 	"repro/internal/dtd"
 	"repro/internal/embedding"
+	"repro/internal/guard"
 	"repro/internal/xpath"
 )
 
@@ -37,6 +39,10 @@ type Translator struct {
 	memo map[memoKey]*anfa.Machine
 	auto *anfa.Automaton
 	next int
+	// ctx is the context of the translation in flight, observed at
+	// every memoized subproblem; context.Background() outside
+	// TranslateCtx.
+	ctx context.Context
 }
 
 type memoKey struct {
@@ -57,6 +63,15 @@ func New(emb *embedding.Embedding) (*Translator, error) {
 // the source alphabet first. Queries whose translation can select
 // nothing yield an automaton with no reachable final states.
 func (t *Translator) Translate(q xpath.Expr) (*anfa.Automaton, error) {
+	return t.TranslateCtx(context.Background(), q)
+}
+
+// TranslateCtx is Translate under a context: cancellation is observed
+// at every (subquery, source type) subproblem and surfaces as a
+// *guard.CancelError matching the context's error under errors.Is.
+func (t *Translator) TranslateCtx(ctx context.Context, q xpath.Expr) (*anfa.Automaton, error) {
+	t.ctx = ctx
+	defer func() { t.ctx = nil }()
 	q = xpath.DesugarDesc(q, t.emb.Source.Types)
 	// Fresh per-call tables: memoized machines reference qualifier
 	// sub-machines registered in the automaton under construction.
@@ -108,6 +123,11 @@ func hasFinals(m *anfa.Machine) bool { return len(m.Finals) > 0 }
 // local computes Trl(e, a): a standalone machine whose finals carry
 // source-type labels, memoized per (subquery, context type).
 func (t *Translator) local(e xpath.Expr, a string) (*anfa.Machine, error) {
+	if t.ctx != nil {
+		if err := guard.CheckCtx(t.ctx, "translate"); err != nil {
+			return nil, err
+		}
+	}
 	key := memoKey{e: e, a: a}
 	if m, ok := t.memo[key]; ok {
 		return m, nil

@@ -1,13 +1,62 @@
 package xmltree
 
 import (
+	"bytes"
 	"encoding/xml"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/guard"
 )
+
+// codecPools recycle per-call scratch across documents: batch
+// migration decodes and encodes thousands of trees back to back, and
+// the parse stack / name-verdict map / serialization buffer are the
+// dominant steady-state allocations.
+var (
+	parsePool sync.Pool // *parseScratch
+	encPool   sync.Pool // *bytes.Buffer
+)
+
+// parseScratch is one Parse call's reusable state. The stack is
+// cleared before pooling so it does not pin a finished document.
+type parseScratch struct {
+	stack []*Node
+	names map[string]bool
+}
+
+func getParseScratch() *parseScratch {
+	if s, _ := parsePool.Get().(*parseScratch); s != nil {
+		return s
+	}
+	return &parseScratch{names: make(map[string]bool, 16)}
+}
+
+func putParseScratch(s *parseScratch) {
+	clear(s.stack)
+	s.stack = s.stack[:0]
+	clear(s.names)
+	parsePool.Put(s)
+}
+
+const maxPooledBuf = 1 << 20 // drop oversized buffers instead of pooling them
+
+func getEncBuf() *bytes.Buffer {
+	if b, _ := encPool.Get().(*bytes.Buffer); b != nil {
+		b.Reset()
+		return b
+	}
+	return bytes.NewBuffer(make([]byte, 0, 4096))
+}
+
+func putEncBuf(b *bytes.Buffer) {
+	if b.Cap() > maxPooledBuf {
+		return
+	}
+	encPool.Put(b)
+}
 
 // Parse reads an XML document into a Tree using encoding/xml's
 // tokenizer. Whitespace-only character data between elements is dropped
@@ -30,13 +79,16 @@ func ParseLimits(r io.Reader, lim guard.Limits) (*Tree, error) {
 	cr := &countingReader{r: r, lim: lim}
 	dec := xml.NewDecoder(cr)
 	t := &Tree{}
-	names := map[string]bool{}
+	scratch := getParseScratch()
+	defer putParseScratch(scratch)
+	names := scratch.names
 	nodes := 0
 	addNode := func() error {
 		nodes++
 		return lim.CheckNodes(nodes, "xmltree: parse")
 	}
-	var stack []*Node
+	stack := scratch.stack
+	defer func() { scratch.stack = stack }()
 	var pending strings.Builder
 	flushText := func() error {
 		if pending.Len() == 0 {
@@ -157,8 +209,13 @@ func ParseString(s string) (*Tree, error) {
 	return Parse(strings.NewReader(s))
 }
 
-// Write serializes the tree as indented XML to w.
+// Write serializes the tree as indented XML to w. The serialization
+// buffer comes from a pool, so batch encoding does not reallocate the
+// full document image per tree; output is byte-identical to String.
 func (t *Tree) Write(w io.Writer) error {
-	_, err := io.WriteString(w, t.String())
+	b := getEncBuf()
+	writeNode(b, t.Root, 0)
+	_, err := w.Write(b.Bytes())
+	putEncBuf(b)
 	return err
 }

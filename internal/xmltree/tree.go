@@ -219,8 +219,34 @@ func (t *Tree) String() string {
 	return b.String()
 }
 
-func writeNode(b *strings.Builder, n *Node, depth int) {
-	indent := strings.Repeat("  ", depth)
+// xmlWriter is the serialization sink: both strings.Builder (String)
+// and bytes.Buffer (the pooled Write path in codec.go) satisfy it.
+type xmlWriter interface {
+	WriteString(string) (int, error)
+	WriteByte(byte) error
+	WriteRune(rune) (int, error)
+}
+
+// indents caches indentation prefixes for shallow depths; deeper
+// levels fall back to strings.Repeat. Serialization is a data-plane
+// hot path and per-node Repeat allocations dominate otherwise.
+var indents = func() [32]string {
+	var tab [32]string
+	for i := range tab {
+		tab[i] = strings.Repeat("  ", i)
+	}
+	return tab
+}()
+
+func indentOf(depth int) string {
+	if depth < len(indents) {
+		return indents[depth]
+	}
+	return strings.Repeat("  ", depth)
+}
+
+func writeNode(b xmlWriter, n *Node, depth int) {
+	indent := indentOf(depth)
 	if n.IsText() {
 		b.WriteString(indent)
 		xmlEscape(b, n.Text)
@@ -228,24 +254,37 @@ func writeNode(b *strings.Builder, n *Node, depth int) {
 		return
 	}
 	if len(n.Children) == 0 {
-		fmt.Fprintf(b, "%s<%s/>\n", indent, n.Label)
+		b.WriteString(indent)
+		b.WriteByte('<')
+		b.WriteString(n.Label)
+		b.WriteString("/>\n")
 		return
 	}
 	if len(n.Children) == 1 && n.Children[0].IsText() {
 		b.WriteString(indent)
-		fmt.Fprintf(b, "<%s>", n.Label)
+		b.WriteByte('<')
+		b.WriteString(n.Label)
+		b.WriteByte('>')
 		xmlEscape(b, n.Children[0].Text)
-		fmt.Fprintf(b, "</%s>\n", n.Label)
+		b.WriteString("</")
+		b.WriteString(n.Label)
+		b.WriteString(">\n")
 		return
 	}
-	fmt.Fprintf(b, "%s<%s>\n", indent, n.Label)
+	b.WriteString(indent)
+	b.WriteByte('<')
+	b.WriteString(n.Label)
+	b.WriteString(">\n")
 	for _, c := range n.Children {
 		writeNode(b, c, depth+1)
 	}
-	fmt.Fprintf(b, "%s</%s>\n", indent, n.Label)
+	b.WriteString(indent)
+	b.WriteString("</")
+	b.WriteString(n.Label)
+	b.WriteString(">\n")
 }
 
-func xmlEscape(b *strings.Builder, s string) {
+func xmlEscape(b xmlWriter, s string) {
 	for _, r := range s {
 		switch r {
 		case '&':

@@ -9,13 +9,33 @@ import (
 // appear in the result when the expression contains text() steps; their
 // string values are the observable values of the paper's semantics (use
 // Strings to extract them).
+//
+// Eval compiles the expression and runs the compiled program, so
+// one-shot callers share the pooled-scratch fast path; repeated
+// evaluation of the same query should Compile once and Run many
+// times to amortize the (small) compilation cost too.
 func Eval(e Expr, ctx *xmltree.Node) []*xmltree.Node {
+	return Compile(e).Run(ctx)
+}
+
+// EvalAll evaluates the expression at each of the context nodes. The
+// nodes must belong to one document (see Program).
+func EvalAll(e Expr, ctxs []*xmltree.Node) []*xmltree.Node {
+	return Compile(e).RunAll(ctxs)
+}
+
+// EvalInterpreted evaluates the expression with the reference
+// tree-walking interpreter, bypassing compilation. It exists as the
+// independent oracle the compiled evaluator is differentially tested
+// against (the conformance harness's compiled-differential property);
+// production callers should use Eval or Compile.
+func EvalInterpreted(e Expr, ctx *xmltree.Node) []*xmltree.Node {
 	ev := &evaluator{}
 	return ev.eval(e, []*xmltree.Node{ctx})
 }
 
-// EvalAll evaluates the expression at each of the context nodes.
-func EvalAll(e Expr, ctxs []*xmltree.Node) []*xmltree.Node {
+// EvalAllInterpreted is EvalInterpreted over several context nodes.
+func EvalAllInterpreted(e Expr, ctxs []*xmltree.Node) []*xmltree.Node {
 	ev := &evaluator{}
 	return ev.eval(e, ctxs)
 }
@@ -81,7 +101,10 @@ func (ev *evaluator) eval(e Expr, ctxs []*xmltree.Node) []*xmltree.Node {
 	case Union:
 		l := ev.eval(e.L, ctxs)
 		r := ev.eval(e.R, ctxs)
-		return dedupe(append(append([]*xmltree.Node{}, l...), r...))
+		out := make([]*xmltree.Node, 0, len(l)+len(r))
+		out = append(out, l...)
+		out = append(out, r...)
+		return dedupe(out)
 	case Star:
 		result := dedupe(ctxs)
 		seen := make(map[*xmltree.Node]bool, len(result))
@@ -150,9 +173,46 @@ func collectDescOrSelf(n *xmltree.Node, out *[]*xmltree.Node) {
 	}
 }
 
+// smallDedupe is the result-set size up to which deduplication scans
+// linearly instead of building a set: below it the quadratic scan is
+// both allocation-free and faster than map/bitset bookkeeping.
+const smallDedupe = 8
+
 func dedupe(nodes []*xmltree.Node) []*xmltree.Node {
 	if len(nodes) <= 1 {
 		return nodes
+	}
+	if len(nodes) <= smallDedupe {
+		// Small sets: detect duplicates by scanning; the common
+		// duplicate-free case returns the input without allocating.
+		dup := -1
+	scan:
+		for i := 1; i < len(nodes); i++ {
+			for j := 0; j < i; j++ {
+				if nodes[i] == nodes[j] {
+					dup = i
+					break scan
+				}
+			}
+		}
+		if dup < 0 {
+			return nodes
+		}
+		out := make([]*xmltree.Node, 0, len(nodes)-1)
+		out = append(out, nodes[:dup]...)
+		for _, n := range nodes[dup+1:] {
+			seen := false
+			for _, m := range out {
+				if m == n {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				out = append(out, n)
+			}
+		}
+		return out
 	}
 	seen := make(map[*xmltree.Node]bool, len(nodes))
 	out := nodes[:0:0]

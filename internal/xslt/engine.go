@@ -12,8 +12,11 @@
 package xslt
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
+	"repro/internal/guard"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 )
@@ -86,6 +89,21 @@ type Out struct {
 type Apply struct {
 	Select xpath.Expr
 	Mode   string
+
+	// compileOnce lazily builds the compiled form of Select the first
+	// time this instruction executes; every later execution (each
+	// selected node of each document the stylesheet processes) reuses
+	// the plan and its pooled evaluation scratch. Apply values are
+	// always handled by pointer, so the once is never copied.
+	compileOnce sync.Once
+	prog        *xpath.Program
+}
+
+// program returns the compiled select expression, compiling on first
+// use. Safe for concurrent template instantiation.
+func (a *Apply) program() *xpath.Program {
+	a.compileOnce.Do(func() { a.prog = xpath.Compile(a.Select) })
+	return a.prog
 }
 
 // Element builds a literal element output node.
@@ -124,11 +142,20 @@ func (s *Stylesheet) Add(t *Template) { s.Templates = append(s.Templates, t) }
 // stylesheets are complete; a miss indicates a document outside the
 // mapping's domain).
 func (s *Stylesheet) Run(doc *xmltree.Tree) (*xmltree.Tree, error) {
+	return s.RunCtx(context.Background(), doc)
+}
+
+// RunCtx is Run under a context: cancellation is observed once per
+// processed source node and surfaces as a *guard.CancelError matching
+// the context's error under errors.Is. A Stylesheet may execute
+// concurrently over different documents; compiled select expressions
+// are shared across runs.
+func (s *Stylesheet) RunCtx(ctx context.Context, doc *xmltree.Tree) (*xmltree.Tree, error) {
 	if doc.Root == nil {
 		return nil, fmt.Errorf("xslt: empty input document")
 	}
 	out := &xmltree.Tree{}
-	nodes, err := s.apply(out, []*xmltree.Node{doc.Root}, "")
+	nodes, err := s.apply(ctx, out, []*xmltree.Node{doc.Root}, "")
 	if err != nil {
 		return nil, err
 	}
@@ -141,9 +168,12 @@ func (s *Stylesheet) Run(doc *xmltree.Tree) (*xmltree.Tree, error) {
 
 // apply processes the source nodes with rules of the mode and returns
 // the produced output forest.
-func (s *Stylesheet) apply(out *xmltree.Tree, nodes []*xmltree.Node, mode string) ([]*xmltree.Node, error) {
+func (s *Stylesheet) apply(ctx context.Context, out *xmltree.Tree, nodes []*xmltree.Node, mode string) ([]*xmltree.Node, error) {
 	var produced []*xmltree.Node
 	for _, n := range nodes {
+		if err := guard.CheckCtx(ctx, "xslt: run"); err != nil {
+			return nil, err
+		}
 		t := s.lookup(n, mode)
 		if t == nil {
 			desc := n.Label
@@ -152,7 +182,7 @@ func (s *Stylesheet) apply(out *xmltree.Tree, nodes []*xmltree.Node, mode string
 			}
 			return nil, fmt.Errorf("xslt: no template matches %s in mode %q", desc, mode)
 		}
-		frag, err := s.instantiate(out, t.Output, n)
+		frag, err := s.instantiate(ctx, out, t.Output, n)
 		if err != nil {
 			return nil, err
 		}
@@ -174,27 +204,27 @@ func (s *Stylesheet) lookup(n *xmltree.Node, mode string) *Template {
 	return best
 }
 
-func (s *Stylesheet) instantiate(out *xmltree.Tree, frag []*Out, ctx *xmltree.Node) ([]*xmltree.Node, error) {
+func (s *Stylesheet) instantiate(ctx context.Context, out *xmltree.Tree, frag []*Out, node *xmltree.Node) ([]*xmltree.Node, error) {
 	var produced []*xmltree.Node
 	for _, o := range frag {
 		switch {
 		case o.Apply != nil:
-			sel := xpath.Eval(o.Apply.Select, ctx)
-			sub, err := s.apply(out, sel, o.Apply.Mode)
+			sel := o.Apply.program().Run(node)
+			sub, err := s.apply(ctx, out, sel, o.Apply.Mode)
 			if err != nil {
 				return nil, err
 			}
 			produced = append(produced, sub...)
 		case o.CopyText:
-			if !ctx.IsText() {
-				return nil, fmt.Errorf("xslt: text copy on non-text node %q", ctx.Label)
+			if !node.IsText() {
+				return nil, fmt.Errorf("xslt: text copy on non-text node %q", node.Label)
 			}
-			produced = append(produced, out.NewText(ctx.Text))
+			produced = append(produced, out.NewText(node.Text))
 		case o.Label == "":
 			produced = append(produced, out.NewText(o.Text))
 		default:
 			el := out.NewElement(o.Label)
-			children, err := s.instantiate(out, o.Children, ctx)
+			children, err := s.instantiate(ctx, out, o.Children, node)
 			if err != nil {
 				return nil, err
 			}

@@ -6,18 +6,18 @@
 # saved `go test -bench` output.
 #
 # Usage:
-#   scripts/bench.sh                # refresh BENCH_PR3.json's after run
-#   PR=4 scripts/bench.sh           # start BENCH_PR4.json
+#   scripts/bench.sh                # refresh BENCH_PR4.json's after run
+#   PR=5 scripts/bench.sh           # start BENCH_PR5.json
 #   BENCHTIME=5x scripts/bench.sh   # quicker, noisier numbers
 set -eu
 cd "$(dirname "$0")/.."
 
-PR="${PR:-3}"
+PR="${PR:-4}"
 OUT="${OUT:-BENCH_PR${PR}.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 # Repeats per benchmark; benchjson keeps the fastest (see its doc).
 COUNT="${COUNT:-3}"
-BENCH_RE="${BENCH_RE:-^(BenchmarkInstMap|BenchmarkInverse|BenchmarkXSLTForward|BenchmarkTranslateQuery|BenchmarkEvalXPath|BenchmarkEvalANFA|BenchmarkFindRandom|BenchmarkFindUnambiguous|BenchmarkFindParallel|BenchmarkFindSize|BenchmarkCompose|BenchmarkSpecializedTyping|BenchmarkLexicalMatrix|BenchmarkValidateEmbedding)\$}"
+BENCH_RE="${BENCH_RE:-^(BenchmarkInstMap|BenchmarkInverse|BenchmarkXSLTForward|BenchmarkTranslateQuery|BenchmarkTranslateCached|BenchmarkEvalXPath|BenchmarkEvalANFA|BenchmarkEvalInterpreted|BenchmarkEvalCompiled|BenchmarkBatchMigrate|BenchmarkFindRandom|BenchmarkFindUnambiguous|BenchmarkFindParallel|BenchmarkFindSize|BenchmarkCompose|BenchmarkSpecializedTyping|BenchmarkLexicalMatrix|BenchmarkValidateEmbedding)\$}"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -28,11 +28,14 @@ go test -run '^$' -bench "$BENCH_RE" -benchmem -benchtime "$BENCHTIME" -count "$
 echo "bench.sh: running E3 size sweep..." >&2
 go run ./cmd/xse-bench -exp e3 -quick -trials 3 > "$tmp/e3.txt"
 
+# NOTE, when set, replaces the file's free-form note (otherwise the
+# existing note is preserved; see benchjson).
+set -- -pr "$PR" -after "$tmp/after.txt" -e3 "$tmp/e3.txt" -out "$OUT"
 if [ -n "${BASELINE:-}" ]; then
-    go run ./scripts/benchjson -pr "$PR" -after "$tmp/after.txt" \
-        -baseline "$BASELINE" -e3 "$tmp/e3.txt" -out "$OUT"
-else
-    go run ./scripts/benchjson -pr "$PR" -after "$tmp/after.txt" \
-        -e3 "$tmp/e3.txt" -out "$OUT"
+    set -- "$@" -baseline "$BASELINE"
 fi
+if [ -n "${NOTE:-}" ]; then
+    set -- "$@" -note "$NOTE"
+fi
+go run ./scripts/benchjson "$@"
 echo "bench.sh: wrote $OUT" >&2
