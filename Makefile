@@ -3,7 +3,7 @@ FUZZTIME ?= 5s
 ORACLE_TRIALS ?= 500
 ORACLE_SEED ?= 1
 
-.PHONY: all build vet test race fuzz bench bench-json check oracle
+.PHONY: all build vet test race fuzz bench bench-json check oracle metriclint debug-smoke
 
 all: build
 
@@ -40,5 +40,16 @@ bench-json:
 oracle:
 	$(GO) run ./cmd/xse-oracle -trials $(ORACLE_TRIALS) -seed $(ORACLE_SEED)
 
+# Metric-naming lint (see DESIGN.md "Observability"): registration
+# sites must use xse_-prefixed lowercase names with kind-appropriate
+# suffixes, and no name may be registered twice or as two kinds.
+metriclint:
+	$(GO) run ./scripts/metriclint
+
+# End-to-end scrape smoke: run a batch under -debug-addr and curl
+# /metrics while the server lingers (see scripts/debug-smoke.sh).
+debug-smoke:
+	./scripts/debug-smoke.sh
+
 # Tier-1+ gate (see ROADMAP.md): everything a PR must keep green.
-check: vet build race fuzz oracle
+check: vet metriclint build race fuzz oracle

@@ -291,8 +291,12 @@ func TestCLIQueryCacheStats(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d\n%s", code, out)
 	}
-	if !strings.Contains(out, "cache:      1 hits, 2 misses, 2 entries") {
+	if !strings.Contains(out, "cache:      1 hits, 2 misses, 0 waits, 2 entries") {
 		t.Errorf("cache stats line missing or wrong:\n%s", out)
+	}
+	// -v also renders the process registry through obs.WriteSummary.
+	if !strings.Contains(out, "xse_translate_cache_misses_total") {
+		t.Errorf("-v summary missing registry counters:\n%s", out)
 	}
 	// Timeout path: exit 4 via context, not a watchdog.
 	_, code = runExit(t, bin, append(xsemapFixtureArgs(),

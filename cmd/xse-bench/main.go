@@ -11,11 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -26,12 +28,19 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		timeout = flag.Duration("search-timeout", 0, "deadline per embedding search; timed-out trials count as failures (0 = none)")
 	)
+	tel := obs.NewCLI("xse-bench", flag.CommandLine)
 	flag.Parse()
+	if _, err := tel.Start(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "xse-bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer tel.Close()
 	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick, SearchTimeout: *timeout}
 	if *exp != "" {
 		table, ok := experiments.ByID(*exp, cfg)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "xse-bench: unknown experiment %q (want e1..e7)\n", *exp)
+			tel.Close()
 			os.Exit(2)
 		}
 		fmt.Println(table)

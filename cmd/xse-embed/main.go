@@ -10,6 +10,10 @@
 //	          [-restarts 40] [-timeout 30s] [-max-input 67108864]
 //	          [-o mapping.xse]
 //
+// The shared telemetry flags (-debug-addr, -trace-out, -cpuprofile,
+// -memprofile; see internal/obs) are also accepted; -v appends the
+// metric registry summary to the search statistics on stderr.
+//
 // Exit codes: 0 success, 1 internal error, 2 usage, 3 invalid input
 // (unreadable or malformed schemas, resource limits exceeded),
 // 4 timeout or cancellation, 5 no embedding found.
@@ -25,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/search"
 )
 
@@ -35,6 +40,10 @@ const (
 	exitTimeout  = 4
 	exitNotFound = 5
 )
+
+// cleanup is run by fatalf before exiting, so profiles, traces and the
+// debug server are flushed even on fatal paths.
+var cleanup = func() {}
 
 func main() {
 	var (
@@ -53,11 +62,18 @@ func main() {
 		output     = flag.String("o", "", "output file (default: stdout)")
 		verbose    = flag.Bool("v", false, "print search statistics to stderr")
 	)
+	tel := obs.NewCLI("xse-embed", flag.CommandLine)
 	flag.Parse()
 	if *sourceFile == "" || *targetFile == "" {
 		flag.Usage()
 		os.Exit(exitUsage)
 	}
+	ctx, err := tel.Start(context.Background())
+	if err != nil {
+		fatalf(exitInternal, "%v", err)
+	}
+	cleanup = tel.Close
+	defer tel.Close()
 	lim := core.Limits{MaxInputBytes: *maxInput}
 
 	src := mustSchema(*sourceFile, *sourceRoot, lim)
@@ -87,7 +103,6 @@ func main() {
 		fatalf(exitUsage, "unknown -heuristic %q", *heuristic)
 	}
 
-	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -102,8 +117,9 @@ func main() {
 	if *verbose && res != nil {
 		fmt.Fprintf(os.Stderr, "heuristic=%s restarts=%d steps=%d paths=%d elapsed=%s exhausted=%v\n",
 			h, res.Restarts, res.Steps, res.PathsEnumerated, res.Elapsed, res.Exhausted)
-		fmt.Fprintf(os.Stderr, "path cache: %d hits / %d misses; localPaths memo: %d hits / %d misses\n",
-			res.PathQueryHits, res.PathQueryMisses, res.LocalPathsHits, res.LocalPathsMisses)
+		// Cache effectiveness and the rest of the search counters come
+		// from the process registry (the same numbers /metrics serves).
+		obs.WriteSummary(os.Stderr, obs.Default())
 	}
 	if err != nil {
 		if errors.Is(err, core.ErrDeadline) || errors.Is(err, core.ErrCanceled) {
@@ -145,5 +161,6 @@ func mustSchema(path, root string, lim core.Limits) *core.DTD {
 
 func fatalf(code int, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "xse-embed: "+format+"\n", args...)
+	cleanup()
 	os.Exit(code)
 }

@@ -15,6 +15,17 @@
 //	-timeout d     abort the whole run after duration d (exit 4)
 //	-max-input n   max input size in bytes (0 = default, -1 = unlimited)
 //	-o file        output file (default stdout; single-document mode)
+//	-v             print the metric registry summary on stderr
+//
+// Telemetry flags shared by every command (see internal/obs):
+//
+//	-debug-addr a       serve /metrics, /metrics.json, /debug/vars and
+//	                    /debug/pprof on a (":0" picks a free port)
+//	-debug-linger d     keep the debug server up d after the run
+//	-trace-out f        write spans to f as Chrome trace_event JSON
+//	-cpuprofile f       write a CPU profile to f
+//	-memprofile f       write a heap profile to f
+//	-slow-threshold d   log batch documents slower than d
 //
 // In batch mode each document succeeds or fails on its own: a
 // malformed file is reported and skipped without stopping the run, and
@@ -37,6 +48,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/embedding"
+	"repro/internal/obs"
 	"repro/internal/xmltree"
 )
 
@@ -46,6 +58,10 @@ const (
 	exitInvalid  = 3
 	exitTimeout  = 4
 )
+
+// cleanup is run by fatalf before exiting, so profiles, traces and the
+// debug server are flushed even on fatal paths.
+var cleanup = func() {}
 
 func main() {
 	var (
@@ -63,13 +79,21 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
 		maxInput    = flag.Int("max-input", 0, "max input size in bytes (0 = default 64MiB, -1 = unlimited)")
 		output      = flag.String("o", "", "output file (default: stdout)")
+		verbose     = flag.Bool("v", false, "print telemetry counters to stderr after the run")
+		slowDocs    = flag.Duration("slow-threshold", 0, "log batch documents slower than this end to end (0 = off)")
 	)
+	tel := obs.NewCLI("xse-map", flag.CommandLine)
 	flag.Parse()
 	if *mappingFile == "" || *sourceFile == "" || *targetFile == "" {
 		flag.Usage()
 		os.Exit(exitUsage)
 	}
-	ctx := context.Background()
+	ctx, err := tel.Start(context.Background())
+	if err != nil {
+		fatalf(exitInternal, "%v", err)
+	}
+	cleanup = tel.Close
+	defer tel.Close()
 	if *timeout > 0 {
 		// Every mapping stage is context-aware; the deadline propagates
 		// through parse, σd/σd⁻¹, XSLT execution and the batch pool, and
@@ -88,7 +112,11 @@ func main() {
 		if flag.NArg() != 0 || *emitXSLT {
 			fatalf(exitUsage, "-batch is incompatible with positional documents and -xslt")
 		}
-		runBatch(ctx, sigma, *batchDir, *outDir, *workers, *invert, *viaXSLT, lim)
+		runBatch(ctx, sigma, batchConfig{
+			dir: *batchDir, outDir: *outDir, workers: *workers,
+			invert: *invert, viaXSLT: *viaXSLT, lim: lim,
+			slowThreshold: *slowDocs, verbose: *verbose, tel: tel,
+		})
 		return
 	}
 
@@ -149,11 +177,28 @@ func main() {
 		fatalf(exitInternal, "internal error: output does not conform: %v", err)
 	}
 	fmt.Fprint(out, result)
+	if *verbose {
+		obs.WriteSummary(os.Stderr, obs.Default())
+	}
+}
+
+// batchConfig carries the batch mode's flag values.
+type batchConfig struct {
+	dir, outDir   string
+	workers       int
+	invert        bool
+	viaXSLT       bool
+	lim           core.Limits
+	slowThreshold time.Duration
+	verbose       bool
+	tel           *obs.CLI
 }
 
 // runBatch migrates a directory of documents through the worker pool
 // and exits with the worst per-file classification.
-func runBatch(ctx context.Context, sigma *core.Embedding, dir, outDir string, workers int, invert, viaXSLT bool, lim core.Limits) {
+func runBatch(ctx context.Context, sigma *core.Embedding, cfg batchConfig) {
+	dir, outDir, workers, invert, viaXSLT, lim :=
+		cfg.dir, cfg.outDir, cfg.workers, cfg.invert, cfg.viaXSLT, cfg.lim
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			fatalf(exitInternal, "%v", err)
@@ -166,7 +211,7 @@ func runBatch(ctx context.Context, sigma *core.Embedding, dir, outDir string, wo
 	if len(docs) == 0 {
 		fatalf(exitInvalid, "no *.xml documents in %s", dir)
 	}
-	opts := core.BatchOptions{Workers: workers, Limits: lim}
+	opts := core.BatchOptions{Workers: workers, Limits: lim, SlowThreshold: cfg.slowThreshold}
 	if invert {
 		opts.Op = core.BatchInverse
 	}
@@ -211,6 +256,10 @@ func runBatch(ctx context.Context, sigma *core.Embedding, dir, outDir string, wo
 	fmt.Fprintf(os.Stderr, "xse-map: %d docs (%d failed) in %s — %.1f docs/sec, %.2f MB/sec\n",
 		stats.Docs, stats.Failed, stats.Elapsed.Round(time.Millisecond),
 		stats.DocsPerSec(), stats.MBPerSec())
+	if cfg.verbose {
+		obs.WriteSummary(os.Stderr, obs.Default())
+	}
+	cfg.tel.Close()
 	os.Exit(code)
 }
 
@@ -311,5 +360,6 @@ func fatalCtx(err error, stage string) {
 
 func fatalf(code int, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "xse-map: "+format+"\n", args...)
+	cleanup()
 	os.Exit(code)
 }

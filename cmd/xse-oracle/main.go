@@ -26,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/oracle"
 )
 
@@ -51,6 +52,7 @@ func main() {
 		corpusRoot = flag.String("emit-corpus", "", "seed parser fuzz corpora under this repository root and exit")
 		corpusPer  = flag.Int("corpus-per-target", 24, "corpus files per fuzz target with -emit-corpus")
 	)
+	tel := obs.NewCLI("xse-oracle", flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "xse-oracle: unexpected arguments %v\n", flag.Args())
@@ -59,6 +61,18 @@ func main() {
 	if *trials <= 0 || *queries < 0 || *minTypes < 2 || *maxTypes < *minTypes || *noise < 0 || *noise > 1 {
 		fmt.Fprintln(os.Stderr, "xse-oracle: invalid flag values")
 		os.Exit(exitUsage)
+	}
+	ctx, err := tel.Start(context.Background())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xse-oracle: %v\n", err)
+		os.Exit(exitInternal)
+	}
+	defer tel.Close()
+	// exit flushes telemetry before leaving: deferred Close does not run
+	// past os.Exit.
+	exit := func(code int) {
+		tel.Close()
+		os.Exit(code)
 	}
 
 	cfg := oracle.Config{
@@ -81,13 +95,12 @@ func main() {
 		n, err := oracle.EmitCorpus(*corpusRoot, cfg, *corpusPer)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xse-oracle: emit corpus: %v\n", err)
-			os.Exit(exitInternal)
+			exit(exitInternal)
 		}
 		fmt.Printf("wrote %d fuzz corpus files under %s\n", n, *corpusRoot)
 		return
 	}
 
-	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -99,10 +112,10 @@ func main() {
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			fmt.Fprintf(os.Stderr, "xse-oracle: stopped after %d trials: %v\n", rep.Trials, err)
-			os.Exit(exitTimeout)
+			exit(exitTimeout)
 		}
 		fmt.Fprintf(os.Stderr, "xse-oracle: %v\n", err)
-		os.Exit(exitInternal)
+		exit(exitInternal)
 	}
 	fmt.Printf("%s  (%.1fs)\n", rep.Summary(), time.Since(start).Seconds())
 	if rep.Failed() {
@@ -113,6 +126,6 @@ func main() {
 				fmt.Printf("  reproducer: %s\n", v.ReproFile)
 			}
 		}
-		os.Exit(exitViolation)
+		exit(exitViolation)
 	}
 }

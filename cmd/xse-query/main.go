@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/embedding"
+	"repro/internal/obs"
 	"repro/internal/xmltree"
 )
 
@@ -43,6 +44,10 @@ const (
 	exitInvalid  = 3
 	exitTimeout  = 4
 )
+
+// cleanup is run by fatalf before exiting, so profiles, traces and the
+// debug server are flushed even on fatal paths.
+var cleanup = func() {}
 
 // multiFlag collects repeated -query values.
 type multiFlag []string
@@ -68,12 +73,18 @@ func main() {
 		maxInput    = flag.Int("max-input", 0, "max input size in bytes (0 = default 64MiB, -1 = unlimited)")
 	)
 	flag.Var(&queries, "query", "regular XPath query over the source schema (repeatable, at least one required)")
+	tel := obs.NewCLI("xse-query", flag.CommandLine)
 	flag.Parse()
 	if *mappingFile == "" || *sourceFile == "" || *targetFile == "" || len(queries) == 0 {
 		flag.Usage()
 		os.Exit(exitUsage)
 	}
-	ctx := context.Background()
+	ctx, err := tel.Start(context.Background())
+	if err != nil {
+		fatalf(exitInternal, "%v", err)
+	}
+	cleanup = tel.Close
+	defer tel.Close()
 	if *timeout > 0 {
 		// Translation and evaluation observe the context; the deadline
 		// surfaces as a typed CancelError mapped to exit 4.
@@ -140,9 +151,12 @@ func main() {
 	}
 	if *verbose {
 		st := cache.Stats()
-		fmt.Printf("cache:      %d hits, %d misses, %d entries\n", st.Hits, st.Misses, st.Entries)
+		fmt.Printf("cache:      %d hits, %d misses, %d waits, %d entries\n",
+			st.Hits, st.Misses, st.Waits, st.Entries)
+		obs.WriteSummary(os.Stderr, obs.Default())
 	}
 	if code != 0 {
+		tel.Close()
 		os.Exit(code)
 	}
 }
@@ -238,5 +252,6 @@ func mustDoc(path string, lim core.Limits) *xmltree.Tree {
 
 func fatalf(code int, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "xse-query: "+format+"\n", args...)
+	cleanup()
 	os.Exit(code)
 }

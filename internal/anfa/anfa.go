@@ -280,6 +280,9 @@ func (a *Automaton) RemoveUseless() {
 		}
 	}
 	a.M = nm
+	if dropped := m.States - next; dropped > 0 {
+		mPruned.Add(uint64(dropped))
+	}
 	a.pruneNames()
 }
 

@@ -29,6 +29,7 @@ func (a *Automaton) Eval(ctx *xmltree.Node) []*xmltree.Node {
 // every few thousand explored pairs and returns a *guard.CancelError
 // (matching the context's error under errors.Is) when cut short.
 func (a *Automaton) EvalCtx(cctx context.Context, ctx *xmltree.Node) ([]*xmltree.Node, error) {
+	mEvals.Inc()
 	ev, _ := evalPool.Get().(*anfaEval)
 	if ev == nil {
 		ev = &anfaEval{memo: map[memoKey]bool{}}

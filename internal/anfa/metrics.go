@@ -1,0 +1,13 @@
+package anfa
+
+import "repro/internal/obs"
+
+// Process-registry instruments. Evaluation is the data-plane hot path:
+// both counters are bumped once per call (EvalCtx / RemoveUseless),
+// never inside the BFS loops.
+var (
+	mEvals = obs.Default().Counter("xse_anfa_evals_total",
+		"Automaton evaluations (EvalCtx calls, including qualifier-free fast paths).")
+	mPruned = obs.Default().Counter("xse_anfa_pruned_states_total",
+		"States discarded by useless-state removal across all constructions.")
+)

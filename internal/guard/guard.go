@@ -103,6 +103,7 @@ func exceeded(n, max int) bool { return max > 0 && n > max }
 // CheckDepth returns a LimitError when depth exceeds l.MaxDepth.
 func (l Limits) CheckDepth(depth int, context string) error {
 	if exceeded(depth, l.MaxDepth) {
+		mLimitDepth.Inc()
 		return &LimitError{Limit: "depth", Max: l.MaxDepth, Context: context}
 	}
 	return nil
@@ -111,6 +112,7 @@ func (l Limits) CheckDepth(depth int, context string) error {
 // CheckInputBytes returns a LimitError when size exceeds l.MaxInputBytes.
 func (l Limits) CheckInputBytes(size int, context string) error {
 	if exceeded(size, l.MaxInputBytes) {
+		mLimitInputBytes.Inc()
 		return &LimitError{Limit: "input-bytes", Max: l.MaxInputBytes, Context: context}
 	}
 	return nil
@@ -119,6 +121,7 @@ func (l Limits) CheckInputBytes(size int, context string) error {
 // CheckTypes returns a LimitError when n exceeds l.MaxTypes.
 func (l Limits) CheckTypes(n int, context string) error {
 	if exceeded(n, l.MaxTypes) {
+		mLimitTypes.Inc()
 		return &LimitError{Limit: "types", Max: l.MaxTypes, Context: context}
 	}
 	return nil
@@ -127,6 +130,7 @@ func (l Limits) CheckTypes(n int, context string) error {
 // CheckNodes returns a LimitError when n exceeds l.MaxNodes.
 func (l Limits) CheckNodes(n int, context string) error {
 	if exceeded(n, l.MaxNodes) {
+		mLimitNodes.Inc()
 		return &LimitError{Limit: "nodes", Max: l.MaxNodes, Context: context}
 	}
 	return nil
@@ -159,6 +163,7 @@ func (e *CancelError) Unwrap() error { return e.Err }
 // observed within one unit of work.
 func CheckCtx(ctx context.Context, context_ string) error {
 	if err := ctx.Err(); err != nil {
+		mCancels.Inc()
 		return &CancelError{Context: context_, Err: err}
 	}
 	return nil

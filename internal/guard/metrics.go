@@ -1,0 +1,23 @@
+package guard
+
+import "repro/internal/obs"
+
+// Process-registry instruments. The limit counters are pre-created
+// per limit kind at init, so a Check* failure is one map-free atomic
+// add; the success path touches no instrument at all.
+var (
+	mLimitDepth = obs.Default().CounterL("xse_guard_limit_errors_total",
+		"Parses or generations rejected by a resource limit, by limit kind.",
+		"limit", "depth")
+	mLimitInputBytes = obs.Default().CounterL("xse_guard_limit_errors_total",
+		"Parses or generations rejected by a resource limit, by limit kind.",
+		"limit", "input-bytes")
+	mLimitTypes = obs.Default().CounterL("xse_guard_limit_errors_total",
+		"Parses or generations rejected by a resource limit, by limit kind.",
+		"limit", "types")
+	mLimitNodes = obs.Default().CounterL("xse_guard_limit_errors_total",
+		"Parses or generations rejected by a resource limit, by limit kind.",
+		"limit", "nodes")
+	mCancels = obs.Default().Counter("xse_guard_cancellations_total",
+		"Operations cut short by context cancellation (CheckCtx failures).")
+)

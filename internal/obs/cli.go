@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+// CLI bundles the telemetry flags every command shares: the
+// -cpuprofile/-memprofile pair, -debug-addr, -trace-out and
+// -debug-linger. Register with NewCLI before flag.Parse, call Start
+// right after it, and route every exit path (normal returns and fatal
+// exits alike) through Close so profiles and traces are flushed.
+type CLI struct {
+	name string
+	prof *Profiles
+
+	debugAddr string
+	traceOut  string
+	linger    time.Duration
+
+	tracer *Tracer
+	srv    *DebugServer
+	closed bool
+}
+
+// NewCLI registers the shared telemetry flags on fs for the named
+// command.
+func NewCLI(name string, fs *flag.FlagSet) *CLI {
+	c := &CLI{name: name, prof: AddProfileFlags(fs)}
+	fs.StringVar(&c.debugAddr, "debug-addr", "",
+		"serve /metrics, /debug/vars and /debug/pprof on this address (\":0\" picks a free port)")
+	fs.StringVar(&c.traceOut, "trace-out", "",
+		"write the run's spans to this file as Chrome trace_event JSON")
+	fs.DurationVar(&c.linger, "debug-linger", 0,
+		"keep the -debug-addr server up this long after the run completes (for scrapes)")
+	return c
+}
+
+// Start begins CPU profiling, binds the debug endpoint (announcing the
+// resolved address on stderr — the flag may say ":0") and, when
+// -trace-out was given, attaches a fresh tracer to ctx. The returned
+// context is the one to run the command under.
+func (c *CLI) Start(ctx context.Context) (context.Context, error) {
+	if err := c.prof.Start(); err != nil {
+		return ctx, err
+	}
+	if c.debugAddr != "" {
+		srv, err := ServeDebug(c.debugAddr, Default())
+		if err != nil {
+			return ctx, fmt.Errorf("debug-addr: %w", err)
+		}
+		c.srv = srv
+		fmt.Fprintf(os.Stderr, "%s: debug server listening on http://%s/metrics\n", c.name, srv.Addr)
+	}
+	if c.traceOut != "" {
+		c.tracer = NewTracer()
+		ctx = WithTracer(ctx, c.tracer)
+	}
+	return ctx, nil
+}
+
+// Tracer returns the run's tracer; nil when -trace-out is unset.
+func (c *CLI) Tracer() *Tracer {
+	if c == nil {
+		return nil
+	}
+	return c.tracer
+}
+
+// Close flushes everything Start opened: stops the profiles, writes
+// the trace file, lingers if asked and shuts the debug server down.
+// It is idempotent so commands can both defer it and call it from
+// their fatal-exit hook; failures are reported to stderr, never
+// returned, because the exit code belongs to the command's own
+// outcome.
+func (c *CLI) Close() {
+	if c == nil || c.closed {
+		return
+	}
+	c.closed = true
+	c.prof.StopLogged(c.name)
+	if c.tracer != nil && c.traceOut != "" {
+		f, err := os.Create(c.traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: trace-out: %v\n", c.name, err)
+		} else {
+			if err := c.tracer.WriteChromeTrace(f); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: trace-out: %v\n", c.name, err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: trace-out: %v\n", c.name, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "%s: wrote %d spans to %s\n", c.name, c.tracer.Len(), c.traceOut)
+			}
+		}
+	}
+	if c.srv != nil {
+		if c.linger > 0 {
+			time.Sleep(c.linger)
+		}
+		_ = c.srv.Close()
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// DebugServer is the -debug-addr HTTP endpoint: it serves the
+// registry at /metrics (Prometheus text format) and /metrics.json,
+// the process expvars at /debug/vars, and the net/http/pprof suite
+// under /debug/pprof/. It binds eagerly (so ":0" reports the chosen
+// port in Addr) and serves in a background goroutine until Close.
+type DebugServer struct {
+	// Addr is the bound listen address, e.g. "127.0.0.1:43521".
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// expvarOnce guards the one-time expvar publication: expvar.Publish
+// panics on duplicate names, and the expvar map is process-global, so
+// only the first ServeDebug registry is exported there (later servers
+// still serve their own /metrics).
+var expvarOnce sync.Once
+
+// ServeDebug starts the debug endpoint on addr for registry r
+// (Default() when nil). Callers own the returned server and should
+// Close it on shutdown; the listener's real address is in Addr.
+func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+	r = OrDefault(r)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish("xse", expvar.Func(func() any {
+			out := map[string]any{}
+			for _, m := range r.Snapshot() {
+				switch m.Kind {
+				case KindCounter:
+					out[m.Key()] = m.Counter
+				case KindGauge:
+					out[m.Key()] = m.Gauge
+				case KindHistogram:
+					out[m.Key()] = map[string]any{"count": m.Hist.Count, "sum": m.Hist.Sum}
+				}
+			}
+			return out
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, r)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d := &DebugServer{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}
+
+// Close stops serving and releases the listener.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE header per metric
+// family, histogram families expanded into cumulative _bucket series
+// with an le label plus _sum and _count. Output order is
+// deterministic (sorted by name, then label set).
+func WritePrometheus(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	var lastFamily string
+	for _, m := range r.Snapshot() {
+		m := m
+		if m.Name != lastFamily {
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.Name, m.Help)
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.Name, m.Kind)
+			lastFamily = m.Name
+		}
+		switch m.Kind {
+		case KindCounter:
+			fmt.Fprintf(bw, "%s %d\n", promSeries(m.Name, m.Labels, "", ""), m.Counter)
+		case KindGauge:
+			fmt.Fprintf(bw, "%s %d\n", promSeries(m.Name, m.Labels, "", ""), m.Gauge)
+		case KindHistogram:
+			cum := uint64(0)
+			for i, c := range m.Hist.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(m.Hist.Bounds) {
+					le = formatFloat(m.Hist.Bounds[i])
+				}
+				fmt.Fprintf(bw, "%s %d\n", promSeries(m.Name+"_bucket", m.Labels, "le", le), cum)
+			}
+			fmt.Fprintf(bw, "%s %s\n", promSeries(m.Name+"_sum", m.Labels, "", ""), formatFloat(m.Hist.Sum))
+			fmt.Fprintf(bw, "%s %d\n", promSeries(m.Name+"_count", m.Labels, "", ""), m.Hist.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+// promSeries renders name{labels} with an optional extra label (the
+// histogram le) appended last.
+func promSeries(name string, labels [][2]string, extraK, extraV string) string {
+	if len(labels) == 0 && extraK == "" {
+		return name
+	}
+	s := name + "{"
+	for i, l := range labels {
+		if i > 0 {
+			s += ","
+		}
+		s += l[0] + `="` + l[1] + `"`
+	}
+	if extraK != "" {
+		if len(labels) > 0 {
+			s += ","
+		}
+		s += extraK + `="` + extraV + `"`
+	}
+	return s + "}"
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation, +Inf spelled out.
+func formatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// jsonMetric is the WriteJSON schema for one instrument.
+type jsonMetric struct {
+	Name    string            `json:"name"`
+	Kind    string            `json:"kind"`
+	Help    string            `json:"help,omitempty"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Counter *uint64           `json:"counter,omitempty"`
+	Gauge   *int64            `json:"gauge,omitempty"`
+	Hist    *jsonHist         `json:"histogram,omitempty"`
+}
+
+type jsonHist struct {
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"`
+}
+
+// WriteJSON dumps the registry as a JSON array (deterministic order),
+// the machine-readable twin of the Prometheus exposition.
+func WriteJSON(w io.Writer, r *Registry) error {
+	snap := r.Snapshot()
+	out := make([]jsonMetric, 0, len(snap))
+	for i := range snap {
+		m := &snap[i]
+		j := jsonMetric{Name: m.Name, Kind: m.Kind.String(), Help: m.Help}
+		if len(m.Labels) > 0 {
+			j.Labels = make(map[string]string, len(m.Labels))
+			for _, l := range m.Labels {
+				j.Labels[l[0]] = l[1]
+			}
+		}
+		switch m.Kind {
+		case KindCounter:
+			v := m.Counter
+			j.Counter = &v
+		case KindGauge:
+			v := m.Gauge
+			j.Gauge = &v
+		case KindHistogram:
+			j.Hist = &jsonHist{
+				Count:   m.Hist.Count,
+				Sum:     m.Hist.Sum,
+				Bounds:  m.Hist.Bounds,
+				Buckets: m.Hist.Counts,
+			}
+		}
+		out = append(out, j)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteSummary renders the registry for humans: the single formatter
+// behind every CLI's -v output, so xse-embed, xse-query and xse-map
+// can no longer each format the same counters differently.
+// Zero-valued instruments are suppressed — a -v run shows what
+// happened, not the whole catalogue. Output order is deterministic.
+func WriteSummary(w io.Writer, r *Registry) error {
+	for _, m := range r.Snapshot() {
+		switch m.Kind {
+		case KindCounter:
+			if m.Counter == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%-44s %d\n", m.Key(), m.Counter); err != nil {
+				return err
+			}
+		case KindGauge:
+			if m.Gauge == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%-44s %d\n", m.Key(), m.Gauge); err != nil {
+				return err
+			}
+		case KindHistogram:
+			if m.Hist.Count == 0 {
+				continue
+			}
+			mean := m.Hist.Sum / float64(m.Hist.Count)
+			if _, err := fmt.Fprintf(w, "%-44s count=%d sum=%s mean=%s\n",
+				m.Key(), m.Hist.Count, formatFloat(m.Hist.Sum), formatFloat(mean)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles is the shared -cpuprofile/-memprofile flag pair used by
+// every CLI: register the flags with AddProfileFlags, Start after
+// flag.Parse, and Stop (error-checked) on every exit path — the CLIs
+// route their os.Exit calls through a cleanup hook so profiles are
+// flushed even on fatal errors.
+type Profiles struct {
+	cpu, mem string
+	cpuFile  *os.File
+	stopped  bool
+}
+
+// AddProfileFlags registers -cpuprofile and -memprofile on fs.
+func AddProfileFlags(fs *flag.FlagSet) *Profiles {
+	p := &Profiles{}
+	fs.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.mem, "memprofile", "", "write a heap profile to this file on exit")
+	return p
+}
+
+// Start begins CPU profiling when -cpuprofile was given. It is a
+// no-op when neither flag is set.
+func (p *Profiles) Start() error {
+	if p == nil || p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(p.cpu)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop flushes and closes the CPU profile and writes the heap
+// profile. It is idempotent, so deferring it and calling it from a
+// fatal-exit hook cannot double-write.
+func (p *Profiles) Stop() error {
+	if p == nil || p.stopped {
+		return nil
+	}
+	p.stopped = true
+	var first error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil && first == nil {
+			first = fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpuFile = nil
+	}
+	if p.mem != "" {
+		f, err := os.Create(p.mem)
+		if err != nil {
+			if first == nil {
+				first = fmt.Errorf("memprofile: %w", err)
+			}
+			return first
+		}
+		runtime.GC() // materialize up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+			first = fmt.Errorf("memprofile: %w", err)
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return first
+}
+
+// StopLogged is Stop for exit paths that cannot propagate an error:
+// failures are reported to stderr with the CLI's name prefix.
+func (p *Profiles) StopLogged(cli string) {
+	if err := p.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", cli, err)
+	}
+}

@@ -1,0 +1,97 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// metrics is one run's view of the pipeline instruments, resolved once
+// per Run so the per-document path does no registry lookups. Stage
+// error counters are pre-created per stage (index = Stage), so a
+// failure is one atomic add.
+type metrics struct {
+	docs       *obs.Counter
+	docsOK     *obs.Counter
+	docsFailed *obs.Counter
+	readBytes  *obs.Counter
+	written    *obs.Counter
+	queueDepth *obs.Gauge
+
+	parseSec    *obs.Histogram
+	mapSec      *obs.Histogram
+	validateSec *obs.Histogram
+	encodeSec   *obs.Histogram
+	docSec      *obs.Histogram
+
+	errByStage [StageWrite + 1]*obs.Counter
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	const errHelp = "Per-document pipeline failures, by stage."
+	m := &metrics{
+		docs: r.Counter("xse_pipeline_docs_total",
+			"Documents attempted by batch runs."),
+		docsOK: r.Counter("xse_pipeline_docs_ok_total",
+			"Documents migrated successfully."),
+		docsFailed: r.Counter("xse_pipeline_docs_failed_total",
+			"Documents that failed in any stage (docs_total = ok + failed)."),
+		readBytes: r.Counter("xse_pipeline_read_bytes_total",
+			"Input bytes consumed across all documents."),
+		written: r.Counter("xse_pipeline_written_bytes_total",
+			"Output bytes serialized across all documents."),
+		queueDepth: r.Gauge("xse_pipeline_queue_depth",
+			"Documents queued or in flight in the current batch run."),
+		parseSec: r.Histogram("xse_pipeline_parse_seconds",
+			"Per-document read+parse latency.", obs.LatencyBuckets),
+		mapSec: r.Histogram("xse_pipeline_map_seconds",
+			"Per-document transform latency.", obs.LatencyBuckets),
+		validateSec: r.Histogram("xse_pipeline_validate_seconds",
+			"Per-document output validation latency.", obs.LatencyBuckets),
+		encodeSec: r.Histogram("xse_pipeline_encode_seconds",
+			"Per-document serialization latency.", obs.LatencyBuckets),
+		docSec: r.Histogram("xse_pipeline_doc_seconds",
+			"Per-document end-to-end pipeline latency.", obs.LatencyBuckets),
+	}
+	for s := StageRead; s <= StageWrite; s++ {
+		m.errByStage[s] = r.CounterL("xse_pipeline_errors_total", errHelp,
+			"stage", s.String())
+	}
+	return m
+}
+
+// slowLogger writes one line per document exceeding the configured
+// threshold, serialized so concurrent workers do not interleave.
+type slowLogger struct {
+	threshold time.Duration
+	mu        sync.Mutex
+	w         io.Writer
+}
+
+func newSlowLogger(threshold time.Duration, w io.Writer) *slowLogger {
+	if threshold <= 0 {
+		return nil
+	}
+	if w == nil {
+		w = os.Stderr
+	}
+	return &slowLogger{threshold: threshold, w: w}
+}
+
+func (l *slowLogger) observe(res *DocResult) {
+	if l == nil || res.Elapsed < l.threshold {
+		return
+	}
+	status := "ok"
+	if res.Err != nil {
+		status = "failed"
+	}
+	l.mu.Lock()
+	fmt.Fprintf(l.w, "pipeline: slow doc %s: %v (in=%dB out=%dB %s)\n",
+		res.Name, res.Elapsed.Round(time.Microsecond), res.InBytes, res.OutBytes, status)
+	l.mu.Unlock()
+}

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/embedding"
 	"repro/internal/guard"
+	"repro/internal/obs"
 	"repro/internal/xmltree"
 )
 
@@ -152,6 +153,15 @@ type Options struct {
 	// tree-to-tree function (e.g. an XSLT engine run). It must be safe
 	// for concurrent use.
 	Transform func(ctx context.Context, doc *xmltree.Tree) (*xmltree.Tree, error)
+	// Obs selects the metrics registry for the run's counters and
+	// stage-latency histograms: nil uses the process registry
+	// (obs.Default()); obs.Nop() disables instrumentation.
+	Obs *obs.Registry
+	// SlowThreshold, when positive, logs every document whose
+	// end-to-end pipeline time exceeds it to SlowLog.
+	SlowThreshold time.Duration
+	// SlowLog receives slow-document lines; os.Stderr when nil.
+	SlowLog io.Writer
 }
 
 // DocResult is the outcome for one document, in input order.
@@ -243,16 +253,30 @@ func Run(ctx context.Context, emb *embedding.Embedding, docs []Doc, opts Options
 		workers = len(docs)
 	}
 
+	env := &runEnv{
+		transform: transform,
+		check:     check,
+		lim:       opts.Limits,
+		m:         newMetrics(obs.OrDefault(opts.Obs)),
+		tr:        obs.TracerFrom(ctx),
+		slow:      newSlowLogger(opts.SlowThreshold, opts.SlowLog),
+	}
+
 	start := time.Now()
 	results := make([]DocResult, len(docs))
 	jobs := make(chan int)
+	env.m.queueDepth.Set(int64(len(docs)))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			lane := env.tr.NewLane("pipeline.worker")
+			lane.AttrInt("worker", int64(w))
+			defer lane.End()
 			for i := range jobs {
-				results[i] = runOne(ctx, docs[i], transform, check, opts.Limits)
+				results[i] = runOne(ctx, docs[i], env, lane)
+				env.m.queueDepth.Add(-1)
 			}
 		}()
 	}
@@ -278,6 +302,7 @@ dispatch:
 	}
 	close(jobs)
 	wg.Wait()
+	env.m.queueDepth.Set(0)
 
 	stats := Stats{Docs: len(docs), Elapsed: time.Since(start)}
 	for i := range results {
@@ -316,12 +341,48 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// runEnv bundles one Run's per-document machinery: the transform and
+// validator, parse limits, resolved instruments, the optional tracer
+// and the slow-document logger.
+type runEnv struct {
+	transform func(context.Context, *xmltree.Tree) (*xmltree.Tree, error)
+	check     *checkSchema
+	lim       guard.Limits
+	m         *metrics
+	tr        *obs.Tracer
+	slow      *slowLogger
+}
+
 // runOne executes the full per-document pipeline:
 // read+parse → transform → validate → serialize.
-func runOne(ctx context.Context, doc Doc, transform func(context.Context, *xmltree.Tree) (*xmltree.Tree, error), check *checkSchema, lim guard.Limits) DocResult {
+// Each document gets one pipeline.doc span on its worker's lane with
+// parse/map/validate/encode children, and its stage latencies feed the
+// xse_pipeline_*_seconds histograms.
+func runOne(ctx context.Context, doc Doc, env *runEnv, lane *obs.Span) DocResult {
 	res := DocResult{Name: doc.Name}
 	t0 := time.Now()
-	defer func() { res.Elapsed = time.Since(t0) }()
+	m := env.m
+	sp := env.tr.StartSpan("pipeline.doc", lane)
+	sp.Attr("doc", doc.Name)
+	defer func() {
+		res.Elapsed = time.Since(t0)
+		m.docs.Inc()
+		if res.Err != nil {
+			m.docsFailed.Inc()
+			var de *DocError
+			if errors.As(res.Err, &de) {
+				m.errByStage[de.Stage].Inc()
+				sp.Attr("error", de.Stage.String())
+			}
+		} else {
+			m.docsOK.Inc()
+		}
+		m.readBytes.Add(uint64(res.InBytes))
+		m.written.Add(uint64(res.OutBytes))
+		m.docSec.Observe(res.Elapsed.Seconds())
+		env.slow.observe(&res)
+		sp.End()
+	}()
 	fail := func(stage Stage, err error) DocResult {
 		res.Err = &DocError{Name: doc.Name, Stage: stage, Err: err}
 		return res
@@ -330,24 +391,38 @@ func runOne(ctx context.Context, doc Doc, transform func(context.Context, *xmltr
 	if err := guard.CheckCtx(ctx, "pipeline: batch"); err != nil {
 		return fail(StageMap, err)
 	}
+	tParse := time.Now()
+	spParse := env.tr.StartSpan("pipeline.parse", sp)
 	rc, err := doc.Open()
 	if err != nil {
+		spParse.End()
 		return fail(StageRead, err)
 	}
 	in := &countingReader{r: rc}
-	tree, perr := xmltree.ParseLimits(in, lim)
+	tree, perr := xmltree.ParseLimits(in, env.lim)
 	rc.Close()
 	res.InBytes = in.n
+	spParse.End()
+	m.parseSec.ObserveSince(tParse)
 	if perr != nil {
 		return fail(StageParse, perr)
 	}
 
-	out, err := transform(ctx, tree)
+	tMap := time.Now()
+	spMap := env.tr.StartSpan("pipeline.map", sp)
+	out, err := env.transform(ctx, tree)
+	spMap.End()
+	m.mapSec.ObserveSince(tMap)
 	if err != nil {
 		return fail(StageMap, err)
 	}
-	if check != nil {
-		if err := check.validate(out); err != nil {
+	if env.check != nil {
+		tVal := time.Now()
+		spVal := env.tr.StartSpan("pipeline.validate", sp)
+		err := env.check.validate(out)
+		spVal.End()
+		m.validateSec.ObserveSince(tVal)
+		if err != nil {
 			return fail(StageValidate, err)
 		}
 	}
@@ -355,8 +430,11 @@ func runOne(ctx context.Context, doc Doc, transform func(context.Context, *xmltr
 	if doc.Sink == nil {
 		return res
 	}
+	tEnc := time.Now()
+	spEnc := env.tr.StartSpan("pipeline.encode", sp)
 	wc, err := doc.Sink()
 	if err != nil {
+		spEnc.End()
 		return fail(StageWrite, err)
 	}
 	cw := &countingWriter{w: wc}
@@ -365,6 +443,8 @@ func runOne(ctx context.Context, doc Doc, transform func(context.Context, *xmltr
 		werr = cerr
 	}
 	res.OutBytes = cw.n
+	spEnc.End()
+	m.encodeSec.ObserveSince(tEnc)
 	if werr != nil {
 		return fail(StageWrite, werr)
 	}

@@ -64,11 +64,14 @@ type enumerator struct {
 
 	cache *searchCache
 
-	// Per-enumerator (per-goroutine) statistics, aggregated into the
-	// Result at restart/search boundaries: hits/misses count cache
-	// lookups, enumerated counts candidate paths produced by real BFS
-	// runs (cache hits do not re-count).
-	hits, misses, enumerated int
+	// Per-enumerator (per-goroutine) statistics, flushed to the
+	// registry at search boundaries: hits/misses count cache lookups,
+	// enumerated counts candidate paths produced by real BFS runs
+	// (cache hits do not re-count), expansions counts arena-BFS states
+	// expanded, and rejects counts candidate pairs failing the
+	// prefix-freeness check (incremented by pairCompat via localPaths).
+	// Plain ints by design: the hot loops never touch an atomic.
+	hits, misses, enumerated, expansions, rejects int
 }
 
 type enumKey struct {
@@ -131,6 +134,7 @@ func (e *enumerator) enumerate(from, to string, fl flavor) ([]candidate, bool) {
 	arena := make([]bfsState, 1, 64)
 	arena[0] = bfsState{at: from, parent: -1}
 	expansions := 0
+	defer func() { e.expansions += expansions }()
 	for head := 0; head < len(arena) && len(out) < e.maxCands && expansions < e.maxExpand; head++ {
 		if e.stop != nil && e.stop() {
 			return out, true

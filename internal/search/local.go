@@ -76,7 +76,7 @@ func localPaths(e *enumerator, src *dtd.DTD, a string, lam map[string]string) lo
 				edges[j], edges[j-1] = edges[j-1], edges[j]
 			}
 		}
-		compat := pairCompat(edges, prod.Kind == dtd.KindDisj)
+		compat := pairCompat(edges, prod.Kind == dtd.KindDisj, &e.rejects)
 		chosen := make([]int, len(edges))
 		if !pickCompatible(edges, compat, chosen, 0, e.stop) {
 			return nil
@@ -101,8 +101,10 @@ func (b bitset) test(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
 // cj*len(cands_i)+ci records whether candidate cj of edge j and
 // candidate ci of edge i satisfy the prefix-free (and OR-divergence)
 // condition. The backtracking then tests compatibility in O(1) per pair
-// instead of re-walking the candidate slots at every node.
-func pairCompat(edges []localEdge, disj bool) []bitset {
+// instead of re-walking the candidate slots at every node. rejects
+// tallies the incompatible pairs (the xse_search_prefix_rejections_total
+// metric) in a plain int the caller flushes at search end.
+func pairCompat(edges []localEdge, disj bool, rejects *int) []bitset {
 	n := len(edges)
 	if n < 2 {
 		return nil
@@ -116,6 +118,8 @@ func pairCompat(edges []localEdge, disj bool) []bitset {
 				for y, b := range ci {
 					if compatible(a, b, disj) {
 						bs.set(x*len(ci) + y)
+					} else {
+						*rejects++
 					}
 				}
 			}

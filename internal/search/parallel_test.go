@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/dtd"
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/workload"
 )
@@ -33,8 +34,10 @@ func TestParallelSearch(t *testing.T) {
 func TestParallelFigure1Shared(t *testing.T) {
 	src, tgt := workload.ClassDTD(), workload.SchoolDTD()
 	for seed := int64(0); seed < 4; seed++ {
+		reg := obs.NewRegistry()
 		res, err := search.Find(src, tgt, nil, search.Options{
 			Heuristic: search.Random, Seed: seed, MaxRestarts: 60, Parallel: 8,
+			Obs: reg,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -45,7 +48,9 @@ func TestParallelFigure1Shared(t *testing.T) {
 		if err := res.Embedding.Validate(nil); err != nil {
 			t.Fatalf("seed %d: invalid embedding: %v", seed, err)
 		}
-		if res.PathQueryHits+res.PathQueryMisses == 0 {
+		hits := reg.Counter("xse_search_path_cache_hits_total", "").Value()
+		misses := reg.Counter("xse_search_path_cache_misses_total", "").Value()
+		if hits+misses == 0 {
 			t.Errorf("seed %d: no path queries counted", seed)
 		}
 	}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/dtd"
 	"repro/internal/embedding"
+	"repro/internal/obs"
 	"repro/internal/xpath"
 )
 
@@ -105,6 +106,13 @@ type Options struct {
 	// first successful restart wins, so which valid embedding is
 	// returned may vary between runs; validity never does.
 	Parallel int
+	// Obs selects the metrics registry search counters and latency
+	// histograms are recorded into: nil means obs.Default() (the
+	// process registry exported by the CLIs), obs.Nop() disables
+	// instrumentation. Counters are accumulated in plain per-goroutine
+	// ints and flushed once per search, so the choice does not affect
+	// the hot paths.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -158,16 +166,51 @@ type Result struct {
 	// PathsEnumerated counts candidate target paths produced by real
 	// BFS enumerations across the search (all workers); queries served
 	// from the shared candidate cache do not re-count.
+	//
+	// The cache-effectiveness counters that used to live here
+	// (path-query and localPaths hits/misses) are now registry metrics
+	// — xse_search_path_cache_*, xse_search_localpaths_* in the
+	// Options.Obs registry — so the -v summaries and /metrics scrapes
+	// read one source of truth.
 	PathsEnumerated int
-	// PathQueryHits and PathQueryMisses count path-candidate queries
-	// answered from the search-scoped cache vs. computed by a BFS
-	// enumeration, across all restarts and workers.
-	PathQueryHits, PathQueryMisses int
-	// LocalPathsHits and LocalPathsMisses are the same counters for
-	// the localPaths memo (prefix-free selections per λ combination).
-	LocalPathsHits, LocalPathsMisses int
 	// Elapsed is the wall-clock search time.
 	Elapsed time.Duration
+}
+
+// metrics is the search package's registry slice, resolved once per
+// FindCtx. All fields are nil under obs.Nop(), making every flush a
+// no-op.
+type metrics struct {
+	found, notFound, canceled *obs.Counter
+	restarts, steps           *obs.Counter
+	enumerated, expansions    *obs.Counter
+	prefixRejects             *obs.Counter
+	pathHits, pathMisses      *obs.Counter
+	localHits, localMisses    *obs.Counter
+	latency                   *obs.Histogram
+}
+
+func newMetrics(r *obs.Registry) metrics {
+	r = obs.OrDefault(r)
+	return metrics{
+		found:    r.CounterL("xse_search_total", "Embedding searches by outcome.", "outcome", "found"),
+		notFound: r.CounterL("xse_search_total", "Embedding searches by outcome.", "outcome", "notfound"),
+		canceled: r.CounterL("xse_search_total", "Embedding searches by outcome.", "outcome", "canceled"),
+		restarts: r.Counter("xse_search_restarts_total", "Search restarts consumed."),
+		steps:    r.Counter("xse_search_steps_total", "Backtracking steps across all restarts and workers."),
+		enumerated: r.Counter("xse_search_paths_enumerated_total",
+			"Candidate target paths produced by real BFS enumerations."),
+		expansions: r.Counter("xse_search_bfs_expansions_total",
+			"Arena-BFS states expanded during candidate-path enumeration."),
+		prefixRejects: r.Counter("xse_search_prefix_rejections_total",
+			"Candidate pairs rejected by the prefix-freeness (or OR-divergence) check."),
+		pathHits:   r.Counter("xse_search_path_cache_hits_total", "Path-candidate queries answered from the search-scoped cache."),
+		pathMisses: r.Counter("xse_search_path_cache_misses_total", "Path-candidate queries computed by a BFS enumeration."),
+		localHits:  r.Counter("xse_search_localpaths_hits_total", "localPaths selections answered from the per-worker memo."),
+		localMisses: r.Counter("xse_search_localpaths_misses_total",
+			"localPaths selections computed by backtracking over candidates."),
+		latency: r.Histogram("xse_search_seconds", "Wall-clock embedding-search latency.", obs.LatencyBuckets),
+	}
 }
 
 // Find searches for a valid schema embedding σ : src → tgt w.r.t. att.
@@ -225,28 +268,51 @@ func FindCtx(ctx context.Context, src, tgt *dtd.DTD, att *embedding.SimMatrix, o
 	}
 	s.enum = newEnumerator(tgt, maxLen, opts.MaxCandidates, opts.MaxExpansions, opts.MaxPin, s.cache)
 	s.enum.stop = s.canceled
+	s.tr = obs.TracerFrom(ctx)
+	if s.tr != nil {
+		_, s.span = obs.StartSpan(ctx, "search.find")
+		s.span.Attr("heuristic", opts.Heuristic.String())
+		s.span.AttrInt("seed", opts.Seed)
+	}
+	m := newMetrics(opts.Obs)
 	start := time.Now()
 	res := s.run()
 	res.Elapsed = time.Since(start)
-	// Parallel workers aggregated their counters into res already; the
-	// root searcher's own counters cover the sequential modes.
+	// Parallel workers aggregated their counters into the root
+	// searcher already; the root's own counters cover the sequential
+	// modes. Everything is flushed to the registry in one pass here so
+	// the hot loops only ever touch plain per-goroutine ints.
 	res.PathsEnumerated += s.enum.enumerated
-	res.PathQueryHits += s.enum.hits
-	res.PathQueryMisses += s.enum.misses
-	res.LocalPathsHits += s.localHits
-	res.LocalPathsMisses += s.localMisses
+	m.restarts.Add(uint64(res.Restarts))
+	m.steps.Add(uint64(res.Steps))
+	m.enumerated.Add(uint64(res.PathsEnumerated))
+	m.expansions.Add(uint64(s.enum.expansions))
+	m.prefixRejects.Add(uint64(s.enum.rejects))
+	m.pathHits.Add(uint64(s.enum.hits))
+	m.pathMisses.Add(uint64(s.enum.misses))
+	m.localHits.Add(uint64(s.localHits))
+	m.localMisses.Add(uint64(s.localMisses))
+	m.latency.Observe(res.Elapsed.Seconds())
+	if s.span != nil {
+		s.span.AttrInt("restarts", int64(res.Restarts))
+		s.span.AttrInt("steps", int64(res.Steps))
+		s.span.End()
+	}
 	if res.Embedding != nil {
 		// A win that raced a late cancellation is still a win.
 		if err := res.Embedding.Validate(att); err != nil {
 			return nil, fmt.Errorf("search: internal error: found embedding fails validation: %w", err)
 		}
 		res.Quality = res.Embedding.Quality(att)
+		m.found.Inc()
 		return res, nil
 	}
 	if s.stopped || ctx.Err() != nil {
 		res.Exhausted = false // an aborted search proves nothing
+		m.canceled.Inc()
 		return res, ctxError(ctx.Err())
 	}
+	m.notFound.Inc()
 	return res, nil
 }
 
@@ -278,6 +344,12 @@ type searcher struct {
 	// amortizes the ctx polls in hot loops.
 	stopped bool
 	checkN  uint
+
+	// tr and span carry the optional tracer, resolved from the context
+	// once per FindCtx so restart loops pay a nil check, not a context
+	// walk. Both are nil when tracing is off.
+	tr   *obs.Tracer
+	span *obs.Span
 }
 
 // ctxDone polls the context directly; used at coarse boundaries
@@ -317,7 +389,11 @@ func (s *searcher) run() *Result {
 				break
 			}
 			res.Restarts = r
-			if emb := s.assembleIndepSet(); emb != nil {
+			sp := s.tr.StartSpan("search.restart", s.span)
+			sp.AttrInt("restart", int64(r))
+			emb := s.assembleIndepSet()
+			sp.End()
+			if emb != nil {
 				res.Embedding = emb
 				res.Steps = s.steps
 				return res
@@ -327,7 +403,10 @@ func (s *searcher) run() *Result {
 		return res
 	case Exact:
 		s.steps = 0
+		sp := s.tr.StartSpan("search.attempt", s.span)
 		emb, exhausted := s.attempt(false)
+		sp.AttrInt("steps", int64(s.steps))
+		sp.End()
 		res.Embedding = emb
 		res.Steps = s.steps
 		res.Exhausted = exhausted && emb == nil && !s.stopped
@@ -342,7 +421,11 @@ func (s *searcher) run() *Result {
 			}
 			res.Restarts = r
 			s.steps = 0
+			sp := s.tr.StartSpan("search.restart", s.span)
+			sp.AttrInt("restart", int64(r))
 			emb, exhausted := s.attempt(s.opts.Heuristic == Random)
+			sp.AttrInt("steps", int64(s.steps))
+			sp.End()
 			res.Steps += s.steps
 			if emb != nil {
 				res.Embedding = emb
@@ -394,6 +477,8 @@ func (s *searcher) runParallel() *Result {
 		exhausted  bool
 		canceled   bool
 		enumerated int
+		expansions int
+		rejects    int
 		pathHits   int
 		pathMisses int
 		localHits  int
@@ -407,6 +492,11 @@ func (s *searcher) runParallel() *Result {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Each worker renders on its own tracer lane, restarts
+			// nesting under the worker span.
+			lane := s.tr.NewLane("search.worker")
+			lane.AttrInt("worker", int64(w))
+			defer lane.End()
 			// The localPaths memo and its key buffer span this worker's
 			// restarts; the searcher shell is rebuilt per restart for its
 			// per-restart rng and counters.
@@ -427,6 +517,8 @@ func (s *searcher) runParallel() *Result {
 					cands:  s.cands,
 					local:  memo,
 					keyBuf: keyBuf,
+					tr:     s.tr,
+					span:   lane,
 				}
 				local.enum = newEnumerator(s.tgt, s.enum.maxLen, s.enum.maxCands, s.enum.maxExpand, s.enum.maxPin, s.cache)
 				local.enum.stop = local.canceled
@@ -434,13 +526,19 @@ func (s *searcher) runParallel() *Result {
 					results <- outcome{restart: r, canceled: true}
 					return
 				}
+				sp := s.tr.StartSpan("search.restart", lane)
+				sp.AttrInt("restart", int64(r))
 				emb, exhausted := local.attempt(s.opts.Heuristic == Random)
+				sp.AttrInt("steps", int64(local.steps))
+				sp.End()
 				keyBuf = local.keyBuf
 				o := outcome{
 					steps:      local.steps,
 					restart:    r,
 					canceled:   local.stopped,
 					enumerated: local.enum.enumerated,
+					expansions: local.enum.expansions,
+					rejects:    local.enum.rejects,
 					pathHits:   local.enum.hits,
 					pathMisses: local.enum.misses,
 					localHits:  local.localHits,
@@ -468,11 +566,15 @@ func (s *searcher) runParallel() *Result {
 	res := &Result{}
 	for o := range results {
 		res.Steps += o.steps
-		res.PathsEnumerated += o.enumerated
-		res.PathQueryHits += o.pathHits
-		res.PathQueryMisses += o.pathMisses
-		res.LocalPathsHits += o.localHits
-		res.LocalPathsMisses += o.localMiss
+		// Worker counters fold into the root searcher's plain ints;
+		// FindCtx flushes the totals to the registry once.
+		s.enum.enumerated += o.enumerated
+		s.enum.expansions += o.expansions
+		s.enum.rejects += o.rejects
+		s.enum.hits += o.pathHits
+		s.enum.misses += o.pathMisses
+		s.localHits += o.localHits
+		s.localMisses += o.localMiss
 		if o.restart > res.Restarts {
 			res.Restarts = o.restart
 		}

@@ -43,6 +43,7 @@ type cacheEntry struct {
 type CacheStats struct {
 	Hits    uint64 // Get calls answered from a completed or in-flight entry
 	Misses  uint64 // Get calls that ran the translation
+	Waits   uint64 // hits that blocked on an in-flight translation
 	Entries int    // resident translations (completed or in-flight)
 }
 
@@ -62,6 +63,7 @@ type Cache struct {
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
+	waits  atomic.Uint64
 }
 
 // NewCache returns a cache holding at most capacity translations
@@ -93,8 +95,16 @@ func (c *Cache) Get(ctx context.Context, emb *embedding.Embedding, q xpath.Expr)
 			c.mu.Unlock()
 			select {
 			case <-ent.ready:
-			case <-ctx.Done():
-				return nil, guard.CheckCtx(ctx, "translate: cache")
+			default:
+				// The entry is still in flight: this is a single-flight
+				// join, not a plain hit.
+				c.waits.Add(1)
+				mCacheWaits.Inc()
+				select {
+				case <-ent.ready:
+				case <-ctx.Done():
+					return nil, guard.CheckCtx(ctx, "translate: cache")
+				}
 			}
 			if ent.err != nil {
 				// The leader failed and withdrew the entry; retry —
@@ -103,6 +113,7 @@ func (c *Cache) Get(ctx context.Context, emb *embedding.Embedding, q xpath.Expr)
 				continue
 			}
 			c.hits.Add(1)
+			mCacheHits.Inc()
 			return ent.auto, nil
 		}
 		ent := &cacheEntry{key: key, ready: make(chan struct{})}
@@ -115,6 +126,7 @@ func (c *Cache) Get(ctx context.Context, emb *embedding.Embedding, q xpath.Expr)
 		}
 		c.mu.Unlock()
 		c.misses.Add(1)
+		mCacheMisses.Inc()
 
 		auto, err := c.translate(ctx, emb, q)
 		ent.auto, ent.err = auto, err
@@ -154,6 +166,7 @@ func (c *Cache) Stats() CacheStats {
 	return CacheStats{
 		Hits:    c.hits.Load(),
 		Misses:  c.misses.Load(),
+		Waits:   c.waits.Load(),
 		Entries: n,
 	}
 }

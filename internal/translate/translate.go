@@ -20,6 +20,7 @@ package translate
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/anfa"
 	"repro/internal/dtd"
@@ -70,6 +71,7 @@ func (t *Translator) Translate(q xpath.Expr) (*anfa.Automaton, error) {
 // at every (subquery, source type) subproblem and surfaces as a
 // *guard.CancelError matching the context's error under errors.Is.
 func (t *Translator) TranslateCtx(ctx context.Context, q xpath.Expr) (*anfa.Automaton, error) {
+	start := time.Now()
 	t.ctx = ctx
 	defer func() { t.ctx = nil }()
 	q = xpath.DesugarDesc(q, t.emb.Source.Types)
@@ -84,6 +86,9 @@ func (t *Translator) TranslateCtx(ctx context.Context, q xpath.Expr) (*anfa.Auto
 	top := copyMachine(m)
 	t.auto.M = top
 	t.auto.RemoveUseless()
+	mTranslates.Inc()
+	mTranslateSeconds.ObserveSince(start)
+	mANFASize.Observe(float64(t.auto.Size()))
 	return t.auto, nil
 }
 

@@ -90,6 +90,8 @@ func Compile(e Expr) *Program {
 	}
 	p.root = p.compileExpr(e)
 	p.pool.New = func() any { return &runner{} }
+	mCompiles.Inc()
+	mProgramLen.Observe(float64(len(p.ins) + len(p.quals)))
 	return p
 }
 
@@ -177,6 +179,7 @@ func (p *Program) emitQ(q qinst) int32 {
 func (p *Program) Run(ctx *xmltree.Node) []*xmltree.Node {
 	r := p.pool.Get().(*runner)
 	r.p = p
+	r.countUse()
 	var one [1]*xmltree.Node
 	one[0] = ctx
 	res := r.eval(p.root, one[:])
@@ -192,6 +195,7 @@ func (p *Program) Run(ctx *xmltree.Node) []*xmltree.Node {
 func (p *Program) RunAll(ctxs []*xmltree.Node) []*xmltree.Node {
 	r := p.pool.Get().(*runner)
 	r.p = p
+	r.countUse()
 	res := r.eval(p.root, ctxs)
 	out := finish(res)
 	r.putBuf(res)
@@ -241,6 +245,18 @@ type runner struct {
 	p    *Program
 	free [][]*xmltree.Node
 	sets []*nodeSet
+	used bool // set on first use; later uses are pool recycles
+}
+
+// countUse records one evaluation, distinguishing a pooled runner
+// (scratch recycled) from a fresh allocation.
+func (r *runner) countUse() {
+	mEvals.Inc()
+	if r.used {
+		mScratchRecycles.Inc()
+	} else {
+		r.used = true
+	}
 }
 
 func (r *runner) getBuf() []*xmltree.Node {

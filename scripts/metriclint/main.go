@@ -1,0 +1,168 @@
+// Command metriclint enforces the repo's metric-naming contract (see
+// DESIGN.md, "Observability") by scanning registration call sites:
+//
+//   - every name passed to Counter/Gauge/Histogram (and their *L
+//     labeled variants) matches ^xse_[a-z0-9_]+$;
+//   - kind-specific suffixes hold: counters end in _total, histograms
+//     in _seconds/_bytes/_size/_len, gauges in neither;
+//   - no name is registered as two different kinds, and no unlabeled
+//     name is registered from two different call sites (labeled
+//     families may mint many children from one site).
+//
+// Only string-literal names are checked; _test.go files are skipped
+// (tests may register throwaway names). Exit status 1 on any finding.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var nameRE = regexp.MustCompile(`^xse_[a-z0-9_]+$`)
+
+// kindOf maps registration method names to a metric kind; the L
+// variants mint labeled children.
+var kindOf = map[string]string{
+	"Counter": "counter", "CounterL": "counter",
+	"Gauge": "gauge", "GaugeL": "gauge",
+	"Histogram": "histogram", "HistogramL": "histogram",
+}
+
+type site struct {
+	pos     token.Position
+	kind    string
+	labeled bool
+}
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"internal", "cmd"}
+	}
+	fset := token.NewFileSet()
+	sites := map[string][]site{} // metric name -> registration sites
+	bad := 0
+	fail := func(pos token.Position, format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "metriclint: %s: %s\n", pos, fmt.Sprintf(format, args...))
+		bad++
+	}
+
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			file, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				return err
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				kind, ok := kindOf[sel.Sel.Name]
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				name, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				pos := fset.Position(lit.Pos())
+				if !nameRE.MatchString(name) {
+					fail(pos, "metric %q does not match %s", name, nameRE)
+					return true
+				}
+				switch kind {
+				case "counter":
+					if !strings.HasSuffix(name, "_total") {
+						fail(pos, "counter %q must end in _total", name)
+					}
+				case "histogram":
+					if !hasAnySuffix(name, "_seconds", "_bytes", "_size", "_len") {
+						fail(pos, "histogram %q must end in _seconds, _bytes, _size or _len", name)
+					}
+				case "gauge":
+					if hasAnySuffix(name, "_total", "_seconds") {
+						fail(pos, "gauge %q must not use a counter/histogram suffix", name)
+					}
+				}
+				sites[name] = append(sites[name], site{
+					pos:     pos,
+					kind:    kind,
+					labeled: strings.HasSuffix(sel.Sel.Name, "L"),
+				})
+				return true
+			})
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for name, regs := range sites {
+		for _, s := range regs[1:] {
+			if s.kind != regs[0].kind {
+				fail(s.pos, "metric %q registered as %s here but as %s at %s",
+					name, s.kind, regs[0].kind, regs[0].pos)
+			}
+		}
+		// An unlabeled instrument has one owner; a second call site is a
+		// duplicate registration (labeled families are exempt: one site
+		// may mint children per label value).
+		var unlabeled []site
+		for _, s := range regs {
+			if !s.labeled {
+				unlabeled = append(unlabeled, s)
+			}
+		}
+		for i := 1; i < len(unlabeled); i++ {
+			fail(unlabeled[i].pos, "metric %q already registered at %s", name, unlabeled[0].pos)
+		}
+	}
+
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "metriclint: %d problem(s)\n", bad)
+		os.Exit(1)
+	}
+	fmt.Printf("metriclint: %d metric registration sites clean\n", countSites(sites))
+}
+
+func hasAnySuffix(s string, suffixes ...string) bool {
+	for _, suf := range suffixes {
+		if strings.HasSuffix(s, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+func countSites(sites map[string][]site) int {
+	n := 0
+	for _, regs := range sites {
+		n += len(regs)
+	}
+	return n
+}
