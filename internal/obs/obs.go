@@ -207,8 +207,12 @@ type HistSnapshot struct {
 	Sum    float64
 }
 
-// snapshot copies the histogram state.
+// snapshot copies the histogram state (nil on a nil receiver, like
+// the mutation methods).
 func (h *Histogram) snapshot() *HistSnapshot {
+	if h == nil {
+		return nil
+	}
 	s := &HistSnapshot{
 		Bounds: h.bounds,
 		Counts: make([]uint64, len(h.counts)),
@@ -311,9 +315,13 @@ func OrDefault(r *Registry) *Registry {
 // register installs (or re-fetches) a metric. Re-registering the
 // same key with the same kind returns the existing instrument —
 // independent call sites may share a counter by name — while a kind
-// mismatch or invalid name panics: metric identity is static program
-// structure, and a clash is a bug to fix, not an error to handle.
-func (r *Registry) register(name, help string, kind Kind, labels [][2]string) *metric {
+// mismatch, bucket-layout mismatch or invalid name panics: metric
+// identity is static program structure, and a clash is a bug to fix,
+// not an error to handle. The instrument itself is created here,
+// under r.mu, so register always returns a fully-initialized metric:
+// two goroutines racing to register the same name get the same
+// instrument, never two (buckets is nil except for histograms).
+func (r *Registry) register(name, help string, kind Kind, labels [][2]string, buckets []float64) *metric {
 	if !validName(name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q (want ^xse_[a-z0-9_]+$)", name))
 	}
@@ -324,9 +332,23 @@ func (r *Registry) register(name, help string, kind Kind, labels [][2]string) *m
 		if m.kind != kind {
 			panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", key, kind, m.kind))
 		}
+		if kind == KindHistogram && !sameBuckets(m.h.bounds, buckets) {
+			panic("obs: histogram " + name + " re-registered with different buckets")
+		}
 		return m
 	}
 	m := &metric{name: name, help: help, kind: kind, labels: labels}
+	switch kind {
+	case KindCounter:
+		m.c = &Counter{}
+	case KindGauge:
+		m.g = &Gauge{}
+	case KindHistogram:
+		m.h = &Histogram{
+			bounds: buckets,
+			counts: make([]atomic.Uint64, len(buckets)+1),
+		}
+	}
 	r.byKey[key] = m
 	r.ordered = append(r.ordered, m)
 	return m
@@ -361,11 +383,7 @@ func (r *Registry) CounterL(name, help string, kv ...string) *Counter {
 	if r.nop {
 		return nil
 	}
-	m := r.register(name, help, KindCounter, parseLabels(kv))
-	if m.c == nil {
-		m.c = &Counter{}
-	}
-	return m.c
+	return r.register(name, help, KindCounter, parseLabels(kv), nil).c
 }
 
 // Gauge registers (or fetches) the named gauge.
@@ -378,11 +396,7 @@ func (r *Registry) GaugeL(name, help string, kv ...string) *Gauge {
 	if r.nop {
 		return nil
 	}
-	m := r.register(name, help, KindGauge, parseLabels(kv))
-	if m.g == nil {
-		m.g = &Gauge{}
-	}
-	return m.g
+	return r.register(name, help, KindGauge, parseLabels(kv), nil).g
 }
 
 // Histogram registers (or fetches) the named histogram with the given
@@ -405,16 +419,7 @@ func (r *Registry) HistogramL(name, help string, buckets []float64, kv ...string
 			panic("obs: histogram buckets not strictly increasing: " + name)
 		}
 	}
-	m := r.register(name, help, KindHistogram, parseLabels(kv))
-	if m.h == nil {
-		m.h = &Histogram{
-			bounds: buckets,
-			counts: make([]atomic.Uint64, len(buckets)+1),
-		}
-	} else if !sameBuckets(m.h.bounds, buckets) {
-		panic("obs: histogram " + name + " re-registered with different buckets")
-	}
-	return m.h
+	return r.register(name, help, KindHistogram, parseLabels(kv), buckets).h
 }
 
 func sameBuckets(a, b []float64) bool {

@@ -51,6 +51,53 @@ func TestRegistryConcurrent(t *testing.T) {
 	}
 }
 
+// TestRegistryConcurrentRegistration races first-time registration of
+// the same names from 8 goroutines: every goroutine must receive the
+// same instrument (created under the registry lock), so no increment
+// is lost to a discarded duplicate and Snapshot never sees a
+// half-built metric. Meaningful mostly under -race.
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const perG = 1_000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("xse_test_race_total", "")
+			g := r.Gauge("xse_test_race_depth", "")
+			h := r.Histogram("xse_test_race_seconds", "", LatencyBuckets)
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.001)
+				// Snapshot concurrently with registration: must never
+				// observe a metric without its instrument.
+				if j%100 == 0 {
+					for _, s := range r.Snapshot() {
+						if s.Kind == KindHistogram && s.Hist == nil {
+							t.Error("Snapshot returned histogram metric with nil Hist")
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := r.Counter("xse_test_race_total", "").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d (lost updates to a duplicate instrument)", got, goroutines*perG)
+	}
+	if got := r.Gauge("xse_test_race_depth", "").Value(); got != goroutines*perG {
+		t.Errorf("gauge = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("xse_test_race_seconds", "", LatencyBuckets).Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
 // TestRegistryReregister: same name and kind share the instrument;
 // kind mismatch panics.
 func TestRegistryReregister(t *testing.T) {

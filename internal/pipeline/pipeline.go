@@ -265,7 +265,9 @@ func Run(ctx context.Context, emb *embedding.Embedding, docs []Doc, opts Options
 	start := time.Now()
 	results := make([]DocResult, len(docs))
 	jobs := make(chan int)
-	env.m.queueDepth.Set(int64(len(docs)))
+	// Add/Add(-1) rather than Set, so concurrent Runs sharing a
+	// registry compose: each run only accounts for its own documents.
+	env.m.queueDepth.Add(int64(len(docs)))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -280,6 +282,7 @@ func Run(ctx context.Context, emb *embedding.Embedding, docs []Doc, opts Options
 			}
 		}()
 	}
+	var undispatched int64
 dispatch:
 	for i := range docs {
 		select {
@@ -295,6 +298,7 @@ dispatch:
 						Name: docs[j].Name,
 						Err:  &DocError{Name: docs[j].Name, Stage: StageMap, Err: guard.CheckCtx(ctx, "pipeline: batch")},
 					}
+					undispatched++
 				}
 			}
 			break dispatch
@@ -302,7 +306,10 @@ dispatch:
 	}
 	close(jobs)
 	wg.Wait()
-	env.m.queueDepth.Set(0)
+	// Workers decrement per processed doc; docs canceled before
+	// dispatch are drained here so the gauge returns to its pre-run
+	// level even on early abort.
+	env.m.queueDepth.Add(-undispatched)
 
 	stats := Stats{Docs: len(docs), Elapsed: time.Since(start)}
 	for i := range results {
