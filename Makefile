@@ -3,7 +3,7 @@ FUZZTIME ?= 5s
 ORACLE_TRIALS ?= 500
 ORACLE_SEED ?= 1
 
-.PHONY: all build vet test race fuzz bench bench-json check oracle metriclint debug-smoke
+.PHONY: all build vet test race fuzz bench bench-json check oracle metriclint debug-smoke serve-smoke
 
 all: build
 
@@ -25,6 +25,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDTDParse -fuzztime=$(FUZZTIME) ./internal/dtd
 	$(GO) test -run='^$$' -fuzz=FuzzXPathParse -fuzztime=$(FUZZTIME) ./internal/xpath
 	$(GO) test -run='^$$' -fuzz=FuzzXMLDecode -fuzztime=$(FUZZTIME) ./internal/xmltree
+	$(GO) test -run='^$$' -fuzz=FuzzServeRequest -fuzztime=$(FUZZTIME) ./internal/server
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -51,5 +52,10 @@ metriclint:
 debug-smoke:
 	./scripts/debug-smoke.sh
 
+# Daemon smoke: boot xse-serve, drive the API, and exercise cache
+# reuse, shedding and SIGTERM drain (see scripts/serve-smoke.sh).
+serve-smoke:
+	./scripts/serve-smoke.sh
+
 # Tier-1+ gate (see ROADMAP.md): everything a PR must keep green.
-check: vet metriclint build race fuzz oracle
+check: vet metriclint build race fuzz oracle serve-smoke

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/dtd"
 	"repro/internal/xpath"
@@ -48,6 +49,11 @@ type Embedding struct {
 	Paths  map[EdgeRef]xpath.Path
 
 	resolved map[EdgeRef][]resolvedStep
+
+	// fp memoizes Fingerprint. An atomic pointer rather than a plain
+	// field so concurrent readers of a validated (immutable) embedding
+	// stay race-free; mutators reset it alongside resolved.
+	fp atomic.Pointer[string]
 }
 
 // New returns an embedding shell with empty λ and path maps.
@@ -67,6 +73,7 @@ func New(source, target *dtd.DTD) *Embedding {
 func (e *Embedding) SetPath(ref EdgeRef, path string) *Embedding {
 	e.Paths[ref] = xpath.MustParsePath(path)
 	e.resolved = nil
+	e.fp.Store(nil)
 	return e
 }
 
@@ -74,6 +81,7 @@ func (e *Embedding) SetPath(ref EdgeRef, path string) *Embedding {
 func (e *Embedding) MapType(a, b string) *Embedding {
 	e.Lambda[a] = b
 	e.resolved = nil
+	e.fp.Store(nil)
 	return e
 }
 

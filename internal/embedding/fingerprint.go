@@ -1,0 +1,40 @@
+package embedding
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Fingerprint returns a stable content hash of the
+// (source DTD, target DTD, σ) triple: two embeddings that map the same
+// schemas the same way share a fingerprint regardless of how or where
+// they were constructed. Long-lived processes key shared artifacts
+// (translation caches, compiled programs) by this value rather than by
+// pointer identity, so artifacts survive re-parsing a schema pair and
+// never pin an Embedding alive.
+//
+// The hash covers the canonical renderings — dtd.String for both
+// schemas (declaration order is part of schema identity) and Marshal
+// for λ and the path mapping — with length framing so distinct triples
+// cannot collide by concatenation. The value is memoized; mutating the
+// embedding (SetPath, MapType) invalidates the memo.
+func (e *Embedding) Fingerprint() string {
+	if fp := e.fp.Load(); fp != nil {
+		return *fp
+	}
+	h := sha256.New()
+	for _, part := range []string{
+		e.Source.Root, e.Source.String(),
+		e.Target.Root, e.Target.String(),
+		e.Marshal(),
+	} {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(part)))
+		h.Write(n[:])
+		h.Write([]byte(part))
+	}
+	s := hex.EncodeToString(h.Sum(nil))
+	e.fp.Store(&s)
+	return s
+}

@@ -1,0 +1,138 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFaultNoPlan(t *testing.T) {
+	restore := SetFaultPlan(nil)
+	defer restore()
+	if err := Fault(context.Background(), "any.stage"); err != nil {
+		t.Fatalf("Fault with no plan = %v, want nil", err)
+	}
+}
+
+func TestFaultErrorCounted(t *testing.T) {
+	plan := NewFaultPlan(FaultSpec{Stage: "s", Mode: FaultModeError, Count: 2})
+	restore := SetFaultPlan(plan)
+	defer restore()
+
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		err := Fault(ctx, "s")
+		var fe *FaultError
+		if !errors.As(err, &fe) || fe.Stage != "s" {
+			t.Fatalf("hit %d: Fault = %v, want *FaultError{s}", i+1, err)
+		}
+	}
+	if err := Fault(ctx, "s"); err != nil {
+		t.Fatalf("hit 3: Fault = %v, want nil (count exhausted)", err)
+	}
+	if got := plan.Hits("s"); got != 3 {
+		t.Fatalf("Hits = %d, want 3", got)
+	}
+	if got := plan.Hits("other"); got != 0 {
+		t.Fatalf("Hits(other) = %d, want 0", got)
+	}
+	if err := Fault(ctx, "other"); err != nil {
+		t.Fatalf("unplanned stage: Fault = %v, want nil", err)
+	}
+}
+
+func TestFaultLatencyHonorsContext(t *testing.T) {
+	plan := NewFaultPlan(FaultSpec{Stage: "slow", Mode: FaultModeLatency, Latency: 10 * time.Second})
+	restore := SetFaultPlan(plan)
+	defer restore()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Fault(ctx, "slow")
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Fault = %v, want *CancelError", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("latency fault ignored context (took %s)", elapsed)
+	}
+}
+
+func TestFaultLatencySleeps(t *testing.T) {
+	plan := NewFaultPlan(FaultSpec{Stage: "slow", Mode: FaultModeLatency, Latency: 30 * time.Millisecond, Count: 1})
+	restore := SetFaultPlan(plan)
+	defer restore()
+
+	start := time.Now()
+	if err := Fault(context.Background(), "slow"); err != nil {
+		t.Fatalf("Fault = %v, want nil after sleep", err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("latency fault slept only %s, want >= 30ms", elapsed)
+	}
+	// Count exhausted: second hit is instant.
+	start = time.Now()
+	if err := Fault(context.Background(), "slow"); err != nil {
+		t.Fatalf("Fault = %v, want nil", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Fatalf("exhausted latency fault still slept %s", elapsed)
+	}
+}
+
+func TestFaultPanic(t *testing.T) {
+	plan := NewFaultPlan(FaultSpec{Stage: "boom", Mode: FaultModePanic, Count: 1})
+	restore := SetFaultPlan(plan)
+	defer restore()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Fault did not panic")
+			}
+		}()
+		_ = Fault(context.Background(), "boom")
+	}()
+	// Count exhausted: no panic.
+	if err := Fault(context.Background(), "boom"); err != nil {
+		t.Fatalf("Fault = %v, want nil", err)
+	}
+}
+
+func TestParseFaultSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want FaultSpec
+		bad  bool
+	}{
+		{in: "error:server.migrate", want: FaultSpec{Stage: "server.migrate", Mode: "error"}},
+		{in: "error:server.migrate:2", want: FaultSpec{Stage: "server.migrate", Mode: "error", Count: 2}},
+		{in: "panic:server.embed:1", want: FaultSpec{Stage: "server.embed", Mode: "panic", Count: 1}},
+		{in: "latency:s:250ms", want: FaultSpec{Stage: "s", Mode: "latency", Latency: 250 * time.Millisecond}},
+		{in: "latency:s:1s:3", want: FaultSpec{Stage: "s", Mode: "latency", Latency: time.Second, Count: 3}},
+		{in: "bogus:s", bad: true},
+		{in: "error", bad: true},
+		{in: "error::2", bad: true},
+		{in: "latency:s", bad: true},
+		{in: "latency:s:nope", bad: true},
+		{in: "error:s:x", bad: true},
+	}
+	for _, tc := range cases {
+		got, err := ParseFaultSpec(tc.in)
+		if tc.bad {
+			if err == nil {
+				t.Errorf("ParseFaultSpec(%q) = %+v, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseFaultSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseFaultSpec(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -101,6 +101,11 @@ func (c *CLI) Close() {
 		if c.linger > 0 {
 			time.Sleep(c.linger)
 		}
-		_ = c.srv.Close()
+		// Drain rather than abandon: a scrape that raced the end of the
+		// linger window still completes (bounded, so a wedged client
+		// cannot hold the process open).
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = c.srv.Shutdown(ctx)
+		cancel()
 	}
 }

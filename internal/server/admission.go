@@ -1,0 +1,91 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/guard"
+)
+
+// Shed reasons (the label values of xse_server_shed_total).
+const (
+	shedQueueFull    = "queue_full"
+	shedQueueTimeout = "queue_timeout"
+	shedDraining     = "draining"
+)
+
+// shedError reports a request rejected by admission control. It maps
+// to 429 (overload) or 503 (draining) with a Retry-After hint — the
+// explicit alternative to letting an unbounded queue collapse the
+// process.
+type shedError struct {
+	reason     string
+	retryAfter time.Duration
+}
+
+func (e *shedError) Error() string {
+	return fmt.Sprintf("request shed: %s (retry after %s)", e.reason, e.retryAfter)
+}
+
+// admission bounds concurrent request execution: MaxInFlight requests
+// run, up to MaxQueue more wait (each at most QueueWait and never past
+// its own context deadline), and everything beyond that is shed
+// immediately. The queue is a counted semaphore wait, not a list —
+// FIFO fairness is delegated to the runtime's channel queueing.
+type admission struct {
+	sem    chan struct{}
+	queued atomic.Int64
+	max    int64
+	wait   time.Duration
+}
+
+func newAdmission(maxInFlight, maxQueue int, wait time.Duration) *admission {
+	return &admission{
+		sem:  make(chan struct{}, maxInFlight),
+		max:  int64(maxQueue),
+		wait: wait,
+	}
+}
+
+// acquire blocks until the request may execute, returning the release
+// to defer. It sheds with a *shedError when the wait queue is full or
+// the queue wait times out, and with a *guard.CancelError when the
+// request's own context ends first.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case a.sem <- struct{}{}:
+		mInflight.Add(1)
+		return a.release, nil
+	default:
+	}
+	if a.queued.Add(1) > a.max {
+		a.queued.Add(-1)
+		mShed[shedQueueFull].Inc()
+		return nil, &shedError{reason: shedQueueFull, retryAfter: a.wait}
+	}
+	mQueueDepth.Add(1)
+	defer func() {
+		a.queued.Add(-1)
+		mQueueDepth.Add(-1)
+	}()
+
+	timer := time.NewTimer(a.wait)
+	defer timer.Stop()
+	select {
+	case a.sem <- struct{}{}:
+		mInflight.Add(1)
+		return a.release, nil
+	case <-timer.C:
+		mShed[shedQueueTimeout].Inc()
+		return nil, &shedError{reason: shedQueueTimeout, retryAfter: a.wait}
+	case <-ctx.Done():
+		return nil, guard.CheckCtx(ctx, "server: admission queue")
+	}
+}
+
+func (a *admission) release() {
+	<-a.sem
+	mInflight.Add(-1)
+}

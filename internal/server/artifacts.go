@@ -1,0 +1,112 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+
+	"repro/internal/guard"
+)
+
+// artifactKey hashes length-framed parts into a content key, so two
+// requests naming the same schemas, embedding and options share one
+// artifact entry regardless of which connection they arrived on.
+func artifactKey(parts ...string) string {
+	h := sha256.New()
+	for _, part := range parts {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(part)))
+		h.Write(n[:])
+		h.Write([]byte(part))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// artifactEntry is a single-flight slot: the leader that inserted it
+// closes ready after publishing val/err; joiners block on ready or
+// their own context. Failed builds are withdrawn before ready closes,
+// so a linked entry always carries a usable artifact.
+type artifactEntry struct {
+	key   string
+	ready chan struct{}
+	val   any
+	err   error
+}
+
+// artifactCache is the daemon's shared, bounded, content-addressed
+// artifact home: compiled per-schema-pair state (validated embeddings,
+// translation caches, search results) keyed by content hash, with LRU
+// eviction and per-key single-flight. Keying by content rather than by
+// pointer identity is what lets a long-lived process evict: nothing
+// outside the cache pins an entry alive.
+type artifactCache struct {
+	capacity int
+
+	mu  sync.Mutex
+	lru *list.List // front = most recently used; values are *artifactEntry
+	idx map[string]*list.Element
+}
+
+func newArtifactCache(capacity int) *artifactCache {
+	return &artifactCache{
+		capacity: capacity,
+		lru:      list.New(),
+		idx:      make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the artifact under key, building it on a miss. hit
+// reports whether the value came from a completed or in-flight entry
+// (single-flight joins count as hits: the work was shared). Build
+// failures are never cached; a joiner observing a failed leader
+// retries, becoming the new leader or finding a later success.
+func (c *artifactCache) get(ctx context.Context, key string, build func() (any, error)) (val any, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.idx[key]; ok {
+			c.lru.MoveToFront(el)
+			ent := el.Value.(*artifactEntry)
+			c.mu.Unlock()
+			select {
+			case <-ent.ready:
+			case <-ctx.Done():
+				return nil, false, guard.CheckCtx(ctx, "server: artifact cache")
+			}
+			if ent.err != nil {
+				continue
+			}
+			return ent.val, true, nil
+		}
+		ent := &artifactEntry{key: key, ready: make(chan struct{})}
+		el := c.lru.PushFront(ent)
+		c.idx[key] = el
+		if c.lru.Len() > c.capacity {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.idx, oldest.Value.(*artifactEntry).key)
+		}
+		c.mu.Unlock()
+
+		ent.val, ent.err = build()
+		if ent.err != nil {
+			c.mu.Lock()
+			if cur, ok := c.idx[key]; ok && cur == el {
+				c.lru.Remove(el)
+				delete(c.idx, key)
+			}
+			c.mu.Unlock()
+		}
+		close(ent.ready)
+		return ent.val, false, ent.err
+	}
+}
+
+// len reports resident entries (completed or in flight).
+func (c *artifactCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

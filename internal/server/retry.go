@@ -1,0 +1,51 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+
+	"repro/internal/guard"
+)
+
+// isTransient reports whether err is worth retrying: today that is the
+// injected *guard.FaultError (the stand-in for transient infrastructure
+// failure — a flaky volume, a blipped dependency). Input faults,
+// limits and deadlines are deterministic and are never retried.
+func isTransient(err error) bool {
+	var fe *guard.FaultError
+	return errors.As(err, &fe)
+}
+
+// withRetry runs op up to cfg.Retries+1 times, retrying only transient
+// failures with exponential backoff plus full jitter (sleeping in
+// [base/2, base), doubling each round) so synchronized clients do not
+// re-converge on the same instant. The request context bounds the
+// whole loop: a deadline during backoff surfaces as a *CancelError.
+// attempts reports how many times op ran.
+func (s *Server) withRetry(ctx context.Context, op func(context.Context) error) (attempts int, err error) {
+	backoff := s.cfg.RetryBase
+	for attempt := 0; ; attempt++ {
+		err = op(ctx)
+		attempts = attempt + 1
+		if err == nil || !isTransient(err) || attempt >= s.cfg.Retries {
+			return attempts, err
+		}
+		mRetries.Inc()
+		half := backoff / 2
+		if half <= 0 {
+			half = 1
+		}
+		d := half + time.Duration(rand.Int63n(int64(half)))
+		timer := time.NewTimer(d)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return attempts, guard.CheckCtx(ctx, "server: retry backoff")
+		}
+		timer.Stop()
+		backoff *= 2
+	}
+}

@@ -1,0 +1,363 @@
+// Package server is the fault-tolerant embedding + migration daemon
+// behind cmd/xse-serve: an HTTP/JSON service exposing the paper's
+// pipeline — find embedding σ (/v1/embed), translate X_R queries
+// across it (/v1/translate), migrate instances (/v1/migrate) — as a
+// long-running process that amortizes DTD parsing, NP-complete
+// embedding search, ANFA construction and query compilation across
+// requests via a shared, bounded, content-addressed artifact cache.
+//
+// Robustness is the design center, in four layers:
+//
+//   - Admission control: at most MaxInFlight requests execute; up to
+//     MaxQueue more wait (deadline-aware, at most QueueWait); the rest
+//     are shed with 429/503 + Retry-After instead of queue collapse.
+//   - Per-request budgets: every request runs under a wall-clock
+//     deadline and guard.Limits byte/node/depth caps clamped to the
+//     server's own, threaded through search, translation and the
+//     instance mapping as context cancellation — one pathological
+//     schema pair cannot starve the process.
+//   - Failure containment: per-request panic recovery (500 +
+//     xse_server_panics_total), a typed error→status mapping mirroring
+//     the CLI exit-code conventions, and bounded retry with
+//     exponential backoff + jitter for transiently failed migrate
+//     stages.
+//   - Graceful lifecycle: Shutdown flips readiness, stops admitting,
+//     finishes (or, past the deadline, cancels) in-flight requests and
+//     reports how many were force-canceled; accepted requests are
+//     never silently dropped.
+//
+// The /metrics, /metrics.json, /debug/vars and /debug/pprof surfaces
+// of internal/obs are mounted on the same listener.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/obs"
+	"repro/internal/translate"
+)
+
+// Config tunes the daemon. The zero value of every field selects a
+// production-plausible default.
+type Config struct {
+	// Addr is the listen address (default ":8080"; ":0" picks a port,
+	// reported by Addr()).
+	Addr string
+	// MaxInFlight bounds concurrently executing requests (default
+	// 4×GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot (default
+	// 64; 0 queues nothing — beyond MaxInFlight sheds immediately).
+	// Negative disables queueing too.
+	MaxQueue int
+	// QueueWait bounds how long one request may wait in the admission
+	// queue (default 1s).
+	QueueWait time.Duration
+	// DefaultTimeout is the per-request wall-clock budget when the
+	// request does not name one (default 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the budget a request may ask for (default 2m).
+	MaxTimeout time.Duration
+	// Retries is how many times a transiently failed migrate stage is
+	// retried after its first attempt (default 2; negative disables).
+	Retries int
+	// RetryBase seeds the exponential backoff between retries (default
+	// 25ms, doubling per round, full jitter).
+	RetryBase time.Duration
+	// DrainGrace is how long Shutdown keeps the listener up — readiness
+	// already down, requests already shed — so load balancers observe
+	// the readiness flip before connections start failing (default 0).
+	DrainGrace time.Duration
+	// CacheSize bounds the schema-pair artifact cache (default 64
+	// entries across embed results and translation pairs).
+	CacheSize int
+	// TranslationsPerPair bounds each schema pair's translation LRU
+	// (default translate.DefaultCacheSize).
+	TranslationsPerPair int
+	// Limits caps per-request resource budgets server-wide; a request
+	// may only tighten them. Zero fields take the guard defaults.
+	Limits guard.Limits
+	// Log receives operational lines (panics, drain progress); default
+	// os.Stderr via the CLI, io.Discard when nil here.
+	Log io.Writer
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = time.Second
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 25 * time.Millisecond
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 64
+	}
+	if c.TranslationsPerPair <= 0 {
+		c.TranslationsPerPair = translate.DefaultCacheSize
+	}
+	c.Limits = c.Limits.WithDefaults()
+	if c.Log == nil {
+		c.Log = io.Discard
+	}
+	return c
+}
+
+// Server is one daemon instance. Construct with New, bind with Start,
+// stop with Shutdown.
+type Server struct {
+	cfg Config
+
+	adm       *admission
+	artifacts *artifactCache
+
+	mux  *http.ServeMux
+	http *http.Server
+	ln   net.Listener
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	draining atomic.Bool
+	inflight atomic.Int64 // this server's own accounting (metrics gauges are process-wide)
+}
+
+// New builds a server from cfg without binding the listener.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		adm:       newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+		artifacts: newArtifactCache(cfg.CacheSize),
+		mux:       http.NewServeMux(),
+	}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	s.routes()
+	return s
+}
+
+// routes mounts the API, the health probes and the obs debug surface
+// on one mux.
+func (s *Server) routes() {
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Liveness: the process serves; draining is still alive.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	s.mux.Handle("/v1/embed", s.api("embed", s.handleEmbed))
+	s.mux.Handle("/v1/translate", s.api("translate", s.handleTranslate))
+	s.mux.Handle("/v1/migrate", s.api("migrate", s.handleMigrate))
+	obs.RegisterDebugHandlers(s.mux, nil)
+}
+
+// Handler exposes the daemon's full handler tree (tests drive it via
+// httptest; Start serves it on a real listener).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds the listener and serves in a background goroutine.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.http = &http.Server{
+		Handler: s.mux,
+		BaseContext: func(net.Listener) context.Context {
+			// Request contexts derive from baseCtx, so drain
+			// force-cancellation reaches every in-flight stage.
+			return s.baseCtx
+		},
+	}
+	go func() { _ = s.http.Serve(ln) }()
+	return nil
+}
+
+// Addr is the bound listen address (useful with Addr ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains the daemon: readiness flips to 503 and new API
+// requests are shed immediately (so load balancers and clients back
+// off), then — after DrainGrace — the listener closes and Shutdown
+// waits for in-flight requests. If ctx expires first, the remaining
+// requests' work is canceled through their contexts (they answer 504;
+// the count is in xse_server_drain_canceled_total) and the connections
+// are closed. Accepted requests are never silently dropped: every
+// admitted request writes a response before its connection dies.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		mDraining.Add(1)
+		defer mDraining.Add(-1)
+	}
+	if s.cfg.DrainGrace > 0 {
+		t := time.NewTimer(s.cfg.DrainGrace)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
+		t.Stop()
+	}
+	if s.http == nil {
+		// Never started (handler-only use): nothing to drain.
+		s.cancelBase()
+		return nil
+	}
+	err := s.http.Shutdown(ctx)
+	if err != nil {
+		// Deadline passed with requests still running: cancel their
+		// work and give them a moment to write their 504s before the
+		// connections are torn down.
+		forced := s.inflight.Load()
+		if forced > 0 {
+			mDrainDropped.Add(uint64(forced))
+			fmt.Fprintf(s.cfg.Log, "xse-serve: drain deadline exceeded; canceling %d in-flight request(s)\n", forced)
+		}
+		s.cancelBase()
+		grace, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		if err2 := s.http.Shutdown(grace); err2 != nil {
+			_ = s.http.Close()
+		}
+	}
+	s.cancelBase()
+	return err
+}
+
+// api wraps an endpoint body with the containment layers, outermost
+// first: metrics, panic recovery, method check, drain shed, admission.
+func (s *Server) api(endpoint string, fn func(ctx context.Context, r *http.Request) (any, error)) http.Handler {
+	met := epMetrics[endpoint]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		met.requests.Inc()
+		defer met.latency.ObserveSince(start)
+		defer func() {
+			if p := recover(); p != nil {
+				mPanics.Inc()
+				fmt.Fprintf(s.cfg.Log, "xse-serve: %s: panic recovered: %v\n", endpoint, p)
+				s.writeError(w, &apiError{
+					status: http.StatusInternalServerError,
+					code:   "internal",
+					msg:    "internal error (panic recovered)",
+				})
+			}
+		}()
+
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, code: "invalid",
+				msg: "use POST with a JSON body"})
+			return
+		}
+		if s.draining.Load() {
+			mShed[shedDraining].Inc()
+			s.writeError(w, toAPIError(&shedError{reason: shedDraining, retryAfter: 5 * time.Second}))
+			return
+		}
+		release, err := s.adm.acquire(r.Context())
+		if err != nil {
+			s.writeError(w, toAPIError(err))
+			return
+		}
+		s.inflight.Add(1)
+		defer func() {
+			s.inflight.Add(-1)
+			release()
+		}()
+
+		// The request body is bounded before any decoding: a request
+		// larger than the server's input cap is a limit violation, not
+		// an OOM.
+		if s.cfg.Limits.MaxInputBytes > 0 {
+			r.Body = http.MaxBytesReader(w, r.Body, int64(s.cfg.Limits.MaxInputBytes))
+		}
+		out, err := fn(r.Context(), r)
+		if err != nil {
+			s.writeError(w, toAPIError(err))
+			return
+		}
+		s.writeJSON(w, http.StatusOK, out)
+	})
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, ae *apiError) {
+	if ae.retryAfter > 0 {
+		secs := int(ae.retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", itoa(secs))
+	}
+	s.writeJSON(w, ae.status, errorBody{Error: errorDetail{Code: ae.code, Message: ae.msg}})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		// Response types are plain structs; this is unreachable short
+		// of a programming error.
+		status = http.StatusInternalServerError
+		data = []byte(`{"error":{"code":"internal","message":"response encoding failed"}}`)
+	}
+	countResponse(status)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}

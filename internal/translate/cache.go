@@ -18,13 +18,15 @@ import (
 // small cache captures nearly all repeats.
 const DefaultCacheSize = 128
 
-// cacheKey identifies one translation: the embedding by pointer
-// identity (an Embedding is treated as immutable once validated; a
-// modified copy is a different pointer and therefore a different key)
-// and the query by its canonical X_R syntax.
+// cacheKey identifies one translation: the embedding by the content
+// fingerprint of its (source DTD, target DTD, σ) triple and the query
+// by its canonical X_R syntax. Content keying (rather than the pointer
+// identity used before the daemon existed) means structurally
+// identical embeddings share entries across requests in a long-lived
+// process, and a cached entry never pins an Embedding alive.
 type cacheKey struct {
-	emb *embedding.Embedding
-	q   string
+	fp string
+	q  string
 }
 
 // cacheEntry is a single-flight slot. The leader that created the
@@ -86,7 +88,7 @@ func NewCache(capacity int) *Cache {
 // *guard.CancelError; canceled or failed translations are never
 // cached, so transient errors do not poison the key.
 func (c *Cache) Get(ctx context.Context, emb *embedding.Embedding, q xpath.Expr) (*anfa.Automaton, error) {
-	key := cacheKey{emb: emb, q: xpath.String(q)}
+	key := cacheKey{fp: emb.Fingerprint(), q: xpath.String(q)}
 	for {
 		c.mu.Lock()
 		if el, ok := c.idx[key]; ok {

@@ -46,13 +46,48 @@ func TestCacheHitMiss(t *testing.T) {
 	}
 }
 
-// TestCacheDistinctEmbeddings: the same query under two embeddings
-// occupies two entries.
+// TestCacheDistinctEmbeddings: the same query under two structurally
+// different embeddings occupies two entries.
 func TestCacheDistinctEmbeddings(t *testing.T) {
+	c := translate.NewCache(8)
+	e1 := workload.ClassEmbedding()
+	e2 := workload.StudentEmbedding()
+
+	a1, err := c.Get(context.Background(), e1, xpath.MustParse(`class/cno/text()`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := c.Get(context.Background(), e2, xpath.MustParse(`student/sno/text()`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == a2 {
+		t.Error("distinct embeddings shared one cache entry")
+	}
+	if st := c.Stats(); st.Misses != 2 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 2 misses, 2 entries", st)
+	}
+}
+
+// TestCacheSharedAcrossIdenticalEmbeddings is the regression test for
+// the cache key: entries are keyed by the content fingerprint of the
+// (source DTD, target DTD, σ) triple, not by *Embedding pointer
+// identity. Two independently constructed (or independently
+// unmarshaled) embeddings of the same triple must share entries — the
+// daemon serves every request from a fresh unmarshal, and pointer
+// keying would make its cache hit rate exactly zero while pinning dead
+// embeddings in memory.
+func TestCacheSharedAcrossIdenticalEmbeddings(t *testing.T) {
 	c := translate.NewCache(8)
 	q := xpath.MustParse(`class/cno/text()`)
 	e1 := workload.ClassEmbedding()
 	e2 := workload.ClassEmbedding()
+	if e1 == e2 {
+		t.Fatal("want two distinct pointers")
+	}
+	if e1.Fingerprint() != e2.Fingerprint() {
+		t.Fatal("identical embeddings disagree on Fingerprint")
+	}
 
 	a1, err := c.Get(context.Background(), e1, q)
 	if err != nil {
@@ -62,11 +97,20 @@ func TestCacheDistinctEmbeddings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a1 == a2 {
-		t.Error("distinct embeddings shared one cache entry")
+	if a1 != a2 {
+		t.Error("identical embeddings under distinct pointers missed the cache")
 	}
-	if st := c.Stats(); st.Misses != 2 || st.Entries != 2 {
-		t.Errorf("stats = %+v, want 2 misses, 2 entries", st)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+
+	// A structural mutation changes the fingerprint, so a re-derived
+	// embedding with a different λ must not collide.
+	e3 := workload.ClassEmbedding()
+	e3.MapType("title", "semester")
+	if e3.Fingerprint() == e1.Fingerprint() {
+		t.Error("mutated embedding kept the old fingerprint")
 	}
 }
 

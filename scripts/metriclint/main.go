@@ -7,7 +7,11 @@
 //     in _seconds/_bytes/_size/_len, gauges in neither;
 //   - no name is registered as two different kinds, and no unlabeled
 //     name is registered from two different call sites (labeled
-//     families may mint many children from one site).
+//     families may mint many children from one site);
+//   - a labeled family uses one label key everywhere: every *L call
+//     site for the same name must pass the same (literal) label key,
+//     so a family like xse_server_shed_total{reason=...} cannot grow a
+//     second dimension by accident.
 //
 // Only string-literal names are checked; _test.go files are skipped
 // (tests may register throwaway names). Exit status 1 on any finding.
@@ -40,6 +44,31 @@ type site struct {
 	pos     token.Position
 	kind    string
 	labeled bool
+	// labelKey is the literal label key passed to an *L registration
+	// ("" when unlabeled or when the key is not a string literal).
+	labelKey string
+}
+
+// labelKeyArg extracts the literal label key of an *L registration
+// call: CounterL/GaugeL take (name, help, key, value), HistogramL
+// takes (name, help, buckets, key, value).
+func labelKeyArg(method string, args []ast.Expr) string {
+	idx := 2
+	if method == "HistogramL" {
+		idx = 3
+	}
+	if len(args) <= idx {
+		return ""
+	}
+	lit, ok := args[idx].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return ""
+	}
+	key, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return ""
+	}
+	return key
 }
 
 func main() {
@@ -107,11 +136,12 @@ func main() {
 						fail(pos, "gauge %q must not use a counter/histogram suffix", name)
 					}
 				}
-				sites[name] = append(sites[name], site{
-					pos:     pos,
-					kind:    kind,
-					labeled: strings.HasSuffix(sel.Sel.Name, "L"),
-				})
+				labeled := strings.HasSuffix(sel.Sel.Name, "L")
+				s := site{pos: pos, kind: kind, labeled: labeled}
+				if labeled {
+					s.labelKey = labelKeyArg(sel.Sel.Name, call.Args)
+				}
+				sites[name] = append(sites[name], s)
 				return true
 			})
 			return nil
@@ -140,6 +170,20 @@ func main() {
 		}
 		for i := 1; i < len(unlabeled); i++ {
 			fail(unlabeled[i].pos, "metric %q already registered at %s", name, unlabeled[0].pos)
+		}
+		// Labeled families are one-dimensional by convention: the same
+		// literal label key at every call site.
+		var keyed []site
+		for _, s := range regs {
+			if s.labeled && s.labelKey != "" {
+				keyed = append(keyed, s)
+			}
+		}
+		for i := 1; i < len(keyed); i++ {
+			if s := keyed[i]; s.labelKey != keyed[0].labelKey {
+				fail(s.pos, "metric %q labeled %q here but %q at %s",
+					name, s.labelKey, keyed[0].labelKey, keyed[0].pos)
+			}
 		}
 	}
 

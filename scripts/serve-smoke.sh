@@ -1,0 +1,163 @@
+#!/usr/bin/env sh
+# End-to-end smoke for the xse-serve daemon: boot it on a free port,
+# drive the three API endpoints with the golden xse-map fixtures, and
+# check the robustness surfaces a deploy relies on — artifact-cache
+# reuse (via xse_server_cache_hits_total), admission shedding (429 +
+# Retry-After under a full slot pool), and SIGTERM drain (in-flight
+# request completes, process exits 0). Used by CI's bench-smoke job and
+# `make serve-smoke`.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+pid=""
+pid2=""
+trap 'kill "$pid" "$pid2" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/xse-serve" ./cmd/xse-serve
+
+# Request bodies from the golden fixtures.
+python3 - "$tmp" <<'PY'
+import json, sys
+tmp = sys.argv[1]
+pair = {
+    "source_dtd": open("testdata/xsemap/class.dtd").read(),
+    "target_dtd": open("testdata/xsemap/school.dtd").read(),
+}
+emb = open("testdata/xsemap/map.xse").read()
+doc = open("testdata/xsemap/doc.xml").read()
+json.dump({**pair, "embedding": emb, "document": doc},
+          open(f"{tmp}/migrate.json", "w"))
+json.dump({**pair, "embedding": emb, "query": "class/cno/text()"},
+          open(f"{tmp}/translate.json", "w"))
+json.dump({**pair, "embedding": emb, "document": doc,
+           "budget": {"timeout_ms": 60000}},
+          open(f"{tmp}/slow.json", "w"))
+PY
+
+# wait_addr logfile: polls for the daemon's listen announcement.
+wait_addr() {
+  addr=""
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's#.*listening on http://\([^ ]*\) .*#\1#p' "$1" | head -n1)"
+    [ -n "$addr" ] && return 0
+    sleep 0.1
+  done
+  echo "serve-smoke: no listen announcement; stderr:" >&2
+  cat "$1" >&2
+  return 1
+}
+
+# post body path -> writes response body to $tmp/resp.json, prints status.
+post() {
+  curl -sS --max-time 30 -o "$tmp/resp.json" -w '%{http_code}' \
+    -X POST -H 'Content-Type: application/json' --data-binary "@$1" "$2"
+}
+
+fail=0
+
+# --- Functional pass: endpoints, error mapping, artifact cache ---
+
+"$tmp/xse-serve" -addr 127.0.0.1:0 2> "$tmp/s1.log" &
+pid=$!
+wait_addr "$tmp/s1.log"
+base="http://$addr"
+
+for probe in healthz readyz; do
+  code="$(curl -sS --max-time 10 -o /dev/null -w '%{http_code}' "$base/$probe")"
+  if [ "$code" != 200 ]; then
+    echo "serve-smoke: /$probe = $code, want 200" >&2; fail=1
+  fi
+done
+
+code="$(post "$tmp/migrate.json" "$base/v1/migrate")"
+if [ "$code" != 200 ] || ! grep -q '"document"' "$tmp/resp.json"; then
+  echo "serve-smoke: /v1/migrate = $code:" >&2; cat "$tmp/resp.json" >&2; fail=1
+fi
+
+code="$(post "$tmp/translate.json" "$base/v1/translate")"
+if [ "$code" != 200 ] || ! grep -q '"automaton_size"' "$tmp/resp.json"; then
+  echo "serve-smoke: /v1/translate = $code:" >&2; cat "$tmp/resp.json" >&2; fail=1
+fi
+
+# Second identical migrate reuses the resident schema-pair artifacts.
+code="$(post "$tmp/migrate.json" "$base/v1/migrate")"
+if [ "$code" != 200 ] || ! grep -q '"cached":true' "$tmp/resp.json"; then
+  echo "serve-smoke: repeat /v1/migrate = $code (want 200 cached):" >&2
+  cat "$tmp/resp.json" >&2; fail=1
+fi
+
+# Error mapping: malformed JSON is 400, wrong method 405.
+code="$(curl -sS --max-time 10 -o /dev/null -w '%{http_code}' \
+  -X POST --data-binary '{nope' "$base/v1/translate")"
+[ "$code" = 400 ] || { echo "serve-smoke: bad JSON = $code, want 400" >&2; fail=1; }
+code="$(curl -sS --max-time 10 -o /dev/null -w '%{http_code}' "$base/v1/embed")"
+[ "$code" = 405 ] || { echo "serve-smoke: GET /v1/embed = $code, want 405" >&2; fail=1; }
+
+# The metrics surface rides the same listener and carries the server
+# families.
+curl -sS --max-time 10 "$base/metrics" > "$tmp/metrics.txt"
+for want in \
+  '# TYPE xse_server_requests_total counter' \
+  '# TYPE xse_server_request_seconds histogram' \
+  'xse_server_requests_total{endpoint="migrate"} 2' \
+  'xse_server_responses_total{status="200"}' \
+  'xse_server_responses_total{status="400"}' \
+  '^xse_server_cache_hits_total [1-9]'; do
+  if ! grep -q "$want" "$tmp/metrics.txt"; then
+    echo "serve-smoke: /metrics missing: $want" >&2
+    fail=1
+  fi
+done
+
+kill "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+pid=""
+
+# --- Robustness pass: shedding and graceful drain ---
+# One execution slot, no queue, and every migrate stage slowed by an
+# injected 2s latency: a concurrent request must be shed, and SIGTERM
+# must let the in-flight one finish.
+
+"$tmp/xse-serve" -addr 127.0.0.1:0 -max-inflight 1 -max-queue -1 \
+  -drain-timeout 30s -fault latency:server.migrate:2s 2> "$tmp/s2.log" &
+pid2=$!
+wait_addr "$tmp/s2.log"
+base="http://$addr"
+
+post "$tmp/slow.json" "$base/v1/migrate" > "$tmp/slow.code" &
+slowpid=$!
+sleep 0.5
+
+# Slot occupied, queue disabled: shed with 429 + Retry-After.
+code="$(curl -sS --max-time 10 -D "$tmp/shed.hdr" -o "$tmp/shed.json" -w '%{http_code}' \
+  -X POST -H 'Content-Type: application/json' --data-binary "@$tmp/migrate.json" "$base/v1/migrate")"
+if [ "$code" != 429 ]; then
+  echo "serve-smoke: overload = $code, want 429:" >&2; cat "$tmp/shed.json" >&2; fail=1
+fi
+if ! grep -qi '^retry-after:' "$tmp/shed.hdr"; then
+  echo "serve-smoke: 429 without Retry-After header" >&2; fail=1
+fi
+
+# Drain: the in-flight request must complete with 200 and the daemon
+# must exit 0 reporting a clean drain.
+kill -TERM "$pid2"
+drain_rc=0
+wait "$pid2" || drain_rc=$?
+pid2=""
+wait "$slowpid" || true
+if [ "$(cat "$tmp/slow.code")" != 200 ]; then
+  echo "serve-smoke: in-flight request lost during drain (status $(cat "$tmp/slow.code"))" >&2
+  fail=1
+fi
+if [ "$drain_rc" != 0 ] || ! grep -q 'drained cleanly' "$tmp/s2.log"; then
+  echo "serve-smoke: drain exit=$drain_rc; stderr:" >&2
+  cat "$tmp/s2.log" >&2
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "serve-smoke: FAILED" >&2
+  exit 1
+fi
+echo "serve-smoke: endpoints, cache reuse, shedding and SIGTERM drain OK"
