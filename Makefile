@@ -2,8 +2,14 @@ GO ?= go
 FUZZTIME ?= 5s
 ORACLE_TRIALS ?= 500
 ORACLE_SEED ?= 1
+CORPUS_DOCS ?= 3
+CORPUS_DOC_NODES ?= 400
+CORPUS_SEED ?= 1
+# Coverage ratchet floor (statement %, internal/ packages only). Only
+# move it UP: raise it when a PR lifts coverage.
+COVER_FLOOR ?= 84.0
 
-.PHONY: all build vet test race fuzz bench bench-json check oracle metriclint debug-smoke serve-smoke
+.PHONY: all build vet test race fuzz bench bench-json check oracle metriclint debug-smoke serve-smoke corpus corpus-diff cover
 
 all: build
 
@@ -40,6 +46,29 @@ bench-json:
 # preservation. Deepen with `make oracle ORACLE_TRIALS=5000`.
 oracle:
 	$(GO) run ./cmd/xse-oracle -trials $(ORACLE_TRIALS) -seed $(ORACLE_SEED)
+
+# Real-world corpus workload (see TESTING.md "Corpus workload"): run
+# the full pipeline — search under every heuristic, migration,
+# translated-query preservation — over the checked-in DTD evolution
+# pairs and write the machine-readable quality report.
+corpus:
+	$(GO) run ./cmd/xse-corpus -docs $(CORPUS_DOCS) -doc-nodes $(CORPUS_DOC_NODES) \
+		-seed $(CORPUS_SEED) -search-timeout 60s -out corpus-report.json
+
+# External differential conformance (optional; needs xmllint from
+# libxml2): cross-validate the X_R evaluator and migrated documents
+# against xmllint --xpath / --dtdvalid. Build-tagged so the core tree
+# stays dependency-free; the test skips politely if xmllint is absent.
+corpus-diff:
+	$(GO) test -tags xmllint ./internal/corpus -run Xmllint -v
+
+# Coverage ratchet: per-package summary plus a total floor over the
+# internal/ library packages (main packages are exercised by the smoke
+# scripts instead). See scripts/covercheck.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) run ./scripts/covercheck -profile coverage.out \
+		-exclude /cmd/,/examples/,/scripts/ -floor $(COVER_FLOOR)
 
 # Metric-naming lint (see DESIGN.md "Observability"): registration
 # sites must use xse_-prefixed lowercase names with kind-appropriate

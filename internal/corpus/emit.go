@@ -1,0 +1,30 @@
+package corpus
+
+import (
+	"repro/internal/fuzzseed"
+)
+
+// EmitFuzzSeeds seeds the parser fuzz corpora under root (the
+// repository root) with real-world inputs derived from the corpus:
+// each pair's raw DTD texts for FuzzDTDParse, its curated query texts
+// for FuzzXPathParse, and a small generated instance (compact
+// serialization) for FuzzXMLDecode. Entries already present are not
+// duplicated, so re-running is idempotent. It returns the number of
+// corpus files written.
+func EmitFuzzSeeds(root string) (int, error) {
+	pairs, err := Pairs()
+	if err != nil {
+		return 0, err
+	}
+	seeds := map[string][]string{}
+	for _, p := range pairs {
+		seeds["FuzzDTDParse"] = append(seeds["FuzzDTDParse"], p.SourceText, p.TargetText)
+		seeds["FuzzXPathParse"] = append(seeds["FuzzXPathParse"], p.QueryTexts...)
+		doc, err := GenerateSized(p.Source, 1, 120)
+		if err != nil {
+			return 0, err
+		}
+		seeds["FuzzXMLDecode"] = append(seeds["FuzzXMLDecode"], doc.StringCompact())
+	}
+	return fuzzseed.Write(root, "corpus-seed", seeds)
+}

@@ -1,0 +1,9 @@
+# Source-side X_R queries exercised through translation and the
+# query-preservation check. One query per line; '#' starts a comment.
+pub
+pub/article/title/text()
+pub/inproceedings/booktitle
+pub/article[authors/author]/year
+pub/article/authors/author[position() = 1]
+pub/book/publisher/text()
+pub[article]/article/journal

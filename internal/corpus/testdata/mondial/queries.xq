@@ -1,0 +1,6 @@
+country/name/text()
+country[provinces/province]/capital
+country/provinces/province[position() = 1]/name
+country/provinces/province/cities/city/population
+country/provinces/province/cities/city[name/text() = 'v3']
+country[population/text() = 'v7']/name

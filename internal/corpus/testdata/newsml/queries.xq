@@ -1,0 +1,6 @@
+newsitem/headline/text()
+newsitem[body/para]/byline
+newsitem/body/para[position() = 1]
+newsitem/body/para/text()
+newsitem[headline/text() = 'v5']/dateline
+newsitem/dateline

@@ -1,0 +1,7 @@
+regions/item/name/text()
+regions/item[description/parlist]/quantity
+regions/item/description/parlist/listitem[position() = 2]
+people/person/emailaddress
+open_auctions/open_auction/bidder/bid[position() = 1]/increase
+open_auctions/open_auction[bidder/bid]/itemref
+regions/item/description/text/text()

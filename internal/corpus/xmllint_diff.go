@@ -1,0 +1,181 @@
+//go:build xmllint
+
+// External differential harness: cross-validates this repository's
+// generator, migrator and X_R evaluator against libxml2's xmllint on
+// the shared XPath 1.0 fragment. Everything here hides behind the
+// xmllint build tag so the core package keeps zero external-tool
+// dependencies; run it with `make corpus-diff` (or
+// `go test -tags xmllint ./internal/corpus -run Xmllint`).
+
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// rowSep separates per-node rows inside a single concat() probe. It
+// never occurs in corpus tag names or generated text values.
+const rowSep = "~#~"
+
+// lookupXmllint locates the xmllint binary: the XMLLINT environment
+// variable wins, then $PATH.
+func lookupXmllint() (string, error) {
+	if p := os.Getenv("XMLLINT"); p != "" {
+		if _, err := os.Stat(p); err != nil {
+			return "", fmt.Errorf("corpus: $XMLLINT=%q: %w", p, err)
+		}
+		return p, nil
+	}
+	return exec.LookPath("xmllint")
+}
+
+// runXmllint executes xmllint and returns stdout, folding stderr into
+// the error on failure.
+func runXmllint(bin string, args ...string) (string, error) {
+	cmd := exec.Command(bin, args...)
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("xmllint %s: %w\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	return out.String(), nil
+}
+
+// dtdValidate validates the document file against the DTD file with
+// xmllint --dtdvalid; a non-nil error means invalid (with libxml2's
+// diagnostics attached).
+func dtdValidate(bin, dtdPath, docPath string) error {
+	_, err := runXmllint(bin, "--dtdvalid", dtdPath, "--noout", docPath)
+	return err
+}
+
+// xmllintCount evaluates count(expr) over the document.
+func xmllintCount(bin, docPath, expr string) (int, error) {
+	out, err := runXmllint(bin, "--xpath", "count("+expr+")", docPath)
+	if err != nil {
+		return 0, err
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(out), 64)
+	if err != nil {
+		return 0, fmt.Errorf("corpus: count(%s) returned %q: %w", expr, out, err)
+	}
+	return int(f), nil
+}
+
+// xmllintRows returns one "name|normalized-string-value" row per node
+// selected by expr, in document order. Rows are fetched in chunks via
+// a single concat() probe per chunk, so the subprocess count stays
+// proportional to the result size divided by the chunk width.
+func xmllintRows(bin, docPath, expr string, count int) ([]string, error) {
+	const chunk = 40
+	rows := make([]string, 0, count)
+	for lo := 1; lo <= count; lo += chunk {
+		hi := lo + chunk - 1
+		if hi > count {
+			hi = count
+		}
+		var b strings.Builder
+		b.WriteString("concat(")
+		for i := lo; i <= hi; i++ {
+			if i > lo {
+				fmt.Fprintf(&b, ", %q, ", rowSep)
+			}
+			fmt.Fprintf(&b, "name((%s)[%d]), '|', normalize-space((%s)[%d])", expr, i, expr, i)
+		}
+		b.WriteString(")")
+		out, err := runXmllint(bin, "--xpath", b.String(), docPath)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, strings.Split(strings.TrimRight(out, "\n"), rowSep)...)
+	}
+	return rows, nil
+}
+
+// evalRows runs the X_R evaluator and renders each selected node the
+// same way the xmllint probe does: name (empty for text nodes) and
+// whitespace-normalized string-value.
+func evalRows(q xpath.Expr, root *xmltree.Node) []string {
+	nodes := xpath.Eval(q, root)
+	rows := make([]string, len(nodes))
+	for i, n := range nodes {
+		name := n.Label
+		if n.IsText() {
+			name = "" // XPath name() of a text node
+		}
+		rows[i] = name + "|" + normalizeSpace(stringValue(n))
+	}
+	return rows
+}
+
+// stringValue is the XPath string-value: a text node's text, or the
+// concatenation of an element's descendant text in document order.
+func stringValue(n *xmltree.Node) string {
+	if n.IsText() {
+		return n.Text
+	}
+	var b strings.Builder
+	var walk func(*xmltree.Node)
+	walk = func(m *xmltree.Node) {
+		if m.IsText() {
+			b.WriteString(m.Text)
+			return
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return b.String()
+}
+
+// normalizeSpace is XPath normalize-space(): strip leading/trailing
+// whitespace and collapse internal runs to single spaces.
+func normalizeSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// diffQuery cross-checks one query on one document file: our
+// evaluator's answer set against xmllint's, compared as multisets of
+// name|string-value rows (X_R uses first-reached order, XPath 1.0
+// document order, so order is not comparable). It returns a
+// description of the divergence, or "" when the engines agree.
+func diffQuery(bin, docPath string, q xpath.Expr, root *xmltree.Node) (string, error) {
+	expr, err := ToXPath1(q)
+	if err != nil {
+		// Outside the shared fragment — nothing to compare.
+		return "", nil
+	}
+	ours := evalRows(q, root)
+	n, err := xmllintCount(bin, docPath, expr)
+	if err != nil {
+		return "", err
+	}
+	if n != len(ours) {
+		return fmt.Sprintf("query %s (%s): ours selects %d nodes, xmllint %d", xpath.String(q), expr, len(ours), n), nil
+	}
+	if n == 0 {
+		return "", nil
+	}
+	theirs, err := xmllintRows(bin, docPath, expr, n)
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(ours)
+	sort.Strings(theirs)
+	for i := range ours {
+		if ours[i] != theirs[i] {
+			return fmt.Sprintf("query %s (%s): sorted row %d differs: ours %q, xmllint %q", xpath.String(q), expr, i, ours[i], theirs[i]), nil
+		}
+	}
+	return "", nil
+}

@@ -1,0 +1,190 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xpath"
+)
+
+// ToXPath1 compiles an X_R expression over a source schema into an
+// equivalent XPath 1.0 expression rooted at the document element,
+// suitable for handing to an external XPath engine (xmllint) in the
+// differential harness. The two languages share the child fragment:
+//
+//   - child steps, text(), composition, union, filters, and the
+//     descendant-or-self axis all carry over directly;
+//   - the Kleene star p* has no XPath 1.0 counterpart and is rejected;
+//   - position() = k qualifiers carry over only on single-step paths,
+//     where XPath's per-context-node predicate numbering coincides
+//     with X_R's per-context selection order. On composite paths the
+//     two semantics diverge (XPath numbers per innermost step), so
+//     those are rejected rather than silently mistranslated.
+//
+// The result selects the same node SET as the X_R evaluator; result
+// order may differ (X_R uses first-reached order, XPath 1.0 document
+// order), so differential comparisons must be order-insensitive.
+func ToXPath1(e xpath.Expr) (string, error) {
+	return xp1(e, "/*")
+}
+
+// xp1 renders e as an XPath 1.0 expression extending ctx, an
+// expression that selects the context node-set. Union results are
+// parenthesized so they remain extensible as a FilterExpr ('(a|b)/c'
+// is valid XPath 1.0; 'a|b/c' would re-associate).
+func xp1(e xpath.Expr, ctx string) (string, error) {
+	switch e := e.(type) {
+	case xpath.Empty:
+		return ctx, nil
+	case xpath.Label:
+		return ctx + "/" + e.Name, nil
+	case xpath.Text:
+		return ctx + "/text()", nil
+	case xpath.Seq:
+		l, err := xp1(e.L, ctx)
+		if err != nil {
+			return "", err
+		}
+		return xp1(e.R, l)
+	case xpath.Desc:
+		l, err := xp1(e.L, ctx)
+		if err != nil {
+			return "", err
+		}
+		return xp1(e.R, l+"/descendant-or-self::node()")
+	case xpath.Union:
+		l, err := xp1(e.L, ctx)
+		if err != nil {
+			return "", err
+		}
+		r, err := xp1(e.R, ctx)
+		if err != nil {
+			return "", err
+		}
+		return "(" + l + " | " + r + ")", nil
+	case xpath.Star:
+		return "", fmt.Errorf("corpus: %q: Kleene star has no XPath 1.0 equivalent", xpath.String(e))
+	case xpath.Filter:
+		if qualUsesPos(e.Q) && !steplike(e.P) {
+			return "", fmt.Errorf("corpus: positional qualifier on composite path %q: X_R numbers the whole per-context selection, XPath 1.0 the innermost step", xpath.String(e.P))
+		}
+		p, err := xp1(e.P, ctx)
+		if err != nil {
+			return "", err
+		}
+		q, err := qual1(e.Q)
+		if err != nil {
+			return "", err
+		}
+		return p + "[" + q + "]", nil
+	}
+	return "", fmt.Errorf("corpus: unknown expression %T", e)
+}
+
+// qual1 renders a qualifier as an XPath 1.0 predicate body. Paths
+// inside qualifiers are relative to the filtered node, so they render
+// against the context expression ".". Compound Boolean operands are
+// parenthesized outright instead of tracking precedence.
+func qual1(q xpath.Qual) (string, error) {
+	switch q := q.(type) {
+	case xpath.QTrue:
+		return "true()", nil
+	case xpath.QPath:
+		return relPath(q.P)
+	case xpath.QTextEq:
+		p, err := relPath(q.P)
+		if err != nil {
+			return "", err
+		}
+		return p + " = " + xpath1Lit(q.Val), nil
+	case xpath.QPos:
+		return fmt.Sprintf("position() = %d", q.K), nil
+	case xpath.QNot:
+		inner, err := qual1(q.Q)
+		if err != nil {
+			return "", err
+		}
+		return "not(" + inner + ")", nil
+	case xpath.QAnd:
+		l, err := qual1(q.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := qual1(q.R)
+		if err != nil {
+			return "", err
+		}
+		return "(" + l + " and " + r + ")", nil
+	case xpath.QOr:
+		l, err := qual1(q.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := qual1(q.R)
+		if err != nil {
+			return "", err
+		}
+		return "(" + l + " or " + r + ")", nil
+	}
+	return "", fmt.Errorf("corpus: unknown qualifier %T", q)
+}
+
+// relPath renders a path relative to the current context node,
+// trimming the "./" prefix pure child paths pick up.
+func relPath(e xpath.Expr) (string, error) {
+	s, err := xp1(e, ".")
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimPrefix(s, "./"), nil
+}
+
+// steplike reports whether e is a single location step (possibly
+// filtered), the shape whose XPath predicate numbering matches X_R's.
+func steplike(e xpath.Expr) bool {
+	switch e := e.(type) {
+	case xpath.Label, xpath.Text:
+		return true
+	case xpath.Filter:
+		return steplike(e.P)
+	}
+	return false
+}
+
+// qualUsesPos reports whether the qualifier contains position() = k.
+func qualUsesPos(q xpath.Qual) bool {
+	switch q := q.(type) {
+	case xpath.QPos:
+		return true
+	case xpath.QNot:
+		return qualUsesPos(q.Q)
+	case xpath.QAnd:
+		return qualUsesPos(q.L) || qualUsesPos(q.R)
+	case xpath.QOr:
+		return qualUsesPos(q.L) || qualUsesPos(q.R)
+	}
+	return false
+}
+
+// xpath1Lit renders s as an XPath 1.0 string literal. XPath 1.0 has
+// no escape sequences, so a value containing both quote kinds must be
+// assembled with concat().
+func xpath1Lit(s string) string {
+	if !strings.Contains(s, "'") {
+		return "'" + s + "'"
+	}
+	if !strings.Contains(s, `"`) {
+		return `"` + s + `"`
+	}
+	parts := strings.Split(s, "'")
+	pieces := make([]string, 0, 2*len(parts))
+	for i, p := range parts {
+		if i > 0 {
+			pieces = append(pieces, `"'"`)
+		}
+		if p != "" {
+			pieces = append(pieces, `'`+p+`'`)
+		}
+	}
+	return "concat(" + strings.Join(pieces, ", ") + ")"
+}

@@ -1,0 +1,103 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xpath"
+)
+
+func TestToXPath1(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"newsitem/headline/text()", "/*/newsitem/headline/text()"},
+		{".", "/*"},
+		{"newsitem[body/para]/byline", "/*/newsitem[body/para]/byline"},
+		{"newsitem/body/para[position() = 1]", "/*/newsitem/body/para[position() = 1]"},
+		{"newsitem[headline/text() = 'v5']/dateline", "/*/newsitem[headline/text() = 'v5']/dateline"},
+		{"(a | b)/c", "(/*/a | /*/b)/c"},
+		{"a//b", "/*/a/descendant-or-self::node()/b"},
+		{"a[not(b) and (c or d)]", "/*/a[(not(b) and (c or d))]"},
+		{"a[.]", "/*/a[.]"},
+		{"a[position() = 2][b]", "/*/a[position() = 2][b]"},
+	}
+	for _, c := range cases {
+		e, err := xpath.Parse(c.in)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.in, err)
+		}
+		got, err := ToXPath1(e)
+		if err != nil {
+			t.Errorf("ToXPath1(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ToXPath1(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestToXPath1Rejects(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantErr string
+	}{
+		{"a/b*", "Kleene star"},
+		{"(a/b)[position() = 1]", "positional qualifier on composite path"},
+		{"(a | b)[position() = 2]", "positional qualifier on composite path"},
+		{"a[not(position() = 1) or b]/c", ""}, // position on a plain step is fine even nested in Booleans
+	}
+	for _, c := range cases {
+		e, err := xpath.Parse(c.in)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.in, err)
+		}
+		got, err := ToXPath1(e)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("ToXPath1(%q): unexpected error %v", c.in, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("ToXPath1(%q) = %q, want error containing %q", c.in, got, c.wantErr)
+		} else if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("ToXPath1(%q) error %q, want %q", c.in, err, c.wantErr)
+		}
+	}
+}
+
+func TestXPath1Lit(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "'plain'"},
+		{"it's", `"it's"`},
+		{`say "hi"`, `'say "hi"'`},
+		{`both ' and "`, `concat('both ', "'", ' and "')`},
+		{"'", `"'"`},
+		{`'"'`, `concat("'", '"', "'")`},
+	}
+	for _, c := range cases {
+		if got := xpath1Lit(c.in); got != c.want {
+			t.Errorf("xpath1Lit(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+// TestCorpusQueriesConvert pins the contract the differential harness
+// relies on: every curated corpus query either compiles to XPath 1.0
+// or uses the Kleene star (the one X_R construct outside the shared
+// fragment).
+func TestCorpusQueriesConvert(t *testing.T) {
+	for _, p := range MustPairs() {
+		for i, q := range p.Queries {
+			if _, err := ToXPath1(q); err != nil {
+				if strings.Contains(err.Error(), "Kleene star") {
+					continue
+				}
+				t.Errorf("%s: query %q: %v", p.Name, p.QueryTexts[i], err)
+			}
+		}
+	}
+}

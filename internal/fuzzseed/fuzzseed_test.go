@@ -1,0 +1,89 @@
+package fuzzseed
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteDedupes(t *testing.T) {
+	root := t.TempDir()
+	seeds := map[string][]string{
+		"FuzzXPathParse": {"a/b", "a/b", "c/d"},
+	}
+	n, err := Write(root, "seed", seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("first write: got %d files, want 2 (in-batch duplicate dropped)", n)
+	}
+	// Re-running the same emitter must be a no-op.
+	n, err = Write(root, "seed", seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("second write: got %d files, want 0", n)
+	}
+	// A different prefix with the same content is still a duplicate.
+	n, err = Write(root, "other", map[string][]string{"FuzzXPathParse": {"c/d", "e"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("cross-prefix write: got %d files, want 1", n)
+	}
+	dir := filepath.Join(root, Dirs["FuzzXPathParse"])
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("corpus dir has %d files, want 3", len(entries))
+	}
+}
+
+func TestWriteNeverOverwrites(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, Dirs["FuzzDTDParse"])
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-existing file occupying the first index, with unrelated content.
+	if err := os.WriteFile(filepath.Join(dir, "seed-000"), []byte(Encode("old")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Write(root, "seed", map[string][]string{"FuzzDTDParse": {"new"}}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "seed-000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != Encode("old") {
+		t.Fatalf("seed-000 was overwritten")
+	}
+	b, err = os.ReadFile(filepath.Join(dir, "seed-001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != Encode("new") {
+		t.Fatalf("new seed landed wrong: %q", b)
+	}
+}
+
+func TestWriteUnknownTarget(t *testing.T) {
+	if _, err := Write(t.TempDir(), "x", map[string][]string{"FuzzNope": {"a"}}); err == nil || !strings.Contains(err.Error(), "unknown fuzz target") {
+		t.Fatalf("want unknown-target error, got %v", err)
+	}
+}
+
+func TestEncode(t *testing.T) {
+	got := Encode("a\"b")
+	want := "go test fuzz v1\nstring(\"a\\\"b\")\n"
+	if got != want {
+		t.Fatalf("Encode = %q, want %q", got, want)
+	}
+}

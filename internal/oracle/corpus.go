@@ -1,30 +1,19 @@
 package oracle
 
 import (
-	"fmt"
 	"math/rand"
-	"os"
-	"path/filepath"
-	"strconv"
 
+	"repro/internal/fuzzseed"
 	"repro/internal/xpath"
 )
-
-// Corpus targets: fuzz-target name → package corpus directory relative
-// to the repository root (Go's native fuzzing reads seed corpora from
-// testdata/fuzz/<FuzzTarget> in the target's package).
-var corpusDirs = map[string]string{
-	"FuzzDTDParse":   "internal/dtd/testdata/fuzz/FuzzDTDParse",
-	"FuzzXPathParse": "internal/xpath/testdata/fuzz/FuzzXPathParse",
-	"FuzzXMLDecode":  "internal/xmltree/testdata/fuzz/FuzzXMLDecode",
-}
 
 // EmitCorpus generates cfg.Trials scenarios and seeds the parser fuzz
 // corpora under root (the repository root) with the interesting inputs
 // they produce: schema texts for FuzzDTDParse, query texts for
 // FuzzXPathParse, and document XML for FuzzXMLDecode. perTarget bounds
-// the files written per fuzz target. It returns the number of corpus
-// files written.
+// the new inputs per fuzz target; entries already present in a corpus
+// directory are not duplicated (see fuzzseed.Write). It returns the
+// number of corpus files written.
 func EmitCorpus(root string, cfg Config, perTarget int) (int, error) {
 	cfg = cfg.withDefaults()
 	if perTarget <= 0 {
@@ -56,20 +45,5 @@ func EmitCorpus(root string, cfg Config, perTarget int) (int, error) {
 			add("FuzzXPathParse", p.String())
 		}
 	}
-	written := 0
-	for target, inputs := range seeds {
-		dir := filepath.Join(root, corpusDirs[target])
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return written, err
-		}
-		for i, input := range inputs {
-			body := "go test fuzz v1\nstring(" + strconv.Quote(input) + ")\n"
-			name := fmt.Sprintf("oracle-seed-%03d", i)
-			if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
-				return written, err
-			}
-			written++
-		}
-	}
-	return written, nil
+	return fuzzseed.Write(root, "oracle-seed", seeds)
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/dtd"
 	"repro/internal/embedding"
+	"repro/internal/fuzzseed"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 )
@@ -237,7 +238,7 @@ func TestEmitCorpus(t *testing.T) {
 		t.Fatal("EmitCorpus wrote no files")
 	}
 	total := 0
-	for _, dir := range corpusDirs {
+	for _, dir := range fuzzseed.Dirs {
 		files, err := os.ReadDir(filepath.Join(root, dir))
 		if err != nil {
 			t.Fatalf("corpus dir %s: %v", dir, err)

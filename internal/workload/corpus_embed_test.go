@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/embedding"
+	"repro/internal/guard"
+	"repro/internal/xmltree"
+)
+
+// TestNamedEmbeddingsValidate pins the hand-written corpus embeddings:
+// each must be a valid schema embedding (§4.1), and each target schema
+// must be well-formed. These literals are the reference answers other
+// tests compare search results against, so a silent invalidity here
+// would poison everything downstream.
+func TestNamedEmbeddingsValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *embedding.Embedding
+	}{
+		{"ClassEmbedding", ClassEmbedding},
+		{"StudentEmbedding", StudentEmbedding},
+		{"AuctionEmbedding", AuctionEmbedding},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			e := c.build()
+			if err := e.Source.Check(); err != nil {
+				t.Fatalf("source schema: %v", err)
+			}
+			if err := e.Target.Check(); err != nil {
+				t.Fatalf("target schema: %v", err)
+			}
+			if err := e.Validate(nil); err != nil {
+				t.Fatalf("embedding invalid: %v", err)
+			}
+		})
+	}
+}
+
+// TestNamedEmbeddingsMigrate drives each corpus embedding through the
+// data plane: generate a conforming source instance, migrate it, and
+// check the result conforms to the target schema.
+func TestNamedEmbeddingsMigrate(t *testing.T) {
+	for _, c := range []struct {
+		name  string
+		build func() *embedding.Embedding
+	}{
+		{"ClassEmbedding", ClassEmbedding},
+		{"StudentEmbedding", StudentEmbedding},
+		{"AuctionEmbedding", AuctionEmbedding},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			e := c.build()
+			r := rand.New(rand.NewSource(7))
+			doc, err := xmltree.Generate(e.Source, r, xmltree.GenOptions{StarMax: 3, Limits: guard.Unlimited()})
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			res, err := e.Apply(doc)
+			if err != nil {
+				t.Fatalf("apply: %v", err)
+			}
+			if err := res.Tree.Validate(e.Target); err != nil {
+				t.Fatalf("migrated document invalid: %v", err)
+			}
+		})
+	}
+}
+
+// TestFigure2MappingRejected pins Example 2.1: the Figure 2 path
+// mapping is information preserving but NOT a schema embedding — its
+// concatenation edges map to OR paths, and Validate must say so.
+func TestFigure2MappingRejected(t *testing.T) {
+	err := Figure2Mapping().Validate(nil)
+	if err == nil {
+		t.Fatal("Figure 2 mapping validated as a schema embedding; the paper rejects it")
+	}
+	if !strings.Contains(err.Error(), "OR") {
+		t.Errorf("rejection reason should mention the OR edge, got: %v", err)
+	}
+}
+
+// TestFigure3Scenarios pins Figure 3 of the paper: each sub-figure's
+// embedding must validate (or fail to) exactly as the paper says.
+func TestFigure3Scenarios(t *testing.T) {
+	scenarios := Figure3()
+	if len(scenarios) < 5 {
+		t.Fatalf("Figure3 lost scenarios: %d", len(scenarios))
+	}
+	for _, s := range scenarios {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			err := s.Build().Validate(nil)
+			if s.Valid && err != nil {
+				t.Errorf("expected valid, got %v", err)
+			}
+			if !s.Valid && err == nil {
+				t.Errorf("expected invalid, validated cleanly")
+			}
+		})
+	}
+}
+
+// TestMarketplaceDTD pins the marketplace target schema itself.
+func TestMarketplaceDTD(t *testing.T) {
+	if err := MarketplaceDTD().Check(); err != nil {
+		t.Fatalf("marketplace schema: %v", err)
+	}
+}
+
+// TestTruthEmbedding reconstructs ground-truth embeddings across noise
+// levels and seeds: the result must validate, agree with the Truth λ,
+// and exercise both the direct-edge and inserted-wrapper path shapes.
+func TestTruthEmbedding(t *testing.T) {
+	sawInsert := false
+	for seed := int64(1); seed <= 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		src := MustSyntheticDTD(r, 10)
+		nc := Noise(src, NoiseLevel(0.7), r)
+		if err := nc.DTD.Check(); err != nil {
+			t.Fatalf("seed %d: noisy copy invalid: %v", seed, err)
+		}
+		e, err := TruthEmbedding(src, nc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := e.Validate(nil); err != nil {
+			t.Fatalf("seed %d: truth embedding invalid: %v", seed, err)
+		}
+		for a, b := range nc.Truth {
+			if got := e.Lambda[a]; got != b {
+				t.Fatalf("seed %d: λ(%s) = %q, want truth %q", seed, a, got, b)
+			}
+		}
+		if nc.Inserts > 0 {
+			sawInsert = true
+		}
+	}
+	if !sawInsert {
+		t.Errorf("no seed produced an inserted wrapper — the 2-step truthPath branch went unexercised")
+	}
+}
+
+// TestTruthEmbeddingMissingType pins the error path for a source type
+// the Truth map does not cover.
+func TestTruthEmbeddingMissingType(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	src := MustSyntheticDTD(r, 6)
+	nc := Noise(src, NoiseLevel(0), r)
+	delete(nc.Truth, src.Root)
+	if _, err := TruthEmbedding(src, nc); err == nil {
+		t.Fatal("expected error for missing counterpart, got nil")
+	}
+}

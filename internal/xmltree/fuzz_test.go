@@ -26,6 +26,9 @@ func FuzzXMLDecode(f *testing.F) {
 		"<a><b></a>",
 		"<a/><b/>",
 		"plain text",
+		"<a>x&#xD;y</a>",
+		"<a><![CDATA[x]]&gt;y]]></a>",
+		"<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -1,0 +1,107 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRoundTripCarriageReturn pins the XML 1.0 §2.11 trap the xmllint
+// differential exposed: a literal CR in serialized character data is
+// normalized to LF by conforming parsers, so CR must leave as &#xD;
+// or the value silently changes on reparse.
+func TestRoundTripCarriageReturn(t *testing.T) {
+	in := "<a>x&#xD;y</a>"
+	tr, err := ParseString(in)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got := tr.Root.Children[0].Text; got != "x\ry" {
+		t.Fatalf("char ref &#xD; should decode to CR, got %q", got)
+	}
+	for name, s := range map[string]string{"String": tr.String(), "StringCompact": tr.StringCompact()} {
+		if !strings.Contains(s, "&#xD;") {
+			t.Errorf("%s does not escape CR: %q", name, s)
+		}
+		back, err := ParseString(s)
+		if err != nil {
+			t.Fatalf("%s reparse: %v", name, err)
+		}
+		if !Equal(tr, back) {
+			t.Errorf("%s round trip changed the tree: %s", name, Diff(tr, back))
+		}
+	}
+}
+
+// TestRoundTripCDATAClose pins that the CDATA close delimiter ]]> in
+// text content survives serialization (the '>' must be escaped — a
+// raw "]]>" in character data is ill-formed XML).
+func TestRoundTripCDATAClose(t *testing.T) {
+	in := "<a><![CDATA[x]]&gt;y]]></a>"
+	tr, err := ParseString(in)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	// Build the hostile value directly too, in case the reader mangles it.
+	tr2 := &Tree{}
+	tr2.Root = tr2.NewElement("a")
+	Append(tr2.Root, tr2.NewText("x]]>y"))
+	for _, tree := range []*Tree{tr, tr2} {
+		for name, s := range map[string]string{"String": tree.String(), "StringCompact": tree.StringCompact()} {
+			if strings.Contains(s, "]]>") {
+				t.Errorf("%s leaves raw CDATA close delimiter: %q", name, s)
+			}
+			back, err := ParseString(s)
+			if err != nil {
+				t.Fatalf("%s reparse: %v", name, err)
+			}
+			if !Equal(tree, back) {
+				t.Errorf("%s round trip changed the tree: %s", name, Diff(tree, back))
+			}
+		}
+	}
+}
+
+// TestParseDoctype pins that a DOCTYPE declaration (with or without an
+// internal subset) is ignored, matching the package contract that
+// directives do not contribute nodes — xmllint-validated corpus
+// documents carry one.
+func TestParseDoctype(t *testing.T) {
+	in := `<?xml version="1.0"?>
+<!DOCTYPE a [
+  <!ELEMENT a (b)*>
+  <!ELEMENT b (#PCDATA)>
+]>
+<a><b>x</b></a>`
+	tr, err := ParseString(in)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want, err := ParseString("<a><b>x</b></a>")
+	if err != nil {
+		t.Fatalf("parse plain: %v", err)
+	}
+	if !Equal(tr, want) {
+		t.Errorf("DOCTYPE changed the tree: %s", Diff(tr, want))
+	}
+}
+
+// TestStringCompact pins the compact form: no indentation, no
+// inter-element whitespace, reparses equal.
+func TestStringCompact(t *testing.T) {
+	tr, err := ParseString("<a>\n  <b/>\n  <c>x</c>\n  <d>x<e/>y</d>\n</a>")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	got := tr.StringCompact()
+	want := "<a><b/><c>x</c><d>x<e/>y</d></a>"
+	if got != want {
+		t.Errorf("StringCompact = %q, want %q", got, want)
+	}
+	back, err := ParseString(got)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !Equal(tr, back) {
+		t.Errorf("compact round trip changed the tree: %s", Diff(tr, back))
+	}
+}

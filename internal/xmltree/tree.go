@@ -219,6 +219,39 @@ func (t *Tree) String() string {
 	return b.String()
 }
 
+// StringCompact renders the tree as XML with no inter-element
+// whitespace at all. External XPath engines see exactly the tree's
+// text nodes and nothing else, so text() and string-value semantics
+// line up with this package's evaluator — the differential harness
+// serializes with this form. Reparsing yields an equal tree.
+func (t *Tree) StringCompact() string {
+	var b strings.Builder
+	writeNodeCompact(&b, t.Root)
+	return b.String()
+}
+
+func writeNodeCompact(b xmlWriter, n *Node) {
+	if n.IsText() {
+		xmlEscape(b, n.Text)
+		return
+	}
+	if len(n.Children) == 0 {
+		b.WriteByte('<')
+		b.WriteString(n.Label)
+		b.WriteString("/>")
+		return
+	}
+	b.WriteByte('<')
+	b.WriteString(n.Label)
+	b.WriteByte('>')
+	for _, c := range n.Children {
+		writeNodeCompact(b, c)
+	}
+	b.WriteString("</")
+	b.WriteString(n.Label)
+	b.WriteByte('>')
+}
+
 // xmlWriter is the serialization sink: both strings.Builder (String)
 // and bytes.Buffer (the pooled Write path in codec.go) satisfy it.
 type xmlWriter interface {
@@ -293,6 +326,11 @@ func xmlEscape(b xmlWriter, s string) {
 			b.WriteString("&lt;")
 		case '>':
 			b.WriteString("&gt;")
+		case '\r':
+			// A literal CR in character data is normalized to LF by
+			// conforming parsers (XML 1.0 §2.11), so it must leave as a
+			// character reference or the value changes on reparse.
+			b.WriteString("&#xD;")
 		default:
 			b.WriteRune(r)
 		}

@@ -19,7 +19,6 @@ package xpath
 import (
 	"errors"
 	"fmt"
-	"strconv"
 	"strings"
 )
 
@@ -181,7 +180,36 @@ func (q QPath) writeQ(b *strings.Builder, prec int) { q.P.write(b, 0) }
 func (q QTextEq) writeQ(b *strings.Builder, prec int) {
 	q.P.write(b, 1)
 	b.WriteString(" = ")
-	b.WriteString(strconv.Quote(q.Val))
+	writeLit(b, q.Val)
+}
+
+// writeLit renders an X_R string literal. The grammar, like XPath 1.0,
+// has no escape sequences: a literal is delimited by whichever quote
+// kind the value does not contain. A value parsed from source can
+// never hold both kinds (the literal ends at its own delimiter), so
+// renderings of parsed queries always reparse; for programmatically
+// built values holding both kinds there is no expressible literal, and
+// the rendering falls back to an XPath-style concat() for display.
+func writeLit(b *strings.Builder, s string) {
+	const dq, sq = `"`, `'`
+	switch {
+	case !strings.Contains(s, dq):
+		b.WriteString(dq + s + dq)
+	case !strings.Contains(s, sq):
+		b.WriteString(sq + s + sq)
+	default:
+		parts := strings.Split(s, dq)
+		pieces := make([]string, 0, 2*len(parts))
+		for i, p := range parts {
+			if i > 0 {
+				pieces = append(pieces, sq+dq+sq)
+			}
+			if p != "" {
+				pieces = append(pieces, dq+p+dq)
+			}
+		}
+		b.WriteString("concat(" + strings.Join(pieces, ", ") + ")")
+	}
 }
 
 func (q QPos) writeQ(b *strings.Builder, prec int) {

@@ -1,0 +1,13 @@
+package xpath
+
+import "testing"
+
+// TestWriteLitBothQuotes pins the display-only fallback for values no
+// X_R literal can express (both quote kinds): an XPath-style concat().
+func TestWriteLitBothQuotes(t *testing.T) {
+	got := QualString(QTextEq{P: Text{}, Val: `a'b"c`})
+	want := `text() = concat("a'b", '"', "c")`
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}

@@ -32,6 +32,12 @@ func TestParseStringRoundTrip(t *testing.T) {
 		"a//b",
 		"a//b/c | d",
 		"(a/(b | c))*",
+		// Literals containing the other quote kind: the grammar has no
+		// escapes, so the printer must switch delimiters (fuzz
+		// regression 73d91dd5e50593ac — strconv.Quote emitted a
+		// backslash escape the parser rejects).
+		`a[text() = '"']`,
+		`a[text() = "it's"]`,
 	}
 	for _, src := range cases {
 		t.Run(src, func(t *testing.T) {

@@ -28,9 +28,13 @@ go test -run '^$' -bench "$BENCH_RE" -benchmem -benchtime "$BENCHTIME" -count "$
 echo "bench.sh: running E3 size sweep..." >&2
 go run ./cmd/xse-bench -exp e3 -quick -trials 3 > "$tmp/e3.txt"
 
+echo "bench.sh: running corpus heuristic shoot-out..." >&2
+go run ./cmd/xse-corpus -pairs dblp,xmark -docs 2 -doc-nodes 400 \
+    -search-timeout 60s -q > "$tmp/corpus.txt"
+
 # NOTE, when set, replaces the file's free-form note (otherwise the
 # existing note is preserved; see benchjson).
-set -- -pr "$PR" -after "$tmp/after.txt" -e3 "$tmp/e3.txt" -out "$OUT"
+set -- -pr "$PR" -after "$tmp/after.txt" -e3 "$tmp/e3.txt" -corpus "$tmp/corpus.txt" -out "$OUT"
 if [ -n "${BASELINE:-}" ]; then
     set -- "$@" -baseline "$BASELINE"
 fi

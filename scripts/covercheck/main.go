@@ -1,0 +1,138 @@
+// Command covercheck is the coverage ratchet: it reads a Go cover
+// profile, prints a per-package statement-coverage summary, and fails
+// when total coverage drops below the recorded floor. The floor only
+// moves up: raise -floor (and the Makefile default) when a PR lifts
+// coverage, so later changes cannot silently erode it.
+//
+// Usage:
+//
+//	go test -coverprofile=coverage.out ./...
+//	go run ./scripts/covercheck -profile coverage.out -floor 80.0
+//
+// Exit codes: 0 at or above the floor, 1 below the floor or on a
+// malformed profile, 2 usage.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type counts struct{ covered, total int }
+
+func main() {
+	profile := flag.String("profile", "coverage.out", "cover profile to read")
+	floor := flag.Float64("floor", 0, "minimum total statement coverage percent")
+	exclude := flag.String("exclude", "", "comma-separated package path substrings dropped from the summary and the floor (e.g. /cmd/,/examples/)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "covercheck: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+	var drops []string
+	for _, d := range strings.Split(*exclude, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			drops = append(drops, d)
+		}
+	}
+	perPkg, totals, err := parseProfile(*profile, drops)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covercheck: %v\n", err)
+		os.Exit(1)
+	}
+	pkgs := make([]string, 0, len(perPkg))
+	for p := range perPkg {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	for _, p := range pkgs {
+		c := perPkg[p]
+		fmt.Printf("%-50s %6.1f%%  (%d/%d statements)\n", p, pct(c), c.covered, c.total)
+	}
+	total := pct(totals)
+	fmt.Printf("%-50s %6.1f%%  (floor %.1f%%)\n", "total:", total, *floor)
+	if total < *floor {
+		fmt.Fprintf(os.Stderr, "covercheck: total coverage %.1f%% is below the floor %.1f%% — add tests or (only with a written justification) lower the floor\n", total, *floor)
+		os.Exit(1)
+	}
+}
+
+func pct(c counts) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return 100 * float64(c.covered) / float64(c.total)
+}
+
+// parseProfile reads a cover profile in "set" or "count"/"atomic"
+// mode: each line after the mode header is
+// "file.go:startL.startC,endL.endC numStmts hitCount". Files whose
+// package path contains any of the drop substrings are skipped
+// entirely (main packages covered by smoke scripts, not unit tests).
+func parseProfile(name string, drops []string) (map[string]counts, counts, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, counts{}, err
+	}
+	defer f.Close()
+	perPkg := map[string]counts{}
+	var totals counts
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, counts{}, fmt.Errorf("%s:%d: malformed profile line %q", name, ln, line)
+		}
+		file, _, ok := strings.Cut(fields[0], ":")
+		if !ok {
+			return nil, counts{}, fmt.Errorf("%s:%d: malformed position %q", name, ln, fields[0])
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, counts{}, fmt.Errorf("%s:%d: statement count: %w", name, ln, err)
+		}
+		hits, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, counts{}, fmt.Errorf("%s:%d: hit count: %w", name, ln, err)
+		}
+		pkg := path.Dir(file)
+		dropped := false
+		for _, d := range drops {
+			if strings.Contains(pkg, d) {
+				dropped = true
+				break
+			}
+		}
+		if dropped {
+			continue
+		}
+		c := perPkg[pkg]
+		c.total += stmts
+		totals.total += stmts
+		if hits > 0 {
+			c.covered += stmts
+			totals.covered += stmts
+		}
+		perPkg[pkg] = c
+	}
+	if err := sc.Err(); err != nil {
+		return nil, counts{}, err
+	}
+	if totals.total == 0 {
+		return nil, counts{}, fmt.Errorf("%s: no coverage blocks found", name)
+	}
+	return perPkg, totals, nil
+}
