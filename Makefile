@@ -9,7 +9,7 @@ CORPUS_SEED ?= 1
 # move it UP: raise it when a PR lifts coverage.
 COVER_FLOOR ?= 84.0
 
-.PHONY: all build vet test race fuzz bench bench-json check oracle metriclint debug-smoke serve-smoke corpus corpus-diff cover
+.PHONY: all build vet test race fuzz bench bench-json check oracle metriclint debug-smoke serve-smoke stream-smoke corpus corpus-diff cover
 
 all: build
 
@@ -32,6 +32,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzXPathParse -fuzztime=$(FUZZTIME) ./internal/xpath
 	$(GO) test -run='^$$' -fuzz=FuzzXMLDecode -fuzztime=$(FUZZTIME) ./internal/xmltree
 	$(GO) test -run='^$$' -fuzz=FuzzServeRequest -fuzztime=$(FUZZTIME) ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzStreamMigrate -fuzztime=$(FUZZTIME) ./internal/embedding
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -86,5 +87,11 @@ debug-smoke:
 serve-smoke:
 	./scripts/serve-smoke.sh
 
+# Streaming-migration smoke: stream-vs-tree byte equivalence (single
+# doc and batch, -j 1 and -j 8) plus the bounded-memory check on a
+# large document (see scripts/stream-smoke.sh).
+stream-smoke:
+	./scripts/stream-smoke.sh
+
 # Tier-1+ gate (see ROADMAP.md): everything a PR must keep green.
-check: vet metriclint build race fuzz oracle serve-smoke
+check: vet metriclint build race fuzz oracle serve-smoke stream-smoke

@@ -222,10 +222,13 @@ func BenchmarkTranslateCached(b *testing.B) {
 	}
 }
 
-// BenchmarkBatchMigrate measures σd batch migration end to end
-// (parse, map, validate, serialize) over 64 in-memory documents at
-// 1, 4 and 8 workers; docs/iteration scaling across the sub-benchmarks
-// is the batch-throughput trajectory tracked in BENCH_PR4.json.
+// BenchmarkBatchMigrate measures σd batch migration end to end on the
+// tree path (parse, map, validate, serialize) over 64 in-memory
+// documents at 1, 4 and 8 workers; docs/iteration scaling across the
+// sub-benchmarks is the batch-throughput trajectory tracked in
+// BENCH_PR4.json. Tree is pinned so the trajectory keeps measuring the
+// same code path now that the batch default is the streaming engine
+// (compare BenchmarkBatchMigrateStream).
 func BenchmarkBatchMigrate(b *testing.B) {
 	emb := workload.ClassEmbedding()
 	r := rand.New(rand.NewSource(11))
@@ -250,7 +253,7 @@ func BenchmarkBatchMigrate(b *testing.B) {
 		b.Run(fmt.Sprintf("%dworkers", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				_, stats, err := pipeline.Run(context.Background(), emb, docs, pipeline.Options{Workers: workers})
+				_, stats, err := pipeline.Run(context.Background(), emb, docs, pipeline.Options{Workers: workers, Tree: true})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -286,7 +289,7 @@ func BenchmarkBatchMigrateNop(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, stats, err := pipeline.Run(context.Background(), emb, docs,
-			pipeline.Options{Workers: 8, Obs: obs.Nop()})
+			pipeline.Options{Workers: 8, Tree: true, Obs: obs.Nop()})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -299,6 +302,98 @@ func BenchmarkBatchMigrateNop(b *testing.B) {
 type nopWriteCloser struct{ io.Writer }
 
 func (nopWriteCloser) Close() error { return nil }
+
+// BenchmarkStreamMigrate measures the streaming σd engine on class
+// documents of increasing size, one compiled StreamProgram reused
+// across runs. The peak-bytes metric is the engine's high-water mark
+// of buffered subtree bytes: flat at zero across sizes here because
+// the class embedding never reorders (O(depth) memory), versus the
+// whole-tree residency of BenchmarkInstMap on the same shape. The
+// reorder sub-benchmark runs the auction embedding, whose productions
+// genuinely reorder — peak-bytes is then bounded by the largest
+// single buffered subtree, still independent of document size.
+func BenchmarkStreamMigrate(b *testing.B) {
+	run := func(b *testing.B, prog *embedding.StreamProgram, blob []byte) {
+		b.Helper()
+		b.ReportAllocs()
+		b.SetBytes(int64(len(blob)))
+		peak := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, err := prog.Run(context.Background(), bytes.NewReader(blob), io.Discard,
+				embedding.StreamOptions{Obs: obs.Nop()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.PeakBufferedBytes > peak {
+				peak = st.PeakBufferedBytes
+			}
+		}
+		b.ReportMetric(float64(peak), "peak-bytes")
+	}
+
+	emb := workload.ClassEmbedding()
+	prog, err := emb.CompileStream()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, classes := range []int{8, 64, 512} {
+		doc := benchClassDoc(b, classes)
+		blob := []byte(doc.String())
+		b.Run(fmt.Sprintf("classes%d", classes), func(b *testing.B) {
+			run(b, prog, blob)
+		})
+	}
+
+	auction := workload.AuctionEmbedding()
+	aprog, err := auction.CompileStream()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	adoc := xmltree.MustGenerate(auction.Source, r, xmltree.GenOptions{StarMax: 24, DepthBudget: 8})
+	b.Run("reorder", func(b *testing.B) {
+		run(b, aprog, []byte(adoc.String()))
+	})
+}
+
+// BenchmarkBatchMigrateStream is BenchmarkBatchMigrate on the batch
+// pipeline's streaming default: same 64 documents, same worker grid,
+// but each document flows decoder → compiled actions → encoder without
+// materializing either tree. The allocs/op spread against
+// BenchmarkBatchMigrate is the headline streaming win tracked in
+// BENCH_PR8.json.
+func BenchmarkBatchMigrateStream(b *testing.B) {
+	emb := workload.ClassEmbedding()
+	r := rand.New(rand.NewSource(11))
+	const nDocs = 64
+	docs := make([]pipeline.Doc, nDocs)
+	for i := range docs {
+		t := xmltree.MustGenerate(emb.Source, r, xmltree.GenOptions{StarMax: 8, DepthBudget: 8})
+		blob := []byte(t.String())
+		docs[i] = pipeline.Doc{
+			Name: fmt.Sprintf("doc%02d", i),
+			Open: func() (io.ReadCloser, error) {
+				return io.NopCloser(bytes.NewReader(blob)), nil
+			},
+			Sink: func() (io.WriteCloser, error) { return nopWriteCloser{io.Discard}, nil },
+		}
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("%dworkers", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, stats, err := pipeline.Run(context.Background(), emb, docs, pipeline.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Failed != 0 {
+					b.Fatalf("%d docs failed", stats.Failed)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkEvalANFA measures translated-automaton evaluation over the
 // mapped document.

@@ -1,9 +1,10 @@
 // Command xse-corpus drives the real-world schema-evolution corpus
 // workload: for every checked-in DTD pair it searches for an embedding
 // under each heuristic, migrates generated instance documents,
-// validates them against the target schema and checks translated-query
-// preservation, then reports a per-(pair, heuristic) quality table —
-// the heuristic shoot-out on realistic schemas.
+// validates them against the target schema, cross-checks the streaming
+// migration engine against the tree path byte-for-byte and checks
+// translated-query preservation, then reports a per-(pair, heuristic)
+// quality table — the heuristic shoot-out on realistic schemas.
 //
 // Usage:
 //
@@ -15,7 +16,8 @@
 // Exit codes: 0 every pair embedded and the pipeline is violation
 // free, 1 internal error, 2 usage, 4 timeout or cancellation,
 // 5 a pair no heuristic could embed, 6 pipeline violations (failed or
-// non-conforming migrations, query-preservation mismatches).
+// non-conforming migrations, query-preservation mismatches,
+// stream-vs-tree migration divergences).
 package main
 
 import (

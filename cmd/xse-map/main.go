@@ -9,6 +9,8 @@
 //	-invert        apply σd⁻¹ instead of σd
 //	-xslt          print the stylesheet instead of transforming
 //	-via-xslt      transform by running the generated stylesheet
+//	-tree          use the tree-building migration path (forward runs
+//	               stream by default: O(depth) memory, no full trees)
 //	-batch dir     migrate every *.xml in dir (bounded worker pool)
 //	-out dir       batch output directory (default: discard outputs)
 //	-j n           batch worker count (default: GOMAXPROCS)
@@ -73,6 +75,7 @@ func main() {
 		invert      = flag.Bool("invert", false, "apply the inverse mapping σd⁻¹")
 		emitXSLT    = flag.Bool("xslt", false, "print the XSLT stylesheet and exit")
 		viaXSLT     = flag.Bool("via-xslt", false, "transform by executing the generated stylesheet")
+		treePath    = flag.Bool("tree", false, "use the tree-building migration path (streaming is the forward default)")
 		batchDir    = flag.String("batch", "", "migrate every *.xml document in this directory")
 		outDir      = flag.String("out", "", "batch output directory (default: discard outputs)")
 		workers     = flag.Int("j", 0, "batch worker count (0 = GOMAXPROCS)")
@@ -114,7 +117,7 @@ func main() {
 		}
 		runBatch(ctx, sigma, batchConfig{
 			dir: *batchDir, outDir: *outDir, workers: *workers,
-			invert: *invert, viaXSLT: *viaXSLT, lim: lim,
+			invert: *invert, viaXSLT: *viaXSLT, tree: *treePath, lim: lim,
 			slowThreshold: *slowDocs, verbose: *verbose, tel: tel,
 		})
 		return
@@ -142,6 +145,35 @@ func main() {
 	if flag.NArg() != 1 {
 		fatalf(exitUsage, "exactly one input document expected")
 	}
+
+	if !*invert && !*viaXSLT && !*treePath {
+		// Default forward path: stream the document through the compiled
+		// instance mapping — no input or output tree is materialized, and
+		// the output is byte-identical to the tree path. Source
+		// conformance is enforced token-by-token; output conformance
+		// holds by construction of the compiled program.
+		prog, err := core.CompileStream(sigma)
+		if err != nil {
+			fatalf(exitInternal, "compile streaming program: %v", err)
+		}
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatalf(exitInvalid, "%v", err)
+		}
+		defer f.Close()
+		if _, err := prog.Run(ctx, f, out, core.StreamOptions{Limits: lim}); err != nil {
+			var se *core.StreamError
+			if errors.As(err, &se) && se.Stage == "write" {
+				fatalf(exitInternal, "write output: %v", se.Err)
+			}
+			fatalCtx(err, "instance mapping")
+		}
+		if *verbose {
+			obs.WriteSummary(os.Stderr, obs.Default())
+		}
+		return
+	}
+
 	doc := mustDoc(flag.Arg(0), lim)
 
 	var result *xmltree.Tree
@@ -188,6 +220,7 @@ type batchConfig struct {
 	workers       int
 	invert        bool
 	viaXSLT       bool
+	tree          bool
 	lim           core.Limits
 	slowThreshold time.Duration
 	verbose       bool
@@ -211,7 +244,7 @@ func runBatch(ctx context.Context, sigma *core.Embedding, cfg batchConfig) {
 	if len(docs) == 0 {
 		fatalf(exitInvalid, "no *.xml documents in %s", dir)
 	}
-	opts := core.BatchOptions{Workers: workers, Limits: lim, SlowThreshold: cfg.slowThreshold}
+	opts := core.BatchOptions{Workers: workers, Limits: lim, Tree: cfg.tree, SlowThreshold: cfg.slowThreshold}
 	if invert {
 		opts.Op = core.BatchInverse
 	}

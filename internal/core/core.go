@@ -288,6 +288,35 @@ const (
 	BatchStageWrite    = pipeline.StageWrite
 )
 
+// Streaming migration (see embedding.StreamApply). The batch pipeline
+// uses this engine by default; these re-exports serve single-document
+// callers that want bounded memory without the batch machinery.
+type (
+	// StreamProgram is a compiled, reusable streaming form of σd: one
+	// CompileStream, many Run calls, safe for concurrent use.
+	StreamProgram = embedding.StreamProgram
+	// StreamOptions configures one streaming run (limits, metrics).
+	StreamOptions = embedding.StreamOptions
+	// StreamStats reports one streaming run's token/byte/buffering
+	// accounting.
+	StreamStats = embedding.StreamStats
+	// StreamError tags a streaming failure with its stage
+	// ("parse", "map" or "write").
+	StreamError = embedding.StreamError
+)
+
+// CompileStream compiles the embedding's instance mapping σd into a
+// streaming program: documents transform token-by-token in O(depth)
+// memory, buffering subtrees only for productions whose target fragment
+// reorders source children.
+func CompileStream(e *Embedding) (*StreamProgram, error) { return e.CompileStream() }
+
+// StreamMigrate applies σd to one document as a stream: XML in from r,
+// migrated XML out to w, byte-identical to Apply + String.
+func StreamMigrate(ctx context.Context, e *Embedding, r io.Reader, w io.Writer) (StreamStats, error) {
+	return embedding.StreamApply(ctx, e, r, w)
+}
+
 // RunBatch migrates documents through the embedding with a bounded
 // worker pool; per-document failures are isolated in the results.
 func RunBatch(ctx context.Context, e *Embedding, docs []BatchDoc, opts BatchOptions) ([]BatchResult, BatchStats, error) {

@@ -117,6 +117,10 @@ type Row struct {
 	// Violations: a non-zero count fails the run.
 	MigrateFailures        int `json:"migrate_failures"`
 	PreservationMismatches int `json:"preservation_mismatches"`
+	// StreamMismatches counts documents whose streaming migration
+	// (embedding.StreamApply) failed or produced output that is not
+	// byte-identical to the tree path's serialization.
+	StreamMismatches int `json:"stream_mismatches"`
 
 	// Err records a search error (deadline, cancellation); empty
 	// otherwise. A not-found outcome is not an error.
@@ -152,13 +156,14 @@ type Report struct {
 }
 
 // Violations counts pipeline-correctness failures across the report:
-// migration failures, non-conforming migrated documents and
-// query-preservation mismatches. Zero is the healthy state.
+// migration failures, non-conforming migrated documents,
+// query-preservation mismatches and stream-vs-tree divergences. Zero
+// is the healthy state.
 func (r *Report) Violations() int {
 	n := 0
 	for _, p := range r.Pairs {
 		for _, row := range p.Rows {
-			n += row.MigrateFailures + row.PreservationMismatches
+			n += row.MigrateFailures + row.PreservationMismatches + row.StreamMismatches
 		}
 	}
 	return n
@@ -200,8 +205,10 @@ func (r *Report) Table() string {
 // pair and heuristic it searches for an embedding (scored against a
 // lexical similarity matrix over the real tag names), then — when one
 // is found — migrates generated instance documents, validates them
-// against the target schema, translates the pair's queries and checks
-// query preservation (Q(T) = idM(Tr(Q)(σd(T)))) on every document.
+// against the target schema, cross-checks the streaming engine's
+// output against the tree path byte-for-byte, translates the pair's
+// queries and checks query preservation (Q(T) = idM(Tr(Q)(σd(T))))
+// on every document.
 func Run(ctx context.Context, cfg RunConfig) (*Report, error) {
 	cfg = cfg.withDefaults()
 	pairs, err := Pairs()
@@ -251,8 +258,8 @@ func Run(ctx context.Context, cfg RunConfig) (*Report, error) {
 			row := runPair(ctx, p, h, att, queries, docs, cfg)
 			row.Queries = len(queryTexts)
 			pr.Rows = append(pr.Rows, row)
-			logf("%-8s %-14s found=%v quality=%.2f search=%.1fms ok=%d/%d mismatches=%d",
-				p.Name, h, row.Found, row.Quality, row.SearchMS, row.MigrateOK, row.Docs, row.PreservationMismatches)
+			logf("%-8s %-14s found=%v quality=%.2f search=%.1fms ok=%d/%d mismatches=%d stream=%d",
+				p.Name, h, row.Found, row.Quality, row.SearchMS, row.MigrateOK, row.Docs, row.PreservationMismatches, row.StreamMismatches)
 		}
 		rep.Pairs = append(rep.Pairs, pr)
 	}
@@ -322,6 +329,15 @@ func runPair(ctx context.Context, p Pair, h search.Heuristic, att *embedding.Sim
 	}
 	emb := res.Embedding
 
+	// Every valid embedding compiles to a streaming program (reordering
+	// productions take the buffered fallback), so a compile failure here
+	// is itself a pipeline violation.
+	prog, err := emb.CompileStream()
+	if err != nil {
+		row.Err = fmt.Sprintf("streaming compile: %v", err)
+		row.StreamMismatches++
+	}
+
 	trl, err := translate.New(emb)
 	if err != nil {
 		row.Err = fmt.Sprintf("translator construction: %v", err)
@@ -360,6 +376,16 @@ func runPair(ctx context.Context, p Pair, h search.Heuristic, att *embedding.Sim
 			continue
 		}
 		row.MigrateOK++
+		// Cross-check the streaming engine against the tree path on the
+		// real-schema instance: same document, byte-identical output.
+		if prog != nil {
+			var out strings.Builder
+			if _, serr := prog.Run(ctx, strings.NewReader(doc.String()), &out, embedding.StreamOptions{Obs: cfg.Obs}); serr != nil {
+				row.StreamMismatches++
+			} else if out.String() != mres.Tree.String() {
+				row.StreamMismatches++
+			}
+		}
 		for _, h := range autos {
 			if !preserved(h.q, h.auto, doc, mres) {
 				row.PreservationMismatches++

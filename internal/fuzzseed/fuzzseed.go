@@ -20,6 +20,8 @@ var Dirs = map[string]string{
 	"FuzzDTDParse":   "internal/dtd/testdata/fuzz/FuzzDTDParse",
 	"FuzzXPathParse": "internal/xpath/testdata/fuzz/FuzzXPathParse",
 	"FuzzXMLDecode":  "internal/xmltree/testdata/fuzz/FuzzXMLDecode",
+
+	"FuzzStreamMigrate": "internal/embedding/testdata/fuzz/FuzzStreamMigrate",
 }
 
 // Encode renders one string input in the go-fuzz v1 corpus file format.

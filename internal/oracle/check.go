@@ -1,9 +1,12 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/anfa"
+	"repro/internal/embedding"
 	"repro/internal/translate"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
@@ -25,7 +28,7 @@ func checkTrial(tr *Trial, rep *Report) []Violation {
 		v.Doc, v.Query = tr.Doc, q
 		out = append(out, *v)
 	}
-	for _, p := range []Property{PropTypeSafety, PropInvert, PropXSLTForward, PropXSLTInverse} {
+	for _, p := range []Property{PropTypeSafety, PropInvert, PropXSLTForward, PropXSLTInverse, PropStreamDiff} {
 		p := p
 		add(p, nil, guardPanic(func() *Violation {
 			return checkProperty(p, tr, tr.Doc, nil)
@@ -66,8 +69,30 @@ func checkProperty(p Property, tr *Trial, doc *xmltree.Tree, q xpath.Expr) *Viol
 		return checkANFADifferential(tr, doc, q)
 	case PropCompiledDiff:
 		return checkCompiledDifferential(tr, doc, q)
+	case PropStreamDiff:
+		return checkStreamDifferential(tr, doc)
 	}
 	return &Violation{Detail: fmt.Sprintf("unknown property %q", p)}
+}
+
+// checkStreamDifferential: the streaming engine computes exactly the
+// tree path's σd, byte for byte — same output on conforming documents,
+// including productions that take the buffered reorder fallback.
+func checkStreamDifferential(tr *Trial, doc *xmltree.Tree) *Violation {
+	res, err := tr.Emb.Apply(doc)
+	if err != nil {
+		return &Violation{Detail: fmt.Sprintf("σd failed: %v", err)}
+	}
+	want := res.Tree.String()
+	var out strings.Builder
+	if _, err := embedding.StreamApply(context.Background(), tr.Emb, strings.NewReader(doc.String()), &out); err != nil {
+		return &Violation{Detail: fmt.Sprintf("streaming σd failed on a conforming document: %v", err)}
+	}
+	if out.String() != want {
+		return &Violation{Detail: fmt.Sprintf(
+			"streaming output differs from the tree path:\nstream:\n%s\ntree:\n%s", out.String(), want)}
+	}
+	return nil
 }
 
 // checkTypeSafety: σd is total on conforming documents and its image

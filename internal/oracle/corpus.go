@@ -38,6 +38,7 @@ func EmitCorpus(root string, cfg Config, perTarget int) (int, error) {
 		add("FuzzDTDParse", tr.Source.String())
 		add("FuzzDTDParse", tr.Target.String())
 		add("FuzzXMLDecode", tr.Doc.String())
+		add("FuzzStreamMigrate", tr.Doc.String())
 		for _, q := range tr.Queries {
 			add("FuzzXPathParse", xpath.String(q))
 		}

@@ -15,7 +15,9 @@
 //     (xpath.Compile(Q).Run) returns exactly the reference
 //     interpreter's answer, in the same first-reached order;
 //   - XSLT differential: the generated forward stylesheet computes
-//     exactly σd, and the generated inverse stylesheet recovers T.
+//     exactly σd, and the generated inverse stylesheet recovers T;
+//   - stream differential: the streaming engine's output for σd is
+//     byte-identical to the tree path's serialization.
 //
 // Failing inputs are shrunk to minimal counterexamples (dropping star
 // children, canonicalizing text, simplifying queries) and serialized to
@@ -49,6 +51,7 @@ const (
 	PropCompiledDiff Property = "compiled-differential"
 	PropXSLTForward  Property = "xslt-forward"
 	PropXSLTInverse  Property = "xslt-inverse"
+	PropStreamDiff   Property = "stream-differential"
 )
 
 // Properties lists every property in reporting order.
@@ -56,7 +59,7 @@ func Properties() []Property {
 	return []Property{
 		PropGeneration, PropTypeSafety, PropInvert,
 		PropQueryPreserv, PropANFADiff, PropCompiledDiff,
-		PropXSLTForward, PropXSLTInverse,
+		PropXSLTForward, PropXSLTInverse, PropStreamDiff,
 	}
 }
 

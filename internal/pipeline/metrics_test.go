@@ -41,9 +41,12 @@ func TestMetricsAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Tree mode: the per-stage histograms below are the tree path's
+	// ledger (the streaming path has its own xse_stream_* instruments,
+	// covered by TestMetricsStreamAccounting).
 	reg := obs.NewRegistry()
 	_, stats, err := pipeline.Run(context.Background(), workload.ClassEmbedding(), docs,
-		pipeline.Options{Workers: 3, Obs: reg})
+		pipeline.Options{Workers: 3, Obs: reg, Tree: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,6 +86,51 @@ func TestMetricsAccounting(t *testing.T) {
 				t.Errorf("%s count = %d, want %d", m.Name, m.Hist.Count, ok)
 			}
 		}
+	}
+}
+
+// TestMetricsStreamAccounting: the default (streaming) path keeps the
+// pipeline-level ledger — docs/ok/failed, stage-tagged errors, byte
+// counters — and additionally feeds the engine's xse_stream_*
+// instruments.
+func TestMetricsStreamAccounting(t *testing.T) {
+	dir := t.TempDir()
+	outDir := t.TempDir()
+	writeBatchDir(t, dir, 6)
+	if err := os.WriteFile(filepath.Join(dir, "broken.xml"), []byte("<db><cl<"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := pipeline.DirDocs(dir, outDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	_, stats, err := pipeline.Run(context.Background(), workload.ClassEmbedding(), docs,
+		pipeline.Options{Workers: 3, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	total := counterValue(t, reg, "xse_pipeline_docs_total")
+	ok := counterValue(t, reg, "xse_pipeline_docs_ok_total")
+	failed := counterValue(t, reg, "xse_pipeline_docs_failed_total")
+	if total != 7 || ok != 6 || failed != 1 {
+		t.Errorf("docs_total=%d ok=%d failed=%d, want 7/6/1", total, ok, failed)
+	}
+	if got := counterValue(t, reg, "xse_pipeline_errors_total{stage=parse}"); got != 1 {
+		t.Errorf("errors_total{stage=parse} = %d, want 1", got)
+	}
+	if got := counterValue(t, reg, "xse_pipeline_read_bytes_total"); got != uint64(stats.InBytes) {
+		t.Errorf("read_bytes_total = %d, stats.InBytes = %d", got, stats.InBytes)
+	}
+	if got := counterValue(t, reg, "xse_pipeline_written_bytes_total"); got != uint64(stats.OutBytes) {
+		t.Errorf("written_bytes_total = %d, stats.OutBytes = %d", got, stats.OutBytes)
+	}
+	// Every document — including the one that failed mid-parse — went
+	// through the engine, so the stream ledger saw all 7.
+	if got := counterValue(t, reg, "xse_stream_docs_total"); got != 7 {
+		t.Errorf("xse_stream_docs_total = %d, want 7", got)
 	}
 }
 

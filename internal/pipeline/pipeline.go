@@ -87,15 +87,20 @@ func (e *DocError) Unwrap() error { return e.Err }
 
 // Doc is one unit of batch work: a named input and an optional output
 // destination. A nil Sink discards the serialized result (the
-// transformation and validation still run).
+// transformation and validation still run). Abort, when set, is called
+// after a failure that already opened the Sink, so a partially written
+// output can be removed: the streaming path writes as it transforms,
+// and a mid-document fault must not leave a torn file behind.
 type Doc struct {
-	Name string
-	Open func() (io.ReadCloser, error)
-	Sink func() (io.WriteCloser, error)
+	Name  string
+	Open  func() (io.ReadCloser, error)
+	Sink  func() (io.WriteCloser, error)
+	Abort func()
 }
 
 // FileDoc builds a Doc reading from path and writing to outPath
-// (discarding output when outPath is "").
+// (discarding output when outPath is ""); on failure the partial
+// output file is removed.
 func FileDoc(path, outPath string) Doc {
 	d := Doc{
 		Name: path,
@@ -103,6 +108,7 @@ func FileDoc(path, outPath string) Doc {
 	}
 	if outPath != "" {
 		d.Sink = func() (io.WriteCloser, error) { return os.Create(outPath) }
+		d.Abort = func() { os.Remove(outPath) }
 	}
 	return d
 }
@@ -145,9 +151,20 @@ type Options struct {
 	// Limits apply to each document parse (zero fields take the guard
 	// defaults).
 	Limits guard.Limits
+	// Tree forces the tree-building migration path. By default forward
+	// runs with no custom Transform use the streaming engine
+	// (embedding.StreamProgram): documents flow token-by-token from
+	// reader to sink in O(depth) memory instead of materializing both
+	// trees. The tree path remains as the differential baseline and is
+	// always used for Inverse and custom-Transform runs.
+	Tree bool
 	// SkipValidate disables output conformance checking (the mapping
 	// theorems guarantee conformance; validation catches internal bugs
-	// and costs one extra pass per document).
+	// and costs one extra pass per document). The streaming path never
+	// builds an output tree, so it implies SkipValidate; source
+	// conformance is still enforced token-by-token, and target
+	// conformance holds by construction of the compiled program (pinned
+	// by the stream-vs-tree differentials).
 	SkipValidate bool
 	// Transform overrides the built-in mapping with a custom
 	// tree-to-tree function (e.g. an XSLT engine run). It must be safe
@@ -245,6 +262,19 @@ func Run(ctx context.Context, emb *embedding.Embedding, docs []Doc, opts Options
 		return nil, Stats{}, fmt.Errorf("pipeline: invalid embedding: %w", err)
 	}
 
+	// Default data plane: compile the instance mapping into a streaming
+	// program once and run every document through it. Inverse and
+	// custom-Transform runs have no streaming form and keep the tree
+	// path, as does -tree (the differential baseline).
+	var prog *embedding.StreamProgram
+	if !opts.Tree && opts.Transform == nil && opts.Op == Forward {
+		p, err := emb.CompileStream()
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("pipeline: compile streaming program: %w", err)
+		}
+		prog = p
+	}
+
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -256,7 +286,9 @@ func Run(ctx context.Context, emb *embedding.Embedding, docs []Doc, opts Options
 	env := &runEnv{
 		transform: transform,
 		check:     check,
+		prog:      prog,
 		lim:       opts.Limits,
+		obs:       opts.Obs,
 		m:         newMetrics(obs.OrDefault(opts.Obs)),
 		tr:        obs.TracerFrom(ctx),
 		slow:      newSlowLogger(opts.SlowThreshold, opts.SlowLog),
@@ -354,7 +386,9 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 type runEnv struct {
 	transform func(context.Context, *xmltree.Tree) (*xmltree.Tree, error)
 	check     *checkSchema
+	prog      *embedding.StreamProgram // non-nil selects the streaming path
 	lim       guard.Limits
+	obs       *obs.Registry // as passed by the caller (nil = process default)
 	m         *metrics
 	tr        *obs.Tracer
 	slow      *slowLogger
@@ -397,6 +431,9 @@ func runOne(ctx context.Context, doc Doc, env *runEnv, lane *obs.Span) DocResult
 
 	if err := guard.CheckCtx(ctx, "pipeline: batch"); err != nil {
 		return fail(StageMap, err)
+	}
+	if env.prog != nil {
+		return streamOne(ctx, doc, env, sp, &res, fail)
 	}
 	tParse := time.Now()
 	spParse := env.tr.StartSpan("pipeline.parse", sp)
@@ -453,9 +490,69 @@ func runOne(ctx context.Context, doc Doc, env *runEnv, lane *obs.Span) DocResult
 	spEnc.End()
 	m.encodeSec.ObserveSince(tEnc)
 	if werr != nil {
+		if doc.Abort != nil {
+			doc.Abort()
+			res.OutBytes = 0
+		}
 		return fail(StageWrite, werr)
 	}
 	return res
+}
+
+// streamOne is runOne's data plane when the run compiled a streaming
+// program: the document flows token-by-token from reader to sink with
+// no intermediate trees. The tree path's error taxonomy is preserved by
+// translating StreamError's stage tag; a document that fails mid-stream
+// may leave a partial output file behind, exactly as a tree-path write
+// failure would.
+func streamOne(ctx context.Context, doc Doc, env *runEnv, sp *obs.Span, res *DocResult, fail func(Stage, error) DocResult) DocResult {
+	spStream := env.tr.StartSpan("pipeline.stream", sp)
+	defer spStream.End()
+	rc, err := doc.Open()
+	if err != nil {
+		return fail(StageRead, err)
+	}
+	defer rc.Close()
+	var w io.Writer = io.Discard
+	var wc io.WriteCloser
+	if doc.Sink != nil {
+		wc, err = doc.Sink()
+		if err != nil {
+			return fail(StageWrite, err)
+		}
+		w = wc
+	}
+	st, serr := env.prog.Run(ctx, rc, w, embedding.StreamOptions{Limits: env.lim, Obs: env.obs})
+	res.InBytes = st.InBytes
+	if wc != nil {
+		res.OutBytes = st.OutBytes
+		if cerr := wc.Close(); serr == nil && cerr != nil {
+			serr = &embedding.StreamError{Stage: "write", Err: cerr}
+		}
+		if serr != nil && doc.Abort != nil {
+			doc.Abort()
+			res.OutBytes = 0
+		}
+	}
+	if serr != nil {
+		var se *embedding.StreamError
+		if errors.As(serr, &se) {
+			return fail(streamStage(se.Stage), se.Err)
+		}
+		return fail(StageMap, serr)
+	}
+	return *res
+}
+
+// streamStage maps a StreamError stage tag onto the pipeline taxonomy.
+func streamStage(s string) Stage {
+	switch s {
+	case "parse":
+		return StageParse
+	case "write":
+		return StageWrite
+	}
+	return StageMap
 }
 
 type countingReader struct {

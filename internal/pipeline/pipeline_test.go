@@ -269,3 +269,91 @@ func TestRunNoSink(t *testing.T) {
 		t.Error("InBytes = 0, want input accounting even without a sink")
 	}
 }
+
+// TestStreamTreeBatchEquivalence pins the default (streaming) batch
+// path to the tree baseline: same mixed batch, byte-identical output
+// files, identical per-document error stages, and -j1 ≡ -j4 in both
+// modes.
+func TestStreamTreeBatchEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	writeBatchDir(t, dir, 8)
+	// A document the decoder rejects and one that parses but does not
+	// conform: both paths must attribute them to the same stages.
+	if err := os.WriteFile(filepath.Join(dir, "broken.xml"), []byte("<db><cl<"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "nonconforming.xml"), []byte("<db><wrong/></db>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	type outcome struct {
+		files  map[string]string
+		stages map[string]pipeline.Stage
+	}
+	run := func(tree bool, workers int) outcome {
+		t.Helper()
+		outDir := t.TempDir()
+		docs, err := pipeline.DirDocs(dir, outDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, _, err := pipeline.Run(context.Background(), workload.ClassEmbedding(), docs,
+			pipeline.Options{Workers: workers, Tree: tree})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := outcome{files: map[string]string{}, stages: map[string]pipeline.Stage{}}
+		for _, r := range results {
+			base := filepath.Base(r.Name)
+			if r.Err != nil {
+				var de *pipeline.DocError
+				if !errors.As(r.Err, &de) {
+					t.Fatalf("%s: err %v is not a *DocError", r.Name, r.Err)
+				}
+				o.stages[base] = de.Stage
+				continue
+			}
+			b, err := os.ReadFile(filepath.Join(outDir, base))
+			if err != nil {
+				t.Fatal(err)
+			}
+			o.files[base] = string(b)
+		}
+		return o
+	}
+
+	want := run(true, 1)
+	if len(want.files) != 8 || len(want.stages) != 2 {
+		t.Fatalf("tree baseline: %d ok, %d failed, want 8/2", len(want.files), len(want.stages))
+	}
+	if want.stages["broken.xml"] != pipeline.StageParse {
+		t.Errorf("tree: broken.xml stage = %v, want parse", want.stages["broken.xml"])
+	}
+	if want.stages["nonconforming.xml"] != pipeline.StageMap {
+		t.Errorf("tree: nonconforming.xml stage = %v, want map", want.stages["nonconforming.xml"])
+	}
+	for _, mode := range []struct {
+		name    string
+		tree    bool
+		workers int
+	}{
+		{"tree-j4", true, 4},
+		{"stream-j1", false, 1},
+		{"stream-j4", false, 4},
+	} {
+		got := run(mode.tree, mode.workers)
+		if len(got.files) != len(want.files) {
+			t.Fatalf("%s: %d ok docs, want %d", mode.name, len(got.files), len(want.files))
+		}
+		for name, body := range want.files {
+			if got.files[name] != body {
+				t.Errorf("%s: %s output differs from tree baseline", mode.name, name)
+			}
+		}
+		for name, stage := range want.stages {
+			if got.stages[name] != stage {
+				t.Errorf("%s: %s stage = %v, want %v", mode.name, name, got.stages[name], stage)
+			}
+		}
+	}
+}

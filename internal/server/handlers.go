@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -284,6 +285,9 @@ type pairArtifacts struct {
 	src, tgt *dtd.DTD
 	sigma    *embedding.Embedding
 	trans    *translate.Cache
+	// prog is σd compiled for streaming: forward migrations run
+	// documents through it token-by-token instead of building trees.
+	prog *embedding.StreamProgram
 }
 
 func (s *Server) pairFor(ctx context.Context, p schemaPair, embText string, lim guard.Limits) (*pairArtifacts, bool, error) {
@@ -303,11 +307,16 @@ func (s *Server) pairFor(ctx context.Context, p schemaPair, embText string, lim 
 		if err := sigma.Validate(nil); err != nil {
 			return nil, badRequest("invalid embedding: %v", err)
 		}
+		prog, err := sigma.CompileStream()
+		if err != nil {
+			return nil, fmt.Errorf("internal error: compile streaming program: %w", err)
+		}
 		return &pairArtifacts{
 			src:   src,
 			tgt:   tgt,
 			sigma: sigma,
 			trans: translate.NewCache(s.cfg.TranslationsPerPair),
+			prog:  prog,
 		}, nil
 	})
 	if err != nil {
@@ -414,6 +423,9 @@ type MigrateResponse struct {
 }
 
 func (s *Server) handleMigrate(ctx context.Context, r *http.Request) (any, error) {
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "multipart/form-data") {
+		return s.handleMigrateMultipart(ctx, r)
+	}
 	var req MigrateRequest
 	if err := decodeJSON(r, &req); err != nil {
 		return nil, err
@@ -428,6 +440,27 @@ func (s *Server) handleMigrate(ctx context.Context, r *http.Request) (any, error
 	if err != nil {
 		return nil, err
 	}
+
+	if !req.Invert {
+		// Forward path: stream the document through the compiled σd —
+		// no input or output tree. The response buffer keeps the error
+		// contract (a mid-stream fault still renders its proper status).
+		var buf strings.Builder
+		attempts, err := s.withRetry(bctx, func(ctx context.Context) error {
+			if err := guard.Fault(ctx, "server.migrate"); err != nil {
+				return err
+			}
+			buf.Reset()
+			_, serr := pair.prog.Run(ctx, strings.NewReader(req.Document), &buf,
+				embedding.StreamOptions{Limits: lim})
+			return classifyStream(serr)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &MigrateResponse{Document: buf.String(), Attempts: attempts, Cached: hit}, nil
+	}
+
 	doc, err := xmltree.ParseLimits(strings.NewReader(req.Document), lim)
 	if err != nil {
 		if isLimit(err) {
@@ -435,7 +468,6 @@ func (s *Server) handleMigrate(ctx context.Context, r *http.Request) (any, error
 		}
 		return nil, badRequest("document: %v", err)
 	}
-
 	var out *xmltree.Tree
 	attempts, err := s.withRetry(bctx, func(ctx context.Context) error {
 		// Chaos injection point: the retry loop exists for transient
@@ -443,32 +475,128 @@ func (s *Server) handleMigrate(ctx context.Context, r *http.Request) (any, error
 		if err := guard.Fault(ctx, "server.migrate"); err != nil {
 			return err
 		}
-		if req.Invert {
-			var err error
-			out, err = pair.sigma.InvertCtx(ctx, doc)
-			if err != nil {
-				return badRequest("inverse mapping: %v", err).orWorse(err)
-			}
-			return nil
-		}
-		res, err := pair.sigma.ApplyCtx(ctx, doc)
+		var err error
+		out, err = pair.sigma.InvertCtx(ctx, doc)
 		if err != nil {
-			return badRequest("instance mapping: %v", err).orWorse(err)
+			return badRequest("inverse mapping: %v", err).orWorse(err)
 		}
-		out = res.Tree
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	check := pair.tgt
-	if req.Invert {
-		check = pair.src
-	}
-	if verr := out.Validate(check); verr != nil {
+	if verr := out.Validate(pair.src); verr != nil {
 		return nil, fmt.Errorf("internal error: output does not conform: %w", verr)
 	}
 	return &MigrateResponse{Document: out.String(), Attempts: attempts, Cached: hit}, nil
+}
+
+// classifyStream maps a streaming failure onto the endpoint's error
+// classes: decoder faults are the "document:" 400, conformance faults
+// the "instance mapping:" 400, and cancellation/limit errors keep
+// their own classes (504/413) exactly as the tree path's orWorse does.
+func classifyStream(serr error) error {
+	if serr == nil {
+		return nil
+	}
+	var se *embedding.StreamError
+	if !errors.As(serr, &se) {
+		return serr
+	}
+	switch se.Stage {
+	case "parse":
+		return badRequest("document: %v", se.Err).orWorse(se.Err)
+	case "write":
+		return fmt.Errorf("internal error: write output: %w", se.Err)
+	}
+	return badRequest("instance mapping: %v", se.Err).orWorse(se.Err)
+}
+
+// rawXML is a non-JSON endpoint result: the api wrapper writes it
+// verbatim with the XML content type (used by multipart /v1/migrate).
+type rawXML struct {
+	body []byte
+}
+
+// handleMigrateMultipart is the streaming request form of /v1/migrate:
+// a multipart/form-data body whose fields mirror the JSON request
+// (source_dtd, target_dtd, source_root, target_root, embedding, and an
+// optional budget part holding the JSON budget object), followed by a
+// final "document" part. The document part is fed to the compiled σd
+// directly off the wire — the request body is never buffered — and the
+// migrated XML comes back raw (application/xml). Only forward
+// migration streams; use the JSON form for σd⁻¹.
+func (s *Server) handleMigrateMultipart(ctx context.Context, r *http.Request) (any, error) {
+	mr, err := r.MultipartReader()
+	if err != nil {
+		return nil, badRequest("invalid multipart request: %v", err)
+	}
+	fields := map[string]string{}
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			return nil, badRequest("multipart request has no document part")
+		}
+		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				return nil, mbe
+			}
+			return nil, badRequest("invalid multipart request: %v", err)
+		}
+		name := part.FormName()
+		if name != "document" {
+			// Config fields are small; the body cap still bounds them.
+			data, err := io.ReadAll(part)
+			part.Close()
+			if err != nil {
+				var mbe *http.MaxBytesError
+				if errors.As(err, &mbe) {
+					return nil, mbe
+				}
+				return nil, badRequest("multipart field %q: %v", name, err)
+			}
+			fields[name] = string(data)
+			continue
+		}
+
+		// All configuration must precede the document: from here on the
+		// part reader streams straight into the engine.
+		var budget Budget
+		if b := fields["budget"]; b != "" {
+			if err := json.Unmarshal([]byte(b), &budget); err != nil {
+				part.Close()
+				return nil, badRequest("budget: %v", err)
+			}
+		}
+		bctx, cancel, lim := s.budgetCtx(ctx, budget)
+		defer cancel()
+		pair, _, err := s.pairFor(bctx, schemaPair{
+			SourceDTD:  fields["source_dtd"],
+			TargetDTD:  fields["target_dtd"],
+			SourceRoot: fields["source_root"],
+			TargetRoot: fields["target_root"],
+		}, fields["embedding"], lim)
+		if err != nil {
+			part.Close()
+			return nil, err
+		}
+		if err := guard.Fault(bctx, "server.migrate"); err != nil {
+			part.Close()
+			return nil, err
+		}
+		// The response is buffered (not the request): a conformance or
+		// limit fault discovered mid-document must still produce its
+		// proper status code, which is impossible once raw XML bytes
+		// have been sent.
+		var buf bytes.Buffer
+		_, serr := pair.prog.Run(bctx, part, &buf, embedding.StreamOptions{Limits: lim})
+		part.Close()
+		if serr != nil {
+			return nil, classifyStream(serr)
+		}
+		return &rawXML{body: buf.Bytes()}, nil
+	}
 }
 
 // orWorse keeps cancellation, limit and injected-fault errors in their

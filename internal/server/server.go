@@ -323,6 +323,13 @@ func (s *Server) api(endpoint string, fn func(ctx context.Context, r *http.Reque
 			s.writeError(w, toAPIError(err))
 			return
 		}
+		if raw, ok := out.(*rawXML); ok {
+			countResponse(http.StatusOK)
+			w.Header().Set("Content-Type", "application/xml")
+			w.WriteHeader(http.StatusOK)
+			w.Write(raw.body)
+			return
+		}
 		s.writeJSON(w, http.StatusOK, out)
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"mime/multipart"
 	"net/http"
 	"strings"
 	"testing"
@@ -468,4 +469,136 @@ func ExampleServer() {
 	defer cancel()
 	_ = s.Shutdown(ctx)
 	// Output: 200
+}
+
+// postMultipart posts a multipart /v1/migrate request: config fields
+// first, the document part last, exactly as the streaming form
+// requires.
+func postMultipart(t *testing.T, s *Server, fields map[string]string, doc string) (*http.Response, string) {
+	t.Helper()
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	for name, val := range fields {
+		if err := mw.WriteField(name, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if doc != "" {
+		fw, err := mw.CreateFormFile("document", "doc.xml")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.WriteString(fw, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mw.Close()
+	resp, err := http.Post("http://"+s.Addr()+"/v1/migrate", mw.FormDataContentType(), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(raw)
+}
+
+// TestMigrateMultipartStream: the multipart form streams the document
+// through σd and answers raw XML, byte-identical to the JSON form's
+// document field.
+func TestMigrateMultipartStream(t *testing.T) {
+	s := testServer(t, Config{})
+	emb := workload.ClassEmbedding()
+	pair := classPair()
+	fields := map[string]string{
+		"source_dtd": pair.SourceDTD,
+		"target_dtd": pair.TargetDTD,
+		"embedding":  emb.Marshal(),
+	}
+
+	resp, body := postJSON(t, s, "/v1/migrate", MigrateRequest{
+		schemaPair: pair, Embedding: emb.Marshal(), Document: classDocXML,
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("JSON migrate status = %d, body %v", resp.StatusCode, body)
+	}
+	want, _ := body["document"].(string)
+	if want == "" {
+		t.Fatal("JSON migrate returned no document")
+	}
+
+	mresp, got := postMultipart(t, s, fields, classDocXML)
+	if mresp.StatusCode != 200 {
+		t.Fatalf("multipart migrate status = %d, body %s", mresp.StatusCode, got)
+	}
+	if ct := mresp.Header.Get("Content-Type"); ct != "application/xml" {
+		t.Errorf("Content-Type = %q, want application/xml", ct)
+	}
+	if got != want {
+		t.Errorf("multipart output differs from JSON form:\n got: %q\nwant: %q", got, want)
+	}
+
+	t.Run("nonconforming document", func(t *testing.T) {
+		resp, body := postMultipart(t, s, fields, "<db><wrong/></db>")
+		if resp.StatusCode != 400 {
+			t.Fatalf("status = %d, want 400: %s", resp.StatusCode, body)
+		}
+		if !strings.Contains(body, "instance mapping") {
+			t.Errorf("error body %q does not name the mapping stage", body)
+		}
+	})
+	t.Run("malformed document", func(t *testing.T) {
+		resp, body := postMultipart(t, s, fields, "<db><cl<")
+		if resp.StatusCode != 400 {
+			t.Fatalf("status = %d, want 400: %s", resp.StatusCode, body)
+		}
+		if !strings.Contains(body, "document:") {
+			t.Errorf("error body %q does not name the document", body)
+		}
+	})
+	t.Run("missing document part", func(t *testing.T) {
+		resp, body := postMultipart(t, s, fields, "")
+		if resp.StatusCode != 400 || !strings.Contains(body, "no document part") {
+			t.Fatalf("status = %d body = %s, want 400 no-document-part", resp.StatusCode, body)
+		}
+	})
+	t.Run("budget limit", func(t *testing.T) {
+		withBudget := map[string]string{}
+		for k, v := range fields {
+			withBudget[k] = v
+		}
+		withBudget["budget"] = `{"max_input_bytes": 16}`
+		resp, body := postMultipart(t, s, withBudget, classDocXML)
+		if resp.StatusCode != 413 {
+			t.Fatalf("status = %d, want 413: %s", resp.StatusCode, body)
+		}
+	})
+}
+
+// TestMigrateStreamTreeParity: the JSON forward path (streaming) and
+// an explicit tree-path migration agree byte for byte.
+func TestMigrateStreamTreeParity(t *testing.T) {
+	s := testServer(t, Config{})
+	emb := workload.ClassEmbedding()
+	resp, body := postJSON(t, s, "/v1/migrate", MigrateRequest{
+		schemaPair: classPair(), Embedding: emb.Marshal(), Document: classDocXML,
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("migrate status = %d, body %v", resp.StatusCode, body)
+	}
+	got, _ := body["document"].(string)
+
+	doc, err := xmltree.ParseString(classDocXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := emb.Apply(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != res.Tree.String() {
+		t.Errorf("streamed response differs from tree path:\n got: %q\nwant: %q", got, res.Tree.String())
+	}
 }

@@ -76,7 +76,7 @@ func Parse(r io.Reader) (*Tree, error) {
 // select the defaults; guard.Unlimited() disables the checks).
 func ParseLimits(r io.Reader, lim guard.Limits) (*Tree, error) {
 	lim = lim.WithDefaults()
-	cr := &countingReader{r: r, lim: lim}
+	cr := &countingReader{r: r, lim: lim, ctx: "xmltree: parse"}
 	dec := xml.NewDecoder(cr)
 	t := &Tree{}
 	scratch := getParseScratch()
@@ -186,18 +186,21 @@ func validName(label string, cache map[string]bool) bool {
 }
 
 // countingReader bounds the bytes read from the underlying reader,
-// surfacing a LimitError through the decoder.
+// surfacing a LimitError through the decoder. ctx names the consumer
+// in limit errors ("xmltree: parse" here, "xmltree: stream" for the
+// Tokenizer).
 type countingReader struct {
 	r        io.Reader
 	n        int
 	lim      guard.Limits
+	ctx      string
 	limitErr error
 }
 
 func (c *countingReader) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
 	c.n += n
-	if lerr := c.lim.CheckInputBytes(c.n, "xmltree: parse"); lerr != nil {
+	if lerr := c.lim.CheckInputBytes(c.n, c.ctx); lerr != nil {
 		c.limitErr = lerr
 		return n, lerr
 	}

@@ -1,0 +1,463 @@
+package xmltree
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/guard"
+)
+
+// Streaming front- and back-end for the tree codec: a pull Tokenizer
+// that yields the exact node stream Parse would build (same entity and
+// escaping rules, same whitespace policy, same guard.Limits
+// enforcement) without materializing a Tree, and an Emitter whose
+// output is byte-identical to Tree.Write for the same event sequence.
+// Together they let the embedding engine apply the instance mapping σd
+// with O(depth) state (see internal/embedding/stream.go).
+
+// TokKind discriminates Tok values.
+type TokKind uint8
+
+const (
+	// TokStart opens an element.
+	TokStart TokKind = iota
+	// TokText is one PCDATA node (already whitespace-trimmed, exactly
+	// as Parse would have stored it).
+	TokText
+	// TokEnd closes the innermost open element.
+	TokEnd
+	// TokEOF marks the end of a well-formed document.
+	TokEOF
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokStart:
+		return "start"
+	case TokText:
+		return "text"
+	case TokEnd:
+		return "end"
+	case TokEOF:
+		return "eof"
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+// Tok is one node-stream event. Name is set for TokStart/TokEnd, Text
+// for TokText.
+type Tok struct {
+	Kind TokKind
+	Name string
+	Text string
+}
+
+// TokenizerStats reports resource usage after (or during) a scan.
+type TokenizerStats struct {
+	Tokens     int64 // events returned (start+text+end)
+	Nodes      int   // nodes counted against guard.Limits.MaxNodes
+	MaxDepth   int   // deepest open-element nesting observed
+	InputBytes int64 // raw bytes consumed from the reader
+}
+
+// Tokenizer is a pull scanner over an XML document. It reuses
+// encoding/xml exactly as Parse does, so entity expansion ("&#xD;",
+// "&amp;"), CDATA ("]]>" handling), comment/PI skipping and the
+// whitespace-only-text drop behave identically; a document accepted by
+// Parse yields the same node sequence here, and a document rejected by
+// Parse fails here with the same class of error.
+//
+// Limits are enforced during the scan: element nesting depth, total
+// node count (elements plus emitted text nodes) and raw input bytes
+// are all bounded even though no tree is ever built.
+type Tokenizer struct {
+	dec   *xml.Decoder
+	cr    *countingReader
+	lim   guard.Limits
+	names map[string]bool
+
+	stack    []string // open element labels (the O(depth) state)
+	unread   []Tok    // pushed-back / queued tokens, LIFO
+	pending  strings.Builder
+	stats    TokenizerStats
+	rootSeen bool
+	err      error // sticky
+}
+
+// NewTokenizer starts a scan of r under the default guard.Limits.
+func NewTokenizer(r io.Reader) *Tokenizer {
+	return NewTokenizerLimits(r, guard.Limits{})
+}
+
+// NewTokenizerLimits is NewTokenizer under explicit resource limits
+// (zero fields select the defaults; guard.Unlimited() disables the
+// checks).
+func NewTokenizerLimits(r io.Reader, lim guard.Limits) *Tokenizer {
+	lim = lim.WithDefaults()
+	cr := &countingReader{r: r, lim: lim, ctx: "xmltree: stream"}
+	return &Tokenizer{
+		dec:   xml.NewDecoder(cr),
+		cr:    cr,
+		lim:   lim,
+		names: make(map[string]bool, 16),
+	}
+}
+
+// Depth returns the current open-element nesting depth.
+func (z *Tokenizer) Depth() int { return len(z.stack) }
+
+// Stats returns resource usage so far.
+func (z *Tokenizer) Stats() TokenizerStats {
+	s := z.stats
+	s.InputBytes = int64(z.cr.n)
+	return s
+}
+
+// Unread pushes tok back; the next call to Next returns it. Multiple
+// pushed tokens return in LIFO order. Unread does not undo stats or
+// limit accounting — the token was already charged when first read.
+func (z *Tokenizer) Unread(tok Tok) {
+	z.unread = append(z.unread, tok)
+}
+
+func (z *Tokenizer) fail(err error) (Tok, error) {
+	z.err = err
+	return Tok{}, err
+}
+
+func (z *Tokenizer) addNode() error {
+	z.stats.Nodes++
+	return z.lim.CheckNodes(z.stats.Nodes, "xmltree: stream")
+}
+
+// flushText converts accumulated character data into a TokText, or
+// reports ok=false when it is empty, whitespace-only, or outside the
+// root element (all dropped, exactly as in Parse).
+func (z *Tokenizer) flushText() (Tok, bool, error) {
+	if z.pending.Len() == 0 {
+		return Tok{}, false, nil
+	}
+	text := z.pending.String()
+	z.pending.Reset()
+	if strings.TrimSpace(text) == "" {
+		return Tok{}, false, nil
+	}
+	if len(z.stack) == 0 {
+		return Tok{}, false, nil
+	}
+	if err := z.addNode(); err != nil {
+		return Tok{}, false, err
+	}
+	z.stats.Tokens++
+	return Tok{Kind: TokText, Text: strings.TrimSpace(text)}, true, nil
+}
+
+// Next returns the next node-stream event. After TokEOF (or an error)
+// every subsequent call returns the same result.
+func (z *Tokenizer) Next() (Tok, error) {
+	if z.err != nil {
+		return Tok{}, z.err
+	}
+	if n := len(z.unread); n > 0 {
+		tok := z.unread[n-1]
+		z.unread = z.unread[:n-1]
+		return tok, nil
+	}
+	for {
+		tok, err := z.dec.Token()
+		if err == io.EOF {
+			if !z.rootSeen {
+				return z.fail(fmt.Errorf("xmltree: no root element"))
+			}
+			if len(z.stack) != 0 {
+				return z.fail(fmt.Errorf("xmltree: unclosed element %q", z.stack[len(z.stack)-1]))
+			}
+			return Tok{Kind: TokEOF}, nil
+		}
+		if err != nil {
+			if le := z.cr.limitErr; le != nil {
+				return z.fail(le)
+			}
+			return z.fail(fmt.Errorf("xmltree: parse: %w", err))
+		}
+		switch tok := tok.(type) {
+		case xml.StartElement:
+			text, ok, err := z.flushText()
+			if err != nil {
+				return z.fail(err)
+			}
+			if err := z.lim.CheckDepth(len(z.stack)+1, "xmltree: stream"); err != nil {
+				return z.fail(err)
+			}
+			if err := z.addNode(); err != nil {
+				return z.fail(err)
+			}
+			if !validName(tok.Name.Local, z.names) {
+				return z.fail(fmt.Errorf("xmltree: parse: element name %q is not a valid XML name on its own (namespaced local names like \"ns:%s\" cannot round-trip)", tok.Name.Local, tok.Name.Local))
+			}
+			if len(z.stack) == 0 {
+				if z.rootSeen {
+					return z.fail(fmt.Errorf("xmltree: multiple root elements"))
+				}
+				z.rootSeen = true
+			}
+			z.stack = append(z.stack, tok.Name.Local)
+			if d := len(z.stack); d > z.stats.MaxDepth {
+				z.stats.MaxDepth = d
+			}
+			z.stats.Tokens++
+			start := Tok{Kind: TokStart, Name: tok.Name.Local}
+			if ok {
+				z.Unread(start)
+				return text, nil
+			}
+			return start, nil
+		case xml.EndElement:
+			text, ok, err := z.flushText()
+			if err != nil {
+				return z.fail(err)
+			}
+			if len(z.stack) == 0 {
+				return z.fail(fmt.Errorf("xmltree: unbalanced end element %q", tok.Name.Local))
+			}
+			name := z.stack[len(z.stack)-1]
+			z.stack = z.stack[:len(z.stack)-1]
+			z.stats.Tokens++
+			end := Tok{Kind: TokEnd, Name: name}
+			if ok {
+				z.Unread(end)
+				return text, nil
+			}
+			return end, nil
+		case xml.CharData:
+			z.pending.Write(tok)
+		}
+	}
+}
+
+// Emitter serializes a start/text/end event stream as indented XML,
+// byte-identical to Tree.Write / Tree.String for the corresponding
+// tree. It buffers at most one pending start tag plus one pending text
+// node (the lookahead needed to pick the "<a/>", inline "<a>t</a>" or
+// block rendering), so its memory is O(depth) regardless of document
+// size. Call Flush after the final End.
+type Emitter struct {
+	w     *bufio.Writer
+	depth int
+	stack []string
+
+	pendingName string // element started but not yet rendered
+	pendingSet  bool
+	firstText   string // first text child of the pending element
+	textSet     bool
+
+	bytes int64
+	err   error // sticky
+}
+
+// NewEmitter returns an Emitter writing to w.
+func NewEmitter(w io.Writer) *Emitter {
+	return &Emitter{w: bufio.NewWriterSize(w, 16<<10)}
+}
+
+// Bytes returns the number of bytes written so far (including bytes
+// still sitting in the internal buffer).
+func (e *Emitter) Bytes() int64 { return e.bytes }
+
+// countingEmitWriter adapts bufio.Writer to xmlWriter while tracking
+// written bytes for Bytes().
+func (e *Emitter) ws(s string) {
+	if e.err != nil {
+		return
+	}
+	n, err := e.w.WriteString(s)
+	e.bytes += int64(n)
+	e.err = err
+}
+
+func (e *Emitter) wb(c byte) {
+	if e.err != nil {
+		return
+	}
+	if err := e.w.WriteByte(c); err != nil {
+		e.err = err
+		return
+	}
+	e.bytes++
+}
+
+// escape writes s with the codec's escaping rules (same table as
+// xmlEscape, including the CR → "&#xD;" round-trip rule).
+func (e *Emitter) escape(s string) {
+	if e.err != nil {
+		return
+	}
+	cw := countWriter{w: e.w, n: &e.bytes, err: &e.err}
+	xmlEscape(cw, s)
+}
+
+// countWriter satisfies xmlWriter over a bufio.Writer, accumulating
+// byte counts and the first error.
+type countWriter struct {
+	w   *bufio.Writer
+	n   *int64
+	err *error
+}
+
+func (c countWriter) WriteString(s string) (int, error) {
+	if *c.err != nil {
+		return 0, *c.err
+	}
+	n, err := c.w.WriteString(s)
+	*c.n += int64(n)
+	if err != nil {
+		*c.err = err
+	}
+	return n, err
+}
+
+func (c countWriter) WriteByte(b byte) error {
+	if *c.err != nil {
+		return *c.err
+	}
+	if err := c.w.WriteByte(b); err != nil {
+		*c.err = err
+		return err
+	}
+	*c.n++
+	return nil
+}
+
+func (c countWriter) WriteRune(r rune) (int, error) {
+	if *c.err != nil {
+		return 0, *c.err
+	}
+	n, err := c.w.WriteRune(r)
+	*c.n += int64(n)
+	if err != nil {
+		*c.err = err
+	}
+	return n, err
+}
+
+// open renders the pending start tag as a block opener (children
+// follow on their own lines) and flushes any buffered first text child
+// as the first line.
+func (e *Emitter) open() {
+	e.ws(indentOf(e.depth))
+	e.wb('<')
+	e.ws(e.pendingName)
+	e.ws(">\n")
+	e.stack = append(e.stack, e.pendingName)
+	e.depth++
+	e.pendingSet = false
+	if e.textSet {
+		e.ws(indentOf(e.depth))
+		e.escape(e.firstText)
+		e.wb('\n')
+		e.textSet = false
+		e.firstText = ""
+	}
+	e.pendingName = ""
+}
+
+// Start opens an element.
+func (e *Emitter) Start(label string) error {
+	if e.pendingSet {
+		e.open()
+	}
+	e.pendingName = label
+	e.pendingSet = true
+	return e.err
+}
+
+// Text emits one PCDATA node.
+func (e *Emitter) Text(s string) error {
+	if e.pendingSet {
+		if !e.textSet {
+			e.firstText = s
+			e.textSet = true
+			return e.err
+		}
+		e.open()
+	}
+	e.ws(indentOf(e.depth))
+	e.escape(s)
+	e.wb('\n')
+	return e.err
+}
+
+// End closes the innermost open element, choosing the empty, inline or
+// block rendering exactly as writeNode does.
+func (e *Emitter) End() error {
+	if e.pendingSet {
+		e.ws(indentOf(e.depth))
+		e.wb('<')
+		e.ws(e.pendingName)
+		if e.textSet {
+			e.wb('>')
+			e.escape(e.firstText)
+			e.ws("</")
+			e.ws(e.pendingName)
+			e.ws(">\n")
+			e.textSet = false
+			e.firstText = ""
+		} else {
+			e.ws("/>\n")
+		}
+		e.pendingSet = false
+		e.pendingName = ""
+		return e.err
+	}
+	if len(e.stack) == 0 {
+		if e.err == nil {
+			e.err = fmt.Errorf("xmltree: emitter: End with no open element")
+		}
+		return e.err
+	}
+	name := e.stack[len(e.stack)-1]
+	e.stack = e.stack[:len(e.stack)-1]
+	e.depth--
+	e.ws(indentOf(e.depth))
+	e.ws("</")
+	e.ws(name)
+	e.ws(">\n")
+	return e.err
+}
+
+// Node emits a fully built subtree (used for default fills and
+// buffered-reorder fallbacks, where the fragment already exists as
+// nodes).
+func (e *Emitter) Node(n *Node) error {
+	if n.IsText() {
+		return e.Text(n.Text)
+	}
+	if err := e.Start(n.Label); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := e.Node(c); err != nil {
+			return err
+		}
+	}
+	return e.End()
+}
+
+// Flush drains the internal buffer. It must be called after the final
+// End; it is an error to flush with elements still open or pending.
+func (e *Emitter) Flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.pendingSet || len(e.stack) != 0 {
+		e.err = fmt.Errorf("xmltree: emitter: Flush with unclosed element")
+		return e.err
+	}
+	if err := e.w.Flush(); err != nil {
+		e.err = err
+	}
+	return e.err
+}

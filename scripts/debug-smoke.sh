@@ -66,11 +66,14 @@ if [ -z "$ok" ]; then
 fi
 
 fail=0
+# The batch default is the streaming engine, so the scrape carries the
+# xse_stream_* instruments alongside the pipeline document counters.
 for want in \
   '# TYPE xse_pipeline_docs_total counter' \
-  '# TYPE xse_pipeline_parse_seconds histogram' \
+  '# TYPE xse_stream_buffered_peak_bytes histogram' \
   '^xse_pipeline_docs_ok_total 4$' \
-  'xse_pipeline_parse_seconds_bucket{le="+Inf"} 4' \
+  '^xse_stream_docs_total 4$' \
+  'xse_pipeline_doc_seconds_bucket{le="+Inf"} 4' \
   '^xse_translate_total'; do
   if ! grep -q "$want" "$tmp/metrics.txt"; then
     echo "debug-smoke: /metrics missing: $want" >&2
@@ -79,13 +82,14 @@ for want in \
 done
 
 # /metrics.json and the trace file must both be valid JSON; the trace
-# must hold the per-document stage spans.
+# must hold the per-document spans (one stream span per document on
+# the streaming default).
 python3 - "$tmp/metrics.json" "$tmp/trace.json" <<'PY' || fail=1
 import json, sys
 json.load(open(sys.argv[1]))
 trace = json.load(open(sys.argv[2]))
 names = [e["name"] for e in trace["traceEvents"]]
-for stage in ("pipeline.parse", "pipeline.map", "pipeline.encode"):
+for stage in ("pipeline.doc", "pipeline.stream"):
     if names.count(stage) != 4:
         sys.exit(f"trace has {names.count(stage)} {stage} spans, want 4")
 PY

@@ -1,0 +1,83 @@
+#!/usr/bin/env sh
+# Streaming-migration smoke: the streaming default and the -tree
+# baseline must produce byte-identical output (single-document and
+# batch, -j 1 and -j 8), and a large document must migrate in bounded
+# memory — peak RSS well below what materializing the trees would
+# need, enforced under a GOMEMLIMIT far below the tree size. Used by
+# CI's bench-smoke job and `make stream-smoke`.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/xse-map" ./cmd/xse-map
+
+MAP="-mapping testdata/xsemap/map.xse -source testdata/xsemap/class.dtd -target testdata/xsemap/school.dtd"
+
+# 1. Single document: stream (default) vs -tree, byte for byte.
+"$tmp/xse-map" $MAP -o "$tmp/stream.xml" testdata/xsemap/doc.xml
+"$tmp/xse-map" $MAP -tree -o "$tmp/tree.xml" testdata/xsemap/doc.xml
+cmp "$tmp/stream.xml" "$tmp/tree.xml" || {
+  echo "stream-smoke: single-doc stream output differs from -tree" >&2
+  exit 1
+}
+
+# 2. Batch: the worker count must not change any byte in either mode.
+mkdir -p "$tmp/in"
+for i in 0 1 2 3 4 5 6 7; do
+  cp testdata/xsemap/doc.xml "$tmp/in/doc$i.xml"
+done
+for mode in stream tree; do
+  for j in 1 8; do
+    out="$tmp/out-$mode-j$j"
+    mkdir -p "$out"
+    flag=""
+    [ "$mode" = tree ] && flag="-tree"
+    "$tmp/xse-map" $MAP $flag -batch "$tmp/in" -out "$out" -j "$j"
+  done
+done
+for d in "$tmp/out-stream-j8" "$tmp/out-tree-j1" "$tmp/out-tree-j8"; do
+  diff -r "$tmp/out-stream-j1" "$d" > /dev/null || {
+    echo "stream-smoke: batch outputs differ: $tmp/out-stream-j1 vs $d" >&2
+    exit 1
+  }
+done
+
+# 3. Bounded memory: a ~32 MiB document streams through σd under a
+# GOMEMLIMIT far below the ~10x footprint of building both trees, and
+# peak RSS stays below the input size itself. The class unit below is
+# one conforming (class)* child of the db root.
+python3 - "$tmp/big.xml" <<'PY'
+import sys
+unit = ("<class><cno>CS331</cno><title>DB</title>"
+        "<type><regular><prereq>"
+        "<class><cno>CS210</cno><title>Algo</title><type><project>p</project></type></class>"
+        "</prereq></regular></type></class>\n")
+with open(sys.argv[1], "w") as f:
+    f.write("<db>\n")
+    for _ in range(200_000):
+        f.write(unit)
+    f.write("</db>\n")
+PY
+python3 - "$tmp/xse-map" "$tmp/big.xml" <<'PY'
+import os, resource, subprocess, sys
+xse_map, big = sys.argv[1], sys.argv[2]
+doc_bytes = os.path.getsize(big)
+env = dict(os.environ, GOMEMLIMIT="32MiB")
+cmd = [xse_map,
+       "-mapping", "testdata/xsemap/map.xse",
+       "-source", "testdata/xsemap/class.dtd",
+       "-target", "testdata/xsemap/school.dtd",
+       "-max-input", "-1", "-o", os.devnull, big]
+rc = subprocess.call(cmd, env=env)
+if rc != 0:
+    sys.exit(f"stream-smoke: large-doc migration failed (exit {rc})")
+peak = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * 1024
+print(f"stream-smoke: {doc_bytes/1e6:.0f} MB document, peak RSS {peak/1e6:.0f} MB")
+if peak >= doc_bytes:
+    sys.exit(f"stream-smoke: peak RSS {peak} >= document size {doc_bytes}; "
+             "the streaming path is buffering the document")
+PY
+
+echo "stream-smoke: stream/tree equivalence and bounded-memory OK"
