@@ -33,6 +33,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzXMLDecode -fuzztime=$(FUZZTIME) ./internal/xmltree
 	$(GO) test -run='^$$' -fuzz=FuzzServeRequest -fuzztime=$(FUZZTIME) ./internal/server
 	$(GO) test -run='^$$' -fuzz=FuzzStreamMigrate -fuzztime=$(FUZZTIME) ./internal/embedding
+	$(GO) test -run='^$$' -fuzz=FuzzAnfaOptimize -fuzztime=$(FUZZTIME) ./internal/anfa
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

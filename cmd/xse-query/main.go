@@ -11,6 +11,9 @@
 //	               document and verify Q(T) = idM(Tr(Q)(σd(T)))
 //	-show-anfa     print the translated automaton
 //	-show-regex    expand the automaton back to regular XPath (small automata)
+//	-no-optimize   keep the raw translation: skip the schema-aware ANFA
+//	               optimizer (the differential baseline; also required
+//	               when -doc does not conform to the target schema)
 //	-v             report translation-cache statistics (hits/misses)
 //	-timeout d     abort the whole run after duration d (exit 4)
 //	-max-input n   max input size in bytes (0 = default, -1 = unlimited)
@@ -68,6 +71,7 @@ func main() {
 		srcDocFile  = flag.String("source-doc", "", "source document for a preservation check")
 		showANFA    = flag.Bool("show-anfa", false, "print the translated automaton")
 		showRegex   = flag.Bool("show-regex", false, "print the translated query as regular XPath")
+		noOptimize  = flag.Bool("no-optimize", false, "skip the schema-aware ANFA optimizer (differential baseline)")
 		verbose     = flag.Bool("v", false, "report translation-cache statistics")
 		timeout     = flag.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
 		maxInput    = flag.Int("max-input", 0, "max input size in bytes (0 = default 64MiB, -1 = unlimited)")
@@ -118,7 +122,7 @@ func main() {
 		if err != nil {
 			fatalf(exitInvalid, "parse query: %v", err)
 		}
-		auto, err := cache.Get(ctx, sigma, q)
+		auto, err := cache.GetOpt(ctx, sigma, q, core.TranslateOptions{NoOptimize: *noOptimize})
 		if err != nil {
 			fatalCtx(err, "translate")
 		}
@@ -142,7 +146,9 @@ func main() {
 				code = exitInternal
 			}
 		case doc != nil:
-			answers, err := auto.EvalCtx(ctx, doc.Root)
+			// The compiled backend; the cached automaton carries its
+			// program across queries and processes.
+			answers, err := auto.Program().RunCtx(ctx, doc.Root)
 			if err != nil {
 				fatalCtx(err, "evaluate")
 			}

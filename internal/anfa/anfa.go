@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/xmltree"
 )
@@ -149,6 +150,12 @@ func (m *Machine) FinalStates() []StateID {
 type Automaton struct {
 	M     *Machine
 	Names map[string]*Machine
+
+	// prog memoizes the compiled form (see Program); mutating passes
+	// invalidate it. Guarded so a shared cached Automaton can be
+	// compiled lazily from any number of goroutines.
+	progMu sync.Mutex
+	prog   *Program
 }
 
 // NewAutomaton wraps a machine with an empty name table.
@@ -173,6 +180,50 @@ func machineSize(m *Machine) int {
 		n += len(ts)
 	}
 	return n
+}
+
+// NumStates returns the state count across the top machine and all
+// named sub-machines (Size minus the transitions).
+func (a *Automaton) NumStates() int {
+	n := a.M.States
+	for _, m := range a.Names {
+		n += m.States
+	}
+	return n
+}
+
+// Clone returns a deep copy sharing no mutable structure with a
+// (qualifier trees are immutable values and are shared).
+func (a *Automaton) Clone() *Automaton {
+	c := &Automaton{M: cloneMachine(a.M), Names: make(map[string]*Machine, len(a.Names))}
+	for n, m := range a.Names {
+		c.Names[n] = cloneMachine(m)
+	}
+	return c
+}
+
+func cloneMachine(m *Machine) *Machine {
+	c := &Machine{
+		States: m.States,
+		Start:  m.Start,
+		Finals: make(map[StateID]bool, len(m.Finals)),
+		Trans:  make([][]Transition, len(m.Trans)),
+		Ann:    make(map[StateID]Qual, len(m.Ann)),
+		Labels: make(map[StateID]string, len(m.Labels)),
+	}
+	for s, ts := range m.Trans {
+		c.Trans[s] = append([]Transition(nil), ts...)
+	}
+	for s := range m.Finals {
+		c.Finals[s] = true
+	}
+	for s, q := range m.Ann {
+		c.Ann[s] = q
+	}
+	for s, l := range m.Labels {
+		c.Labels[s] = l
+	}
+	return c
 }
 
 // Fail returns the automaton accepting nothing: a single start state
@@ -209,12 +260,32 @@ func reachable(m *Machine) map[StateID]bool {
 	return seen
 }
 
-// RemoveUseless prunes states of the top machine that are unreachable
-// from the start or cannot reach a final state (the useless-state
-// removal assumed after each construction step in §4.4). The start
-// state is always kept. Unreferenced named machines are dropped.
+// RemoveUseless prunes states that are unreachable from the start or
+// cannot reach a final state (the useless-state removal assumed after
+// each construction step in §4.4) — in the top machine and in every
+// named sub-machine, so annotations sitting on useless states are
+// dropped with their states rather than lingering to keep dead
+// sub-machines alive. Each machine's start state is always kept.
+// Named machines no live annotation references are then dropped.
 func (a *Automaton) RemoveUseless() {
-	m := a.M
+	dropped := 0
+	a.M, dropped = removeUselessMachine(a.M)
+	for name, m := range a.Names {
+		nm, d := removeUselessMachine(m)
+		a.Names[name] = nm
+		dropped += d
+	}
+	if dropped > 0 {
+		mPruned.Add(uint64(dropped))
+	}
+	a.pruneNames()
+	a.invalidateProgram()
+}
+
+// removeUselessMachine returns m with useless states pruned and
+// renumbered, plus the number of states dropped. Annotations and
+// labels of dropped states are dropped with them.
+func removeUselessMachine(m *Machine) (*Machine, int) {
 	fwd := reachable(m)
 	// Backward reachability from finals.
 	rev := make([][]StateID, m.States)
@@ -279,11 +350,7 @@ func (a *Automaton) RemoveUseless() {
 			nm.Labels[ns] = l
 		}
 	}
-	a.M = nm
-	if dropped := m.States - next; dropped > 0 {
-		mPruned.Add(uint64(dropped))
-	}
-	a.pruneNames()
+	return nm, m.States - next
 }
 
 // pruneNames drops named machines no annotation refers to.

@@ -11,3 +11,16 @@ var (
 	mPruned = obs.Default().Counter("xse_anfa_pruned_states_total",
 		"States discarded by useless-state removal across all constructions.")
 )
+
+// Optimizer and compiled-backend instruments: bumped once per
+// Optimize / Compile / RunCtx call, never inside the hot loops.
+var (
+	mOptStatesRemoved = obs.Default().Counter("xse_anfa_opt_states_removed_total",
+		"States dropped by the optimizer as schema-dead or useless.")
+	mOptMerged = obs.Default().Counter("xse_anfa_opt_merged_total",
+		"States eliminated by the optimizer's subset construction, bisimulation merging and sub-ANFA sharing.")
+	mOptPrograms = obs.Default().Counter("xse_anfa_opt_programs_total",
+		"Compiled ANFA programs built (anfa.Compile calls).")
+	mCompiledEvals = obs.Default().Counter("xse_anfa_compiled_evals_total",
+		"Compiled-program evaluations (Program.RunCtx calls).")
+)

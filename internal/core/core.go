@@ -70,7 +70,21 @@ type (
 	// Program is a compiled, reusable evaluation plan for a query; see
 	// CompileQuery.
 	Program = xpath.Program
+	// ANFAProgram is a compiled, reusable evaluation plan for a
+	// translated ANFA (anfa.Compile / ANFA.Program).
+	ANFAProgram = anfa.Program
+	// ANFAOptOptions configures the schema-aware ANFA optimizer.
+	ANFAOptOptions = anfa.OptOptions
+	// ANFAOptStats reports what one optimizer run did.
+	ANFAOptStats = anfa.OptStats
+	// TranslateOptions configures translation post-processing
+	// (NoOptimize disables the default-on ANFA optimizer).
+	TranslateOptions = translate.Options
 )
+
+// OptimizeANFA runs the schema-aware optimizer over an automaton in
+// place; translation applies it by default (see TranslateOptions).
+func OptimizeANFA(a *ANFA, opt ANFAOptOptions) ANFAOptStats { return anfa.Optimize(a, opt) }
 
 // Embedding types.
 type (
@@ -238,8 +252,15 @@ func FindCtx(ctx context.Context, src, tgt *DTD, att *SimMatrix, opts FindOption
 // Query translation.
 
 // NewTranslator validates the embedding and returns a query
-// translator implementing Tr of Theorem 4.2.
+// translator implementing Tr of Theorem 4.2, with the schema-aware
+// ANFA optimizer on (the default).
 func NewTranslator(e *Embedding) (*Translator, error) { return translate.New(e) }
+
+// NewTranslatorWithOptions is NewTranslator with explicit
+// translation options.
+func NewTranslatorWithOptions(e *Embedding, opts TranslateOptions) (*Translator, error) {
+	return translate.NewWithOptions(e, opts)
+}
 
 // Translation caching.
 type (

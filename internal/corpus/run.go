@@ -110,9 +110,14 @@ type Row struct {
 	Queries    int     `json:"queries"`
 	Translated int     `json:"translated"`
 
-	// ANFA sizes across the translated queries.
+	// ANFA sizes across the translated queries (states plus
+	// transitions, after optimization).
 	ANFAStatesTotal int `json:"anfa_states_total"`
 	ANFAStatesMax   int `json:"anfa_states_max"`
+	// Optimizer effect: summed automaton sizes entering and leaving
+	// the schema-aware ANFA optimizer.
+	ANFAStatesBefore int `json:"anfa_states_before"`
+	ANFAStatesAfter  int `json:"anfa_states_after"`
 
 	// Violations: a non-zero count fails the run.
 	MigrateFailures        int `json:"migrate_failures"`
@@ -189,13 +194,14 @@ func (r *Report) JSON() ([]byte, error) {
 // (pair, heuristic).
 func (r *Report) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %-14s %-6s %8s %10s %9s %7s %6s %8s %6s\n",
-		"pair", "heuristic", "found", "quality", "search_ms", "restarts", "docs", "ok", "queries", "anfa")
+	fmt.Fprintf(&b, "%-8s %-14s %-6s %8s %10s %9s %7s %6s %8s %6s %7s %7s\n",
+		"pair", "heuristic", "found", "quality", "search_ms", "restarts", "docs", "ok", "queries", "anfa", "anfa_b", "anfa_a")
 	for _, p := range r.Pairs {
 		for _, row := range p.Rows {
-			fmt.Fprintf(&b, "%-8s %-14s %-6v %8.2f %10.2f %9d %7d %6d %8d %6d\n",
+			fmt.Fprintf(&b, "%-8s %-14s %-6v %8.2f %10.2f %9d %7d %6d %8d %6d %7d %7d\n",
 				row.Pair, row.Heuristic, row.Found, row.Quality, row.SearchMS,
-				row.Restarts, row.Docs, row.MigrateOK, row.Queries, row.ANFAStatesMax)
+				row.Restarts, row.Docs, row.MigrateOK, row.Queries, row.ANFAStatesMax,
+				row.ANFAStatesBefore, row.ANFAStatesAfter)
 		}
 	}
 	return b.String()
@@ -358,6 +364,9 @@ func runPair(ctx context.Context, p Pair, h search.Heuristic, att *embedding.Sim
 		if size > row.ANFAStatesMax {
 			row.ANFAStatesMax = size
 		}
+		opt := trl.LastOptStats()
+		row.ANFAStatesBefore += opt.SizeBefore
+		row.ANFAStatesAfter += opt.SizeAfter
 		autos[i] = &anfaHandle{q: q, auto: auto}
 	}
 
@@ -401,15 +410,16 @@ type anfaHandle struct {
 }
 
 // preserved checks Q(T) = idM(Tr(Q)(σd(T))) for one document: the
-// translated automaton, run on the migrated tree, must select exactly
-// the images of the direct answers and never a default-fill node.
+// translated automaton — optimized and compiled, the data-plane
+// production path — run on the migrated tree must select exactly the
+// images of the direct answers and never a default-fill node.
 func preserved(q xpath.Expr, auto *anfa.Automaton, doc *xmltree.Tree, mres *embedding.Result) bool {
 	direct := map[xmltree.NodeID]bool{}
 	for _, n := range xpath.Eval(q, doc.Root) {
 		direct[n.ID] = true
 	}
 	mapped := map[xmltree.NodeID]bool{}
-	for _, n := range auto.Eval(mres.Tree.Root) {
+	for _, n := range auto.Program().Run(mres.Tree.Root) {
 		srcID, ok := mres.IDM[n.ID]
 		if !ok {
 			return false

@@ -22,6 +22,7 @@ var Dirs = map[string]string{
 	"FuzzXMLDecode":  "internal/xmltree/testdata/fuzz/FuzzXMLDecode",
 
 	"FuzzStreamMigrate": "internal/embedding/testdata/fuzz/FuzzStreamMigrate",
+	"FuzzAnfaOptimize":  "internal/anfa/testdata/fuzz/FuzzAnfaOptimize",
 }
 
 // Encode renders one string input in the go-fuzz v1 corpus file format.

@@ -37,7 +37,7 @@ func checkTrial(tr *Trial, rep *Report) []Violation {
 	for _, q := range tr.Queries {
 		q := q
 		nonEmpty := len(xpath.Eval(q, tr.Doc.Root)) > 0
-		for _, p := range []Property{PropQueryPreserv, PropANFADiff, PropCompiledDiff} {
+		for _, p := range []Property{PropQueryPreserv, PropANFADiff, PropCompiledDiff, PropAnfaOpt} {
 			p := p
 			if nonEmpty {
 				rep.NonTrivial[p]++
@@ -71,6 +71,8 @@ func checkProperty(p Property, tr *Trial, doc *xmltree.Tree, q xpath.Expr) *Viol
 		return checkCompiledDifferential(tr, doc, q)
 	case PropStreamDiff:
 		return checkStreamDifferential(tr, doc)
+	case PropAnfaOpt:
+		return checkAnfaOptDifferential(tr, doc, q)
 	}
 	return &Violation{Detail: fmt.Sprintf("unknown property %q", p)}
 }
@@ -221,6 +223,52 @@ func checkCompiledDifferential(tr *Trial, doc *xmltree.Tree, q xpath.Expr) *Viol
 		}
 	}
 	return nil
+}
+
+// checkAnfaOptDifferential: the schema-aware optimizer and the
+// compiled ANFA backend preserve the translated query's answer set on
+// σd(T) — the raw (unoptimized, interpreted) translation, the
+// optimized interpreted automaton and the optimized compiled program
+// all select the same nodes. Order is not compared: the optimizer is
+// only contracted to preserve the answer set.
+func checkAnfaOptDifferential(tr *Trial, doc *xmltree.Tree, q xpath.Expr) *Violation {
+	res, err := tr.Emb.Apply(doc)
+	if err != nil {
+		return &Violation{Detail: fmt.Sprintf("σd failed: %v", err)}
+	}
+	raw, rerr := translateWith(tr.Emb, q, translate.Options{NoOptimize: true})
+	opt, oerr := translateWith(tr.Emb, q, translate.Options{})
+	if (rerr == nil) != (oerr == nil) {
+		return &Violation{Detail: fmt.Sprintf(
+			"optimizer changed translatability: raw err = %v, optimized err = %v", rerr, oerr)}
+	}
+	if rerr != nil {
+		return nil // both fail identically upstream; PropQueryPreserv reports it
+	}
+	want := idSet(xpath.IDs(raw.Eval(res.Tree.Root)))
+	gotEval := idSet(xpath.IDs(opt.Eval(res.Tree.Root)))
+	if !idSetsEqual(want, gotEval) {
+		return &Violation{Detail: fmt.Sprintf(
+			"optimized automaton disagrees with the raw translation on σd(T): raw = %v, optimized = %v (states %d -> %d)",
+			want, gotEval, raw.NumStates(), opt.NumStates())}
+	}
+	gotProg := idSet(xpath.IDs(opt.Program().Run(res.Tree.Root)))
+	if !idSetsEqual(want, gotProg) {
+		return &Violation{Detail: fmt.Sprintf(
+			"compiled program disagrees with the raw translation on σd(T): raw = %v, compiled = %v", want, gotProg)}
+	}
+	return nil
+}
+
+// translateWith translates q under explicit options with a fresh
+// translator, so the optimized and unoptimized artifacts never share
+// state.
+func translateWith(emb *embedding.Embedding, q xpath.Expr, opts translate.Options) (*anfa.Automaton, error) {
+	trl, err := translate.NewWithOptions(emb, opts)
+	if err != nil {
+		return nil, err
+	}
+	return trl.Translate(q)
 }
 
 // checkANFADifferential: the automaton M_Q built directly from Q by

@@ -41,6 +41,7 @@ func EmitCorpus(root string, cfg Config, perTarget int) (int, error) {
 		add("FuzzStreamMigrate", tr.Doc.String())
 		for _, q := range tr.Queries {
 			add("FuzzXPathParse", xpath.String(q))
+			add("FuzzAnfaOptimize", xpath.String(q)+"\n"+tr.Doc.String())
 		}
 		for _, p := range tr.Emb.Paths {
 			add("FuzzXPathParse", p.String())

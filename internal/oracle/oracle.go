@@ -52,6 +52,7 @@ const (
 	PropXSLTForward  Property = "xslt-forward"
 	PropXSLTInverse  Property = "xslt-inverse"
 	PropStreamDiff   Property = "stream-differential"
+	PropAnfaOpt      Property = "anfa-opt-differential"
 )
 
 // Properties lists every property in reporting order.
@@ -60,6 +61,7 @@ func Properties() []Property {
 		PropGeneration, PropTypeSafety, PropInvert,
 		PropQueryPreserv, PropANFADiff, PropCompiledDiff,
 		PropXSLTForward, PropXSLTInverse, PropStreamDiff,
+		PropAnfaOpt,
 	}
 }
 

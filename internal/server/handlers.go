@@ -341,8 +341,12 @@ type TranslateRequest struct {
 	Query string `json:"query"`
 	// ShowRegex also expands the automaton back to regular XPath
 	// (small automata only).
-	ShowRegex bool   `json:"show_regex,omitempty"`
-	Budget    Budget `json:"budget,omitempty"`
+	ShowRegex bool `json:"show_regex,omitempty"`
+	// NoOptimize keeps the raw translation, skipping the default-on
+	// schema-aware ANFA optimizer (the differential baseline). The
+	// two variants are cached as distinct artifacts.
+	NoOptimize bool   `json:"no_optimize,omitempty"`
+	Budget     Budget `json:"budget,omitempty"`
 }
 
 // TranslateResponse reports the translated automaton.
@@ -381,7 +385,7 @@ func (s *Server) handleTranslate(ctx context.Context, r *http.Request) (any, err
 	if err := guard.Fault(bctx, "server.translate"); err != nil {
 		return nil, err
 	}
-	auto, err := pair.trans.Get(bctx, pair.sigma, q)
+	auto, err := pair.trans.GetOpt(bctx, pair.sigma, q, translate.Options{NoOptimize: req.NoOptimize})
 	if err != nil {
 		return nil, err
 	}

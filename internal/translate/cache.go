@@ -25,8 +25,9 @@ const DefaultCacheSize = 128
 // identical embeddings share entries across requests in a long-lived
 // process, and a cached entry never pins an Embedding alive.
 type cacheKey struct {
-	fp string
-	q  string
+	fp   string
+	q    string
+	opts Options
 }
 
 // cacheEntry is a single-flight slot. The leader that created the
@@ -88,7 +89,14 @@ func NewCache(capacity int) *Cache {
 // *guard.CancelError; canceled or failed translations are never
 // cached, so transient errors do not poison the key.
 func (c *Cache) Get(ctx context.Context, emb *embedding.Embedding, q xpath.Expr) (*anfa.Automaton, error) {
-	key := cacheKey{fp: emb.Fingerprint(), q: xpath.String(q)}
+	return c.GetOpt(ctx, emb, q, Options{})
+}
+
+// GetOpt is Get under explicit translation options, which are part of
+// the cache key: the optimized and unoptimized (differential
+// baseline) translations of one query are distinct artifacts.
+func (c *Cache) GetOpt(ctx context.Context, emb *embedding.Embedding, q xpath.Expr, opts Options) (*anfa.Automaton, error) {
+	key := cacheKey{fp: emb.Fingerprint(), q: xpath.String(q), opts: opts}
 	for {
 		c.mu.Lock()
 		if el, ok := c.idx[key]; ok {
@@ -130,7 +138,7 @@ func (c *Cache) Get(ctx context.Context, emb *embedding.Embedding, q xpath.Expr)
 		c.misses.Add(1)
 		mCacheMisses.Inc()
 
-		auto, err := c.translate(ctx, emb, q)
+		auto, err := c.translate(ctx, emb, q, opts)
 		ent.auto, ent.err = auto, err
 		if err != nil {
 			c.mu.Lock()
@@ -150,8 +158,8 @@ func (c *Cache) Get(ctx context.Context, emb *embedding.Embedding, q xpath.Expr)
 // translate runs one uncached translation. Each run builds a fresh
 // Translator: a Translator is single-use-at-a-time, and two distinct
 // keys of the same embedding may translate concurrently.
-func (c *Cache) translate(ctx context.Context, emb *embedding.Embedding, q xpath.Expr) (*anfa.Automaton, error) {
-	t, err := New(emb)
+func (c *Cache) translate(ctx context.Context, emb *embedding.Embedding, q xpath.Expr, opts Options) (*anfa.Automaton, error) {
+	t, err := NewWithOptions(emb, opts)
 	if err != nil {
 		return nil, err
 	}

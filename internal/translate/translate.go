@@ -33,13 +33,27 @@ import (
 // label when a subquery ends in text().
 const strType = "#str"
 
+// Options configures translation post-processing.
+type Options struct {
+	// NoOptimize disables the schema-aware ANFA optimizer
+	// (anfa.Optimize under the embedding's target schema) that
+	// otherwise runs on every translated automaton. The unoptimized
+	// automaton is the differential baseline for the optimizer (oracle
+	// property anfa-opt-differential, FuzzAnfaOptimize); it is also
+	// the right choice when evaluating over documents that do not
+	// conform to the target schema, which schema pruning assumes.
+	NoOptimize bool
+}
+
 // Translator translates X_R queries across a fixed, validated
 // embedding. It is not safe for concurrent use.
 type Translator struct {
-	emb  *embedding.Embedding
-	memo map[memoKey]*anfa.Machine
-	auto *anfa.Automaton
-	next int
+	emb     *embedding.Embedding
+	opts    Options
+	memo    map[memoKey]*anfa.Machine
+	auto    *anfa.Automaton
+	next    int
+	lastOpt anfa.OptStats
 	// ctx is the context of the translation in flight, observed at
 	// every memoized subproblem; context.Background() outside
 	// TranslateCtx.
@@ -51,12 +65,18 @@ type memoKey struct {
 	a string
 }
 
-// New validates the embedding and returns a Translator for it.
+// New validates the embedding and returns a Translator for it with
+// default options (optimizer on).
 func New(emb *embedding.Embedding) (*Translator, error) {
+	return NewWithOptions(emb, Options{})
+}
+
+// NewWithOptions is New with explicit options.
+func NewWithOptions(emb *embedding.Embedding, opts Options) (*Translator, error) {
 	if err := emb.Validate(nil); err != nil {
 		return nil, err
 	}
-	return &Translator{emb: emb}, nil
+	return &Translator{emb: emb, opts: opts}, nil
 }
 
 // Translate computes Tr(Q) = Trl(Q, r1) as an ANFA over the target
@@ -86,11 +106,27 @@ func (t *Translator) TranslateCtx(ctx context.Context, q xpath.Expr) (*anfa.Auto
 	top := copyMachine(m)
 	t.auto.M = top
 	t.auto.RemoveUseless()
+	if t.opts.NoOptimize {
+		states, size := t.auto.NumStates(), t.auto.Size()
+		t.lastOpt = anfa.OptStats{
+			StatesBefore: states, StatesAfter: states,
+			SizeBefore: size, SizeAfter: size,
+		}
+	} else {
+		// The optimizer runs once per translation; every evaluation of
+		// the cached automaton (and its compiled program) profits.
+		t.lastOpt = anfa.Optimize(t.auto, anfa.OptOptions{Schema: t.emb.Target})
+	}
 	mTranslates.Inc()
 	mTranslateSeconds.ObserveSince(start)
 	mANFASize.Observe(float64(t.auto.Size()))
 	return t.auto, nil
 }
+
+// LastOptStats reports the optimizer statistics of the most recent
+// (successful) translation: zero until one completes, before==after
+// when the optimizer is disabled.
+func (t *Translator) LastOptStats() anfa.OptStats { return t.lastOpt }
 
 // TranslatePath is a convenience wrapper parsing and translating a
 // textual query.

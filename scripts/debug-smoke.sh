@@ -74,7 +74,11 @@ for want in \
   '^xse_pipeline_docs_ok_total 4$' \
   '^xse_stream_docs_total 4$' \
   'xse_pipeline_doc_seconds_bucket{le="+Inf"} 4' \
-  '^xse_translate_total'; do
+  '^xse_translate_total' \
+  '^xse_anfa_opt_states_removed_total' \
+  '^xse_anfa_opt_merged_total' \
+  '^xse_anfa_opt_programs_total' \
+  '^xse_anfa_compiled_evals_total'; do
   if ! grep -q "$want" "$tmp/metrics.txt"; then
     echo "debug-smoke: /metrics missing: $want" >&2
     fail=1

@@ -11,7 +11,9 @@
 //   - a labeled family uses one label key everywhere: every *L call
 //     site for the same name must pass the same (literal) label key,
 //     so a family like xse_server_shed_total{reason=...} cannot grow a
-//     second dimension by accident.
+//     second dimension by accident;
+//   - every registration carries a non-empty (literal) help string, so
+//     the /metrics exposition's # HELP lines stay meaningful.
 //
 // Only string-literal names are checked; _test.go files are skipped
 // (tests may register throwaway names). Exit status 1 on any finding.
@@ -121,6 +123,13 @@ func main() {
 				if !nameRE.MatchString(name) {
 					fail(pos, "metric %q does not match %s", name, nameRE)
 					return true
+				}
+				if len(call.Args) > 1 {
+					if help, ok := call.Args[1].(*ast.BasicLit); ok && help.Kind == token.STRING {
+						if s, err := strconv.Unquote(help.Value); err == nil && strings.TrimSpace(s) == "" {
+							fail(fset.Position(help.Pos()), "metric %q has an empty help string", name)
+						}
+					}
 				}
 				switch kind {
 				case "counter":
