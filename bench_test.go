@@ -583,6 +583,32 @@ func BenchmarkFindSizeNop(b *testing.B) {
 	}
 }
 
+// BenchmarkFindSizeLedger is BenchmarkFindSize/80 with the
+// explainability ledger on: its spread against BenchmarkFindSize/80
+// is the cost of per-restart rejection accounting, and the
+// ledger-off run must stay within noise of PR 9 (tracked in
+// BENCH_PR10.json).
+func BenchmarkFindSizeLedger(b *testing.B) {
+	const size = 80
+	r := rand.New(rand.NewSource(int64(size)))
+	base := workload.MustSyntheticDTD(r, size)
+	nc := workload.Noise(base, workload.NoiseLevel(0.2), r)
+	att := match.Synthetic(base, nc.DTD, nc.Truth,
+		match.SyntheticOptions{Accuracy: 1, Ambiguity: 2}, r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := search.Find(base, nc.DTD, att,
+			search.Options{Heuristic: search.Random, Seed: int64(i), MaxRestarts: 15, Explain: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Embedding == nil {
+			b.Fatal("no embedding found on the synthetic pair")
+		}
+	}
+}
+
 // BenchmarkCompose measures schema-level composition of the Figure 1
 // class embedding with a school-to-archive hop.
 func BenchmarkCompose(b *testing.B) {

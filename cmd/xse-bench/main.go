@@ -40,6 +40,7 @@ func main() {
 		table, ok := experiments.ByID(*exp, cfg)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "xse-bench: unknown experiment %q (want e1..e7)\n", *exp)
+			tel.SetExit(2)
 			tel.Close()
 			os.Exit(2)
 		}

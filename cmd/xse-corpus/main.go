@@ -105,6 +105,7 @@ func main() {
 	}
 	defer tel.Close()
 	exit := func(code int) {
+		tel.SetExit(code)
 		tel.Close()
 		os.Exit(code)
 	}
@@ -169,6 +170,8 @@ func main() {
 	}
 	if !*jsonOut {
 		fmt.Print(rep.Table())
+		fmt.Println()
+		fmt.Print(rep.RejectionTable())
 	}
 	fmt.Fprintf(os.Stderr, "xse-corpus: %d pairs in %.1fs\n", len(rep.Pairs), time.Since(start).Seconds())
 

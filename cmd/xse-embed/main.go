@@ -8,7 +8,7 @@
 //	          [-att lexical|uniform] [-threshold 0.5]
 //	          [-heuristic random|quality|indepset|exact] [-seed 1]
 //	          [-restarts 40] [-timeout 30s] [-max-input 67108864]
-//	          [-o mapping.xse]
+//	          [-explain] [-o mapping.xse]
 //
 // The shared telemetry flags (-debug-addr, -trace-out, -cpuprofile,
 // -memprofile; see internal/obs) are also accepted; -v appends the
@@ -41,9 +41,10 @@ const (
 	exitNotFound = 5
 )
 
-// cleanup is run by fatalf before exiting, so profiles, traces and the
-// debug server are flushed even on fatal paths.
-var cleanup = func() {}
+// cleanup is run by fatalf before exiting, so profiles, traces, the
+// wide event (carrying the real exit code) and the debug server are
+// flushed even on fatal paths.
+var cleanup = func(code int) {}
 
 func main() {
 	var (
@@ -61,6 +62,7 @@ func main() {
 		maxInput   = flag.Int("max-input", 0, "max schema file size in bytes (0 = default 64MiB, -1 = unlimited)")
 		output     = flag.String("o", "", "output file (default: stdout)")
 		verbose    = flag.Bool("v", false, "print search statistics to stderr")
+		explain    = flag.Bool("explain", false, "print the per-restart search ledger (rejection counts by constraint class, abort reasons) to stderr")
 	)
 	tel := obs.NewCLI("xse-embed", flag.CommandLine)
 	flag.Parse()
@@ -72,7 +74,7 @@ func main() {
 	if err != nil {
 		fatalf(exitInternal, "%v", err)
 	}
-	cleanup = tel.Close
+	cleanup = func(code int) { tel.SetExit(code); tel.Close() }
 	defer tel.Close()
 	lim := core.Limits{MaxInputBytes: *maxInput}
 
@@ -113,7 +115,13 @@ func main() {
 		Seed:        *seed,
 		MaxRestarts: *restarts,
 		Parallel:    *parallel,
+		Explain:     *explain,
 	})
+	// The ledger prints on every outcome — a timeout's or not-found's
+	// rejection breakdown is exactly what -explain is for.
+	if *explain && res != nil {
+		search.WriteLedger(os.Stderr, res)
+	}
 	if *verbose && res != nil {
 		fmt.Fprintf(os.Stderr, "heuristic=%s restarts=%d steps=%d paths=%d elapsed=%s exhausted=%v\n",
 			h, res.Restarts, res.Steps, res.PathsEnumerated, res.Elapsed, res.Exhausted)
@@ -161,6 +169,6 @@ func mustSchema(path, root string, lim core.Limits) *core.DTD {
 
 func fatalf(code int, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "xse-embed: "+format+"\n", args...)
-	cleanup()
+	cleanup(code)
 	os.Exit(code)
 }

@@ -61,9 +61,10 @@ const (
 	exitTimeout  = 4
 )
 
-// cleanup is run by fatalf before exiting, so profiles, traces and the
-// debug server are flushed even on fatal paths.
-var cleanup = func() {}
+// cleanup is run by fatalf before exiting, so profiles, traces, the
+// wide event (carrying the real exit code) and the debug server are
+// flushed even on fatal paths.
+var cleanup = func(code int) {}
 
 func main() {
 	var (
@@ -95,7 +96,7 @@ func main() {
 	if err != nil {
 		fatalf(exitInternal, "%v", err)
 	}
-	cleanup = tel.Close
+	cleanup = func(code int) { tel.SetExit(code); tel.Close() }
 	defer tel.Close()
 	if *timeout > 0 {
 		// Every mapping stage is context-aware; the deadline propagates
@@ -292,6 +293,7 @@ func runBatch(ctx context.Context, sigma *core.Embedding, cfg batchConfig) {
 	if cfg.verbose {
 		obs.WriteSummary(os.Stderr, obs.Default())
 	}
+	cfg.tel.SetExit(code)
 	cfg.tel.Close()
 	os.Exit(code)
 }
@@ -393,6 +395,6 @@ func fatalCtx(err error, stage string) {
 
 func fatalf(code int, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "xse-map: "+format+"\n", args...)
-	cleanup()
+	cleanup(code)
 	os.Exit(code)
 }

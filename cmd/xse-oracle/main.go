@@ -71,6 +71,7 @@ func main() {
 	// exit flushes telemetry before leaving: deferred Close does not run
 	// past os.Exit.
 	exit := func(code int) {
+		tel.SetExit(code)
 		tel.Close()
 		os.Exit(code)
 	}

@@ -48,9 +48,10 @@ const (
 	exitTimeout  = 4
 )
 
-// cleanup is run by fatalf before exiting, so profiles, traces and the
-// debug server are flushed even on fatal paths.
-var cleanup = func() {}
+// cleanup is run by fatalf before exiting, so profiles, traces, the
+// wide event (carrying the real exit code) and the debug server are
+// flushed even on fatal paths.
+var cleanup = func(code int) {}
 
 // multiFlag collects repeated -query values.
 type multiFlag []string
@@ -87,7 +88,7 @@ func main() {
 	if err != nil {
 		fatalf(exitInternal, "%v", err)
 	}
-	cleanup = tel.Close
+	cleanup = func(code int) { tel.SetExit(code); tel.Close() }
 	defer tel.Close()
 	if *timeout > 0 {
 		// Translation and evaluation observe the context; the deadline
@@ -162,6 +163,7 @@ func main() {
 		obs.WriteSummary(os.Stderr, obs.Default())
 	}
 	if code != 0 {
+		tel.SetExit(code)
 		tel.Close()
 		os.Exit(code)
 	}
@@ -258,6 +260,6 @@ func mustDoc(path string, lim core.Limits) *xmltree.Tree {
 
 func fatalf(code int, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "xse-query: "+format+"\n", args...)
-	cleanup()
+	cleanup(code)
 	os.Exit(code)
 }

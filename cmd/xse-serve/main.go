@@ -21,12 +21,20 @@
 //	-drain-grace d      readiness-down to listener-close gap for LB deregistration (default 0)
 //	-cache-size n       schema-pair artifact cache entries (default 64)
 //	-max-input n        max request body / input size in bytes (0 = default 64MiB)
+//	-log-format f       per-request wide events on stderr: "json" or "text" (default off)
 //	-fault spec         test-only fault injection, repeatable (mode:stage[:arg], see internal/guard)
 //
 // Endpoints: POST /v1/embed, /v1/translate, /v1/migrate (JSON; see
 // README for curl examples); GET /healthz (liveness), /readyz
-// (readiness — 503 while draining), /metrics, /metrics.json,
-// /debug/vars, /debug/pprof/* (the internal/obs surface).
+// (readiness — JSON body with drain state and queue depth, 503 while
+// draining), /metrics, /metrics.json, /debug/vars, /debug/events (the
+// flight recorder of recent request events, filterable by query
+// params), /debug/pprof/* (the internal/obs surface).
+//
+// Every request carries a correlation ID: the X-Request-Id request
+// header when present (else minted), echoed in the response header and
+// error bodies, stamped on the request's wide event and retrievable
+// from /debug/events?request_id=....
 //
 // Signals: SIGTERM and SIGINT start a graceful drain — readiness
 // flips, new requests are shed with 503 + Retry-After, in-flight
@@ -58,9 +66,10 @@ const (
 	exitUsage    = 2
 )
 
-// cleanup is run by fatalf before exiting, so profiles and traces are
-// flushed even on fatal paths.
-var cleanup = func() {}
+// cleanup is run by fatalf before exiting, so profiles, traces and the
+// run's wide event (with the real exit code) are flushed even on fatal
+// paths.
+var cleanup = func(code int) {}
 
 // faultFlags collects repeated -fault specs.
 type faultFlags []guard.FaultSpec
@@ -102,7 +111,7 @@ func main() {
 	if _, err := tel.Start(context.Background()); err != nil {
 		fatalf("%v", err)
 	}
-	cleanup = tel.Close
+	cleanup = func(code int) { tel.SetExit(code); tel.Close() }
 	defer tel.Close()
 
 	if len(faults) > 0 {
@@ -123,6 +132,7 @@ func main() {
 		CacheSize:      *cacheSize,
 		Limits:         guard.Limits{MaxInputBytes: *maxInput},
 		Log:            os.Stderr,
+		LogFormat:      tel.LogFormat(),
 	})
 	if err := srv.Start(); err != nil {
 		fatalf("listen: %v", err)
@@ -138,6 +148,7 @@ func main() {
 	go func() {
 		sig := <-sigs
 		fmt.Fprintf(os.Stderr, "xse-serve: %s: second signal, exiting immediately\n", sig)
+		tel.SetExit(exitInternal)
 		tel.Close()
 		os.Exit(exitInternal)
 	}()
@@ -146,6 +157,7 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "xse-serve: drain incomplete: %v\n", err)
+		tel.SetExit(exitInternal)
 		tel.Close()
 		os.Exit(exitInternal)
 	}
@@ -154,6 +166,6 @@ func main() {
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "xse-serve: "+format+"\n", args...)
-	cleanup()
+	cleanup(exitInternal)
 	os.Exit(exitInternal)
 }

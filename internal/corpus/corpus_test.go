@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -155,6 +156,24 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if len(back.Pairs) != len(rep.Pairs) {
 		t.Errorf("json round-trip lost pairs")
+	}
+	// Every row carries the rejection breakdown (possibly all zero),
+	// and the table renders one line per row plus the header.
+	rows := 0
+	for _, p := range back.Pairs {
+		for _, row := range p.Rows {
+			rows++
+			if row.Rejections == nil {
+				t.Errorf("%s/%s: no rejection breakdown", row.Pair, row.Heuristic)
+			}
+		}
+	}
+	tbl := rep.RejectionTable()
+	if !strings.Contains(tbl, "lambda_empty") || !strings.Contains(tbl, "prefix_free") {
+		t.Errorf("rejection table missing headers:\n%s", tbl)
+	}
+	if got := strings.Count(tbl, "\n"); got != rows+1 {
+		t.Errorf("rejection table has %d lines, want %d rows + header", got, rows)
 	}
 }
 

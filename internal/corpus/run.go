@@ -130,6 +130,11 @@ type Row struct {
 	// Err records a search error (deadline, cancellation); empty
 	// otherwise. A not-found outcome is not an error.
 	Err string `json:"err,omitempty"`
+
+	// Rejections breaks the search's dead ends down by constraint
+	// class (the explainability ledger's aggregate): evidence for why
+	// a heuristic failed or how hard it had to work to succeed.
+	Rejections *search.Rejections `json:"rejections,omitempty"`
 }
 
 // PairResult groups the per-heuristic rows of one schema pair.
@@ -202,6 +207,30 @@ func (r *Report) Table() string {
 				row.Pair, row.Heuristic, row.Found, row.Quality, row.SearchMS,
 				row.Restarts, row.Docs, row.MigrateOK, row.Queries, row.ANFAStatesMax,
 				row.ANFAStatesBefore, row.ANFAStatesAfter)
+		}
+	}
+	return b.String()
+}
+
+// RejectionTable renders the per-heuristic rejection breakdown: for
+// every (pair, heuristic) cell, how many candidate placements each
+// constraint class killed during the search. Reading it across a pair
+// shows *why* a heuristic failed (all its dead ends hit the same
+// class) rather than just that it did — the evidence the heuristic
+// shoot-out needs (ROADMAP item 4).
+func (r *Report) RejectionTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-14s %-6s %12s %10s %11s %12s %9s %6s\n",
+		"pair", "heuristic", "found", "lambda_empty", "path_empty", "prefix_free", "local_select", "conflict", "total")
+	for _, p := range r.Pairs {
+		for _, row := range p.Rows {
+			rej := row.Rejections
+			if rej == nil {
+				rej = &search.Rejections{}
+			}
+			fmt.Fprintf(&b, "%-8s %-14s %-6v %12d %10d %11d %12d %9d %6d\n",
+				row.Pair, row.Heuristic, row.Found,
+				rej.LambdaEmpty, rej.PathEmpty, rej.PrefixFree, rej.LocalSelect, rej.Conflict, rej.Total())
 		}
 	}
 	return b.String()
@@ -316,6 +345,7 @@ func runPair(ctx context.Context, p Pair, h search.Heuristic, att *embedding.Sim
 		MaxRestarts:  cfg.MaxRestarts,
 		LocalOptions: cfg.LocalOptions,
 		Obs:          cfg.Obs,
+		Explain:      true,
 	})
 	if err != nil {
 		// Deadline and cancellation leave partial stats in res; an
@@ -329,6 +359,8 @@ func runPair(ctx context.Context, p Pair, h search.Heuristic, att *embedding.Sim
 		row.Steps = res.Steps
 		row.PathsEnumerated = res.PathsEnumerated
 		row.Found = res.Embedding != nil
+		rej := res.Rejections
+		row.Rejections = &rej
 	}
 	if !row.Found {
 		return row

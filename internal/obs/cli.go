@@ -9,10 +9,11 @@ import (
 )
 
 // CLI bundles the telemetry flags every command shares: the
-// -cpuprofile/-memprofile pair, -debug-addr, -trace-out and
-// -debug-linger. Register with NewCLI before flag.Parse, call Start
+// -cpuprofile/-memprofile pair, -debug-addr, -trace-out, -debug-linger
+// and -log-format. Register with NewCLI before flag.Parse, call Start
 // right after it, and route every exit path (normal returns and fatal
-// exits alike) through Close so profiles and traces are flushed.
+// exits alike) through Close so profiles, traces and the run's wide
+// event are flushed.
 type CLI struct {
 	name string
 	prof *Profiles
@@ -20,10 +21,20 @@ type CLI struct {
 	debugAddr string
 	traceOut  string
 	linger    time.Duration
+	logFormat string
 
 	tracer *Tracer
 	srv    *DebugServer
 	closed bool
+
+	// The run's wide event: one structured "cli" line per invocation
+	// when -log-format is set, correlated by a run-scoped request ID
+	// that Start threads into the context.
+	runID string
+	ev    *Event
+	em    *Emitter
+	start time.Time
+	exit  int
 }
 
 // NewCLI registers the shared telemetry flags on fs for the named
@@ -31,18 +42,23 @@ type CLI struct {
 func NewCLI(name string, fs *flag.FlagSet) *CLI {
 	c := &CLI{name: name, prof: AddProfileFlags(fs)}
 	fs.StringVar(&c.debugAddr, "debug-addr", "",
-		"serve /metrics, /debug/vars and /debug/pprof on this address (\":0\" picks a free port)")
+		"serve /metrics, /debug/vars, /debug/events and /debug/pprof on this address (\":0\" picks a free port)")
 	fs.StringVar(&c.traceOut, "trace-out", "",
 		"write the run's spans to this file as Chrome trace_event JSON")
 	fs.DurationVar(&c.linger, "debug-linger", 0,
 		"keep the -debug-addr server up this long after the run completes (for scrapes)")
+	fs.StringVar(&c.logFormat, "log-format", "",
+		"emit one wide event per run on stderr as structured logs: \"json\" or \"text\" (default off)")
 	return c
 }
 
 // Start begins CPU profiling, binds the debug endpoint (announcing the
 // resolved address on stderr — the flag may say ":0") and, when
-// -trace-out was given, attaches a fresh tracer to ctx. The returned
-// context is the one to run the command under.
+// -trace-out was given, attaches a fresh tracer to ctx. With
+// -log-format set it also mints the run's request ID, attaches it and
+// an emitter to ctx, and opens the run's wide event (closed and
+// emitted by Close). The returned context is the one to run the
+// command under.
 func (c *CLI) Start(ctx context.Context) (context.Context, error) {
 	if err := c.prof.Start(); err != nil {
 		return ctx, err
@@ -59,6 +75,19 @@ func (c *CLI) Start(ctx context.Context) (context.Context, error) {
 		c.tracer = NewTracer()
 		ctx = WithTracer(ctx, c.tracer)
 	}
+	logger, err := NewLogger(os.Stderr, c.logFormat)
+	if err != nil {
+		return ctx, fmt.Errorf("log-format: %w", err)
+	}
+	if logger != nil {
+		c.runID = NewRequestID()
+		c.em = NewEmitter(logger, Events())
+		c.ev = NewEvent("cli").Str("command", c.name).Str("request_id", c.runID)
+		c.start = time.Now()
+		ctx = WithRequestID(ctx, c.runID)
+		ctx = WithEmitter(ctx, c.em)
+		ctx = WithEvent(ctx, c.ev)
+	}
 	return ctx, nil
 }
 
@@ -70,17 +99,61 @@ func (c *CLI) Tracer() *Tracer {
 	return c.tracer
 }
 
-// Close flushes everything Start opened: stops the profiles, writes
-// the trace file, lingers if asked and shuts the debug server down.
-// It is idempotent so commands can both defer it and call it from
-// their fatal-exit hook; failures are reported to stderr, never
-// returned, because the exit code belongs to the command's own
-// outcome.
+// Event returns the run's wide event for the command to annotate;
+// nil (a safe no-op target) when -log-format is off.
+func (c *CLI) Event() *Event {
+	if c == nil {
+		return nil
+	}
+	return c.ev
+}
+
+// RequestID returns the run's correlation ID ("" when -log-format is
+// off).
+func (c *CLI) RequestID() string {
+	if c == nil {
+		return ""
+	}
+	return c.runID
+}
+
+// LogFormat returns the -log-format value ("", "json" or "text"), for
+// commands that thread it into their own subsystems (xse-serve's
+// per-request wide events).
+func (c *CLI) LogFormat() string {
+	if c == nil {
+		return ""
+	}
+	return c.logFormat
+}
+
+// SetExit records the exit code the process is about to leave with, so
+// the run's wide event reports the true outcome on fatal paths too.
+func (c *CLI) SetExit(code int) {
+	if c == nil {
+		return
+	}
+	c.exit = code
+}
+
+// Close flushes everything Start opened: emits the run's wide event,
+// stops the profiles, writes the trace file, lingers if asked and
+// shuts the debug server down. It is idempotent so commands can both
+// defer it and call it from their fatal-exit hook; failures are
+// reported to stderr, never returned, because the exit code belongs
+// to the command's own outcome. The wide event is emitted before the
+// linger window so a scrape of /debug/events during the linger sees
+// the completed run.
 func (c *CLI) Close() {
 	if c == nil || c.closed {
 		return
 	}
 	c.closed = true
+	if c.ev != nil {
+		c.ev.Int("exit_code", int64(c.exit))
+		c.ev.Dur("elapsed_ms", time.Since(c.start))
+		c.em.Emit(c.ev)
+	}
 	c.prof.StopLogged(c.name)
 	if c.tracer != nil && c.traceOut != "" {
 		f, err := os.Create(c.traceOut)

@@ -67,6 +67,9 @@ func RegisterDebugHandlers(mux *http.ServeMux, r *Registry) {
 		_ = WriteJSON(w, r)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	// The flight recorder: recent wide events, filterable by any field
+	// (?event=request&route=embed, ?request_id=..., &n=20).
+	mux.Handle("/debug/events", Events())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// RecordedEvent is one wide event as held by the flight recorder:
+// the emission time, the event name and its attributes in insertion
+// order. Attrs must be treated as read-only once recorded.
+type RecordedEvent struct {
+	Time  time.Time
+	Name  string
+	Attrs []slog.Attr
+}
+
+// MarshalJSON renders the event as one flat object — {"time":...,
+// "event":..., <attrs in insertion order>} — matching the shape of
+// the -log-format json lines so operators read one format.
+func (e RecordedEvent) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	writeField := func(key string, val any) error {
+		if buf.Len() > 1 {
+			buf.WriteByte(',')
+		}
+		k, err := json.Marshal(key)
+		if err != nil {
+			return err
+		}
+		v, err := json.Marshal(val)
+		if err != nil {
+			return err
+		}
+		buf.Write(k)
+		buf.WriteByte(':')
+		buf.Write(v)
+		return nil
+	}
+	if err := writeField("time", e.Time.Format(time.RFC3339Nano)); err != nil {
+		return nil, err
+	}
+	if err := writeField("event", e.Name); err != nil {
+		return nil, err
+	}
+	for _, a := range e.Attrs {
+		if err := writeField(a.Key, attrValue(a.Value)); err != nil {
+			return nil, err
+		}
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// attrValue maps a slog value onto its natural JSON type.
+func attrValue(v slog.Value) any {
+	switch v.Kind() {
+	case slog.KindInt64:
+		return v.Int64()
+	case slog.KindUint64:
+		return v.Uint64()
+	case slog.KindFloat64:
+		return v.Float64()
+	case slog.KindBool:
+		return v.Bool()
+	default:
+		return v.String()
+	}
+}
+
+// MatchAttr reports whether the rendered attribute (or the event
+// name, under the reserved key "event") equals want.
+func (e RecordedEvent) MatchAttr(key, want string) bool {
+	if key == "event" {
+		return e.Name == want
+	}
+	for _, a := range e.Attrs {
+		if a.Key == key {
+			return a.Value.String() == want
+		}
+	}
+	return false
+}
+
+// Recorder is the flight recorder: a bounded ring of the most recent
+// wide events, cheap enough to leave on in production (one short
+// critical section per event, no allocation beyond the recorded
+// attrs the emitter already built). When full, new events overwrite
+// the oldest. The zero capacity of NewRecorder is clamped to 1.
+type Recorder struct {
+	mu   sync.Mutex
+	buf  []RecordedEvent
+	next int  // index the next event lands in
+	full bool // buf has wrapped at least once
+}
+
+// NewRecorder builds a recorder holding the last n events.
+func NewRecorder(n int) *Recorder {
+	if n < 1 {
+		n = 1
+	}
+	return &Recorder{buf: make([]RecordedEvent, n)}
+}
+
+// defaultRecorder backs Events(): the process-wide flight recorder
+// that RegisterDebugHandlers serves at /debug/events.
+var defaultRecorder = NewRecorder(512)
+
+// Events returns the process-default flight recorder.
+func Events() *Recorder { return defaultRecorder }
+
+// Add records one event, evicting the oldest when full.
+func (r *Recorder) Add(e RecordedEvent) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Len reports how many events are currently held.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Snapshot returns the held events, most recent first.
+func (r *Recorder) Snapshot() []RecordedEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]RecordedEvent, 0, n)
+	for i := 1; i <= n; i++ {
+		idx := r.next - i
+		if idx < 0 {
+			idx += len(r.buf)
+		}
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// ServeHTTP renders the recorder as a JSON array, most recent first.
+// Query parameters filter: n bounds the count; event matches the
+// event name; any other parameter matches the attribute of that name
+// by its rendered value (e.g. ?event=request&route=embed&outcome=ok,
+// or ?request_id=ab12cd34ef56ab78).
+func (r *Recorder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	limit := -1
+	if s := q.Get("n"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(w, "invalid n", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	type filter struct{ key, want string }
+	var filters []filter
+	for key, vals := range q {
+		if key == "n" || len(vals) == 0 {
+			continue
+		}
+		filters = append(filters, filter{key: key, want: vals[0]})
+	}
+	var out []RecordedEvent
+	for _, e := range r.Snapshot() {
+		if limit >= 0 && len(out) >= limit {
+			break
+		}
+		ok := true
+		for _, f := range filters {
+			if !e.MatchAttr(f.key, f.want) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, e)
+		}
+	}
+	if out == nil {
+		out = []RecordedEvent{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(out)
+}

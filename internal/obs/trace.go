@@ -86,6 +86,11 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	}
 	parent, _ := ctx.Value(spanKey{}).(*Span)
 	s := tr.startSpan(name, parent)
+	// Correlate the span with the request that caused it: the same
+	// request_id appears in the wide event, the error body and here.
+	if id := RequestIDFrom(ctx); id != "" {
+		s.Attr("request_id", id)
+	}
 	return context.WithValue(ctx, spanKey{}, s), s
 }
 

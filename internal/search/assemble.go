@@ -40,6 +40,9 @@ func (s *searcher) assembleIndepSet() *embedding.Embedding {
 	for i, a := range order {
 		options[i] = s.localOptions(a)
 		if len(options[i]) == 0 {
+			if s.rec != nil {
+				s.rec.outcome = OutcomeNoOptions
+			}
 			return nil
 		}
 	}
@@ -61,6 +64,9 @@ func (s *searcher) assembleIndepSet() *embedding.Embedding {
 		var best *localOption
 		for _, o := range options[i] {
 			if o.conflicts(assign) {
+				if s.rec != nil {
+					s.rec.rej.Conflict++
+				}
 				continue
 			}
 			if best == nil || o.weight > best.weight {
@@ -68,11 +74,17 @@ func (s *searcher) assembleIndepSet() *embedding.Embedding {
 			}
 		}
 		if best == nil {
+			if s.rec != nil {
+				s.rec.outcome = OutcomeConflict
+			}
 			return nil
 		}
 		chosen[i] = best
 		for a, b := range best.lambda {
 			assign[a] = b
+		}
+		if s.rec != nil {
+			s.rec.noteDepth(len(assign))
 		}
 	}
 	emb := embedding.New(s.src, s.tgt)
@@ -85,6 +97,9 @@ func (s *searcher) assembleIndepSet() *embedding.Embedding {
 		}
 	}
 	if emb.Validate(s.att) != nil {
+		if s.rec != nil {
+			s.rec.outcome = OutcomeInvalid
+		}
 		return nil
 	}
 	return emb
@@ -98,6 +113,9 @@ func (s *searcher) localOptions(a string) []*localOption {
 		ownCands = []string{s.tgt.Root}
 	} else {
 		ownCands = s.candidatesFor(a, true)
+		if s.rec != nil && len(ownCands) == 0 {
+			s.rec.rej.LambdaEmpty++
+		}
 	}
 	var out []*localOption
 	for _, la := range ownCands {
@@ -138,7 +156,11 @@ func (s *searcher) localOptions(a string) []*localOption {
 				out = append(out, opt)
 				return
 			}
-			for _, b := range s.candidatesFor(kids[j], true) {
+			cands := s.candidatesFor(kids[j], true)
+			if s.rec != nil && len(cands) == 0 {
+				s.rec.rej.LambdaEmpty++
+			}
+			for _, b := range cands {
 				lam[kids[j]] = b
 				rec(j + 1)
 				delete(lam, kids[j])

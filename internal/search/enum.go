@@ -72,6 +72,12 @@ type enumerator struct {
 	// prefix-freeness check (incremented by pairCompat via localPaths).
 	// Plain ints by design: the hot loops never touch an atomic.
 	hits, misses, enumerated, expansions, rejects int
+
+	// frontier tracks the peak BFS arena size across this enumerator's
+	// real enumerations (one comparison per enumerate call, so it is
+	// maintained unconditionally). The explainability ledger reads it
+	// as the restart's FrontierPeak.
+	frontier int
 }
 
 type enumKey struct {
@@ -134,7 +140,12 @@ func (e *enumerator) enumerate(from, to string, fl flavor) ([]candidate, bool) {
 	arena := make([]bfsState, 1, 64)
 	arena[0] = bfsState{at: from, parent: -1}
 	expansions := 0
-	defer func() { e.expansions += expansions }()
+	defer func() {
+		e.expansions += expansions
+		if n := len(arena); n > e.frontier {
+			e.frontier = n
+		}
+	}()
 	for head := 0; head < len(arena) && len(out) < e.maxCands && expansions < e.maxExpand; head++ {
 		if e.stop != nil && e.stop() {
 			return out, true

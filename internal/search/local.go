@@ -26,7 +26,9 @@ type localResult = map[embedding.EdgeRef]xpath.Path
 // The result is a pure function of (a, λ(a), λ(a's children)) given
 // fixed enumeration bounds; callers memoize it through
 // searcher.localPathsFor and must treat the returned map as read-only.
-func localPaths(e *enumerator, src *dtd.DTD, a string, lam map[string]string) localResult {
+// A non-nil rec (Options.Explain) receives the failure's rejection
+// class when no selection exists.
+func localPaths(e *enumerator, src *dtd.DTD, a string, lam map[string]string, rec *attemptRec) localResult {
 	prod := src.Prods[a]
 	from := lam[a]
 	switch prod.Kind {
@@ -36,6 +38,7 @@ func localPaths(e *enumerator, src *dtd.DTD, a string, lam map[string]string) lo
 	case dtd.KindStr:
 		cands := e.strCandidates(from)
 		if len(cands) == 0 {
+			rec.fail(failPathEmpty)
 			return nil
 		}
 		return localResult{
@@ -46,6 +49,7 @@ func localPaths(e *enumerator, src *dtd.DTD, a string, lam map[string]string) lo
 		b := prod.Children[0]
 		cands := e.paths(from, lam[b], flavorSTAR)
 		if len(cands) == 0 {
+			rec.fail(failPathEmpty)
 			return nil
 		}
 		return localResult{
@@ -63,6 +67,7 @@ func localPaths(e *enumerator, src *dtd.DTD, a string, lam map[string]string) lo
 			occ[b]++
 			cands := e.paths(from, lam[b], fl)
 			if len(cands) == 0 {
+				rec.fail(failPathEmpty)
 				return nil // an edge with no candidates dooms the selection
 			}
 			edges = append(edges, localEdge{
@@ -79,6 +84,7 @@ func localPaths(e *enumerator, src *dtd.DTD, a string, lam map[string]string) lo
 		compat := pairCompat(edges, prod.Kind == dtd.KindDisj, &e.rejects)
 		chosen := make([]int, len(edges))
 		if !pickCompatible(edges, compat, chosen, 0, e.stop) {
+			rec.fail(failLocalSelect)
 			return nil
 		}
 		out := make(localResult, len(edges))

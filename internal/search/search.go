@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -113,6 +114,17 @@ type Options struct {
 	// ints and flushed once per search, so the choice does not affect
 	// the hot paths.
 	Obs *obs.Registry
+	// Explain enables the per-restart explainability ledger: every
+	// restart records its heuristic, seed, steps, placement depth,
+	// enumeration frontier peak and a rejection breakdown by constraint
+	// class into Result.Ledger (bounded by MaxLedger), and — when the
+	// context carries an obs.Emitter — emits a search.restart event.
+	// Off by default: the disabled path costs one nil check per hook.
+	Explain bool
+	// MaxLedger bounds Result.Ledger entries (default 64; the earliest
+	// restarts are kept — the aggregate Result.Rejections always covers
+	// every restart).
+	MaxLedger int
 }
 
 func (o Options) withDefaults() Options {
@@ -146,6 +158,9 @@ func (o Options) withDefaults() Options {
 	if o.LocalOptions == 0 {
 		o.LocalOptions = 16
 	}
+	if o.MaxLedger == 0 {
+		o.MaxLedger = 64
+	}
 	return o
 }
 
@@ -175,6 +190,14 @@ type Result struct {
 	PathsEnumerated int
 	// Elapsed is the wall-clock search time.
 	Elapsed time.Duration
+	// Ledger holds per-restart explainability records when
+	// Options.Explain is set (bounded by Options.MaxLedger, earliest
+	// restarts first); nil otherwise.
+	Ledger []RestartRecord `json:"ledger,omitempty"`
+	// Rejections aggregates rejection counts by constraint class across
+	// every restart (never truncated with the ledger); all zero unless
+	// Options.Explain is set.
+	Rejections Rejections `json:"rejections"`
 }
 
 // metrics is the search package's registry slice, resolved once per
@@ -268,6 +291,13 @@ func FindCtx(ctx context.Context, src, tgt *dtd.DTD, att *embedding.SimMatrix, o
 	}
 	s.enum = newEnumerator(tgt, maxLen, opts.MaxCandidates, opts.MaxExpansions, opts.MaxPin, s.cache)
 	s.enum.stop = s.canceled
+	s.seed = opts.Seed
+	if opts.Explain {
+		s.rec = &attemptRec{}
+		s.localFail = make(map[string]uint8)
+		s.em = obs.EmitterFrom(ctx)
+		s.reqID = obs.RequestIDFrom(ctx)
+	}
 	s.tr = obs.TracerFrom(ctx)
 	if s.tr != nil {
 		_, s.span = obs.StartSpan(ctx, "search.find")
@@ -350,6 +380,21 @@ type searcher struct {
 	// walk. Both are nil when tracing is off.
 	tr   *obs.Tracer
 	span *obs.Span
+
+	// Explainability state (Options.Explain; see ledger.go). rec
+	// accumulates the current restart's counters and is nil when
+	// explain is off, so every hot-path hook is one nil check.
+	// localFail caches the failure class of nil localPaths memo entries
+	// so replayed failures count toward the right rejection class;
+	// rejectsMark snapshots enum.rejects at restart boundaries; seed is
+	// the value that reproduces this searcher's rng; em and reqID feed
+	// the search.restart event stream (both resolved once per FindCtx).
+	rec         *attemptRec
+	localFail   map[string]uint8
+	rejectsMark int
+	seed        int64
+	em          *obs.Emitter
+	reqID       string
 }
 
 // ctxDone polls the context directly; used at coarse boundaries
@@ -391,8 +436,16 @@ func (s *searcher) run() *Result {
 			res.Restarts = r
 			sp := s.tr.StartSpan("search.restart", s.span)
 			sp.AttrInt("restart", int64(r))
+			stepsBefore := s.steps
+			var t0 time.Time
+			if s.rec != nil {
+				t0 = time.Now()
+			}
 			emb := s.assembleIndepSet()
 			sp.End()
+			if s.rec != nil {
+				s.finishRestart(res, r, 0, emb != nil, false, time.Since(t0), stepsBefore)
+			}
 			if emb != nil {
 				res.Embedding = emb
 				res.Steps = s.steps
@@ -404,9 +457,16 @@ func (s *searcher) run() *Result {
 	case Exact:
 		s.steps = 0
 		sp := s.tr.StartSpan("search.attempt", s.span)
+		var t0 time.Time
+		if s.rec != nil {
+			t0 = time.Now()
+		}
 		emb, exhausted := s.attempt(false)
 		sp.AttrInt("steps", int64(s.steps))
 		sp.End()
+		if s.rec != nil {
+			s.finishRestart(res, 0, 0, emb != nil, exhausted, time.Since(t0), 0)
+		}
 		res.Embedding = emb
 		res.Steps = s.steps
 		res.Exhausted = exhausted && emb == nil && !s.stopped
@@ -423,9 +483,16 @@ func (s *searcher) run() *Result {
 			s.steps = 0
 			sp := s.tr.StartSpan("search.restart", s.span)
 			sp.AttrInt("restart", int64(r))
+			var t0 time.Time
+			if s.rec != nil {
+				t0 = time.Now()
+			}
 			emb, exhausted := s.attempt(s.opts.Heuristic == Random)
 			sp.AttrInt("steps", int64(s.steps))
 			sp.End()
+			if s.rec != nil {
+				s.finishRestart(res, r, 0, emb != nil, exhausted, time.Since(t0), 0)
+			}
 			res.Steps += s.steps
 			if emb != nil {
 				res.Embedding = emb
@@ -483,6 +550,10 @@ func (s *searcher) runParallel() *Result {
 		pathMisses int
 		localHits  int
 		localMiss  int
+		// rec is the restart's ledger record (Options.Explain only);
+		// the collector folds records into the result and emits them in
+		// restart order.
+		rec *RestartRecord
 	}
 	results := make(chan outcome, s.opts.MaxRestarts+1)
 	var wg sync.WaitGroup
@@ -499,26 +570,38 @@ func (s *searcher) runParallel() *Result {
 			defer lane.End()
 			// The localPaths memo and its key buffer span this worker's
 			// restarts; the searcher shell is rebuilt per restart for its
-			// per-restart rng and counters.
+			// per-restart rng and counters. Under Explain the failure-
+			// class cache spans the restarts with the memo, while the
+			// attemptRec is reset per record by makeRecord.
 			memo := make(map[string]localResult)
 			var keyBuf []byte
+			var rec *attemptRec
+			var localFail map[string]uint8
+			if s.opts.Explain {
+				rec = &attemptRec{}
+				localFail = make(map[string]uint8)
+			}
 			for r := range restarts {
 				if done.Load() {
 					return
 				}
+				seed := s.opts.Seed + int64(r)*2654435761
 				local := &searcher{
-					ctx:    s.ctx,
-					src:    s.src,
-					tgt:    s.tgt,
-					att:    s.att,
-					opts:   s.opts,
-					rng:    rand.New(rand.NewSource(s.opts.Seed + int64(r)*2654435761)),
-					cache:  s.cache,
-					cands:  s.cands,
-					local:  memo,
-					keyBuf: keyBuf,
-					tr:     s.tr,
-					span:   lane,
+					ctx:       s.ctx,
+					src:       s.src,
+					tgt:       s.tgt,
+					att:       s.att,
+					opts:      s.opts,
+					rng:       rand.New(rand.NewSource(seed)),
+					cache:     s.cache,
+					cands:     s.cands,
+					local:     memo,
+					keyBuf:    keyBuf,
+					tr:        s.tr,
+					span:      lane,
+					rec:       rec,
+					localFail: localFail,
+					seed:      seed,
 				}
 				local.enum = newEnumerator(s.tgt, s.enum.maxLen, s.enum.maxCands, s.enum.maxExpand, s.enum.maxPin, s.cache)
 				local.enum.stop = local.canceled
@@ -528,6 +611,10 @@ func (s *searcher) runParallel() *Result {
 				}
 				sp := s.tr.StartSpan("search.restart", lane)
 				sp.AttrInt("restart", int64(r))
+				var t0 time.Time
+				if rec != nil {
+					t0 = time.Now()
+				}
 				emb, exhausted := local.attempt(s.opts.Heuristic == Random)
 				sp.AttrInt("steps", int64(local.steps))
 				sp.End()
@@ -543,6 +630,10 @@ func (s *searcher) runParallel() *Result {
 					pathMisses: local.enum.misses,
 					localHits:  local.localHits,
 					localMiss:  local.localMisses,
+				}
+				if rec != nil {
+					lr := local.makeRecord(r, w, emb != nil, exhausted, time.Since(t0), 0)
+					o.rec = &lr
 				}
 				latchSettled(&done, emb != nil, exhausted, local.stopped)
 				if emb != nil || (exhausted && !local.stopped) {
@@ -564,6 +655,7 @@ func (s *searcher) runParallel() *Result {
 	}()
 
 	res := &Result{}
+	var recs []RestartRecord
 	for o := range results {
 		res.Steps += o.steps
 		// Worker counters fold into the root searcher's plain ints;
@@ -586,6 +678,23 @@ func (s *searcher) runParallel() *Result {
 		}
 		if o.canceled {
 			s.stopped = true
+		}
+		if o.rec != nil {
+			res.Rejections.add(o.rec.Rejections)
+			recs = append(recs, *o.rec)
+		}
+	}
+	if len(recs) > 0 {
+		// Workers finish out of order; the ledger reads in restart order
+		// and keeps the earliest MaxLedger records (the aggregate
+		// Rejections above already covers them all).
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Restart < recs[j].Restart })
+		if len(recs) > s.opts.MaxLedger {
+			recs = recs[:s.opts.MaxLedger]
+		}
+		res.Ledger = recs
+		for _, rec := range recs {
+			s.emitRestart(rec)
 		}
 	}
 	return res
@@ -660,7 +769,7 @@ func (s *searcher) candidatesFor(a string, shuffle bool) []string {
 func (s *searcher) localPathsFor(a string, lam map[string]string) localResult {
 	prod := s.src.Prods[a]
 	if (prod.Kind != dtd.KindConcat && prod.Kind != dtd.KindDisj) || len(prod.Children) < 2 {
-		return localPaths(s.enum, s.src, a, lam)
+		return localPaths(s.enum, s.src, a, lam, s.rec)
 	}
 	buf := s.keyBuf[:0]
 	buf = append(buf, a...)
@@ -673,15 +782,23 @@ func (s *searcher) localPathsFor(a string, lam map[string]string) localResult {
 	s.keyBuf = buf
 	if local, ok := s.local[string(buf)]; ok {
 		s.localHits++
+		// A replayed failure still counts toward its rejection class;
+		// the class was cached beside the nil entry on the first miss.
+		if s.rec != nil && local == nil {
+			s.rec.countFail(s.localFail[string(buf)])
+		}
 		return local
 	}
-	local := localPaths(s.enum, s.src, a, lam)
+	local := localPaths(s.enum, s.src, a, lam, s.rec)
 	s.localMisses++
 	// s.stopped latches when the amortized cancellation poll fired
 	// inside the enumeration or selection; such results may be
 	// truncated and must not be cached.
 	if !s.stopped {
 		s.local[string(buf)] = local
+		if s.rec != nil && local == nil {
+			s.localFail[string(buf)] = s.rec.lastFail
+		}
 	}
 	return local
 }
@@ -698,7 +815,13 @@ func (s *searcher) localPathsFor(a string, lam map[string]string) localResult {
 // budget).
 func (s *searcher) attempt(shuffle bool) (*embedding.Embedding, bool) {
 	if s.att.Get(s.src.Root, s.tgt.Root) <= 0 {
+		if s.rec != nil {
+			s.rec.rej.LambdaEmpty++
+		}
 		return nil, true
+	}
+	if s.rec != nil {
+		s.rec.noteDepth(1) // the root's λ is fixed
 	}
 	lam := map[string]string{s.src.Root: s.tgt.Root}
 	paths := map[embedding.EdgeRef]xpath.Path{}
@@ -774,8 +897,15 @@ func (s *searcher) attempt(shuffle bool) (*embedding.Embedding, bool) {
 			}
 			c := free[j]
 			exh := true
-			for _, b := range s.candidatesFor(c, shuffle) {
+			cands := s.candidatesFor(c, shuffle)
+			if s.rec != nil && len(cands) == 0 {
+				s.rec.rej.LambdaEmpty++
+			}
+			for _, b := range cands {
 				lam[c] = b
+				if s.rec != nil {
+					s.rec.noteDepth(len(lam))
+				}
 				done, e := assign(j + 1)
 				if done {
 					return true, e
@@ -800,7 +930,11 @@ func (s *searcher) attempt(shuffle bool) (*embedding.Embedding, bool) {
 			}
 			if _, fixed := lam[a]; !fixed {
 				exh := true
-				for _, b := range s.candidatesFor(a, shuffle) {
+				cands := s.candidatesFor(a, shuffle)
+				if s.rec != nil && len(cands) == 0 {
+					s.rec.rej.LambdaEmpty++
+				}
+				for _, b := range cands {
 					lam[a] = b
 					solved[a] = true
 					done, e := solveProd(a, leftovers)

@@ -140,12 +140,12 @@ func TestLocalPathsPrefixFreeSelection(t *testing.T) {
 	// λ(B)=B1 (reachable directly), λ(C)=C1 (only below B1): B1 and
 	// B1/C1 conflict, so B must take nothing else — no selection exists.
 	lam := map[string]string{"A": "A1", "B": "B1", "C": "C1"}
-	if got := localPaths(e, src, "A", lam); got != nil {
+	if got := localPaths(e, src, "A", lam, nil); got != nil {
 		t.Fatalf("conflicting selection accepted: %v", got)
 	}
 	// λ(B)=B2 resolves it: D/B2 and B1/C1 are prefix-free.
 	lam["B"] = "B2"
-	got := localPaths(e, src, "A", lam)
+	got := localPaths(e, src, "A", lam, nil)
 	if got == nil {
 		t.Fatal("no selection found")
 	}
@@ -168,7 +168,7 @@ func TestLocalPathsDisjunctionDivergence(t *testing.T) {
 		dtd.D("Z1", dtd.Empty()), dtd.D("Z2", dtd.Empty()))
 	e := enumFor(t, tgt)
 	lam := map[string]string{"A": "A1", "B": "B1", "C": "C1"}
-	if got := localPaths(e, src, "A", lam); got != nil {
+	if got := localPaths(e, src, "A", lam, nil); got != nil {
 		t.Fatalf("non-OR divergence accepted: %v", got)
 	}
 	// A target where both disjuncts hang off one OR node works.
@@ -177,7 +177,7 @@ func TestLocalPathsDisjunctionDivergence(t *testing.T) {
 		dtd.D("U", dtd.Disj("B1", "C1")),
 		dtd.D("B1", dtd.Empty()), dtd.D("C1", dtd.Empty()))
 	e2 := enumFor(t, tgt2)
-	if got := localPaths(e2, src, "A", lam); got == nil {
+	if got := localPaths(e2, src, "A", lam, nil); got == nil {
 		t.Fatal("valid disjunct selection rejected")
 	}
 }

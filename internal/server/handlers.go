@@ -15,6 +15,7 @@ import (
 	"repro/internal/embedding"
 	"repro/internal/guard"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/translate"
 	"repro/internal/xmltree"
@@ -67,6 +68,7 @@ func (s *Server) budgetCtx(ctx context.Context, b Budget) (context.Context, cont
 			d = s.cfg.MaxTimeout
 		}
 	}
+	obs.EventFrom(ctx).Dur("timeout_ms", d)
 	ctx, cancel := context.WithTimeout(ctx, d)
 	return ctx, cancel, b.tighten(s.cfg.Limits)
 }
@@ -144,7 +146,12 @@ type EmbedRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Restarts bounds random restarts (default 40, as xse-embed).
 	Restarts int `json:"restarts,omitempty"`
-	Budget   Budget `json:"budget,omitempty"`
+	// Explain records the per-restart explainability ledger (heuristic,
+	// seed, rejection counts by constraint class, abort reason) and
+	// returns it in the response. Explained and unexplained runs are
+	// cached as distinct artifacts.
+	Explain bool   `json:"explain,omitempty"`
+	Budget  Budget `json:"budget,omitempty"`
 }
 
 // EmbedResponse returns the embedding in the textual mapping format
@@ -159,14 +166,21 @@ type EmbedResponse struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// Cached reports an artifact-cache hit: the search did not run.
 	Cached bool `json:"cached"`
+	// Ledger and Rejections are present only when the request set
+	// explain: per-restart records and the aggregate rejection counts
+	// by constraint class.
+	Ledger     []search.RestartRecord `json:"ledger,omitempty"`
+	Rejections *search.Rejections     `json:"rejections,omitempty"`
 }
 
 // embedArtifact is the cached outcome of one embed search.
 type embedArtifact struct {
-	text     string
-	quality  float64
-	restarts int
-	steps    int
+	text       string
+	quality    float64
+	restarts   int
+	steps      int
+	ledger     []search.RestartRecord
+	rejections search.Rejections
 }
 
 func parseHeuristic(s string) (search.Heuristic, error) {
@@ -214,7 +228,8 @@ func (s *Server) handleEmbed(ctx context.Context, r *http.Request) (any, error) 
 	defer cancel()
 
 	key := artifactKey("embed", req.SourceDTD, req.TargetDTD, req.SourceRoot, req.TargetRoot,
-		req.Att, fmt.Sprint(threshold), strings.ToLower(req.Heuristic), fmt.Sprint(seed), fmt.Sprint(restarts))
+		req.Att, fmt.Sprint(threshold), strings.ToLower(req.Heuristic), fmt.Sprint(seed), fmt.Sprint(restarts),
+		fmt.Sprint(req.Explain))
 	start := time.Now()
 	val, hit, err := s.artifacts.get(bctx, key, func() (any, error) {
 		src, tgt, err := req.schemaPair.parse(lim)
@@ -236,6 +251,7 @@ func (s *Server) handleEmbed(ctx context.Context, r *http.Request) (any, error) 
 			Heuristic:   h,
 			Seed:        seed,
 			MaxRestarts: restarts,
+			Explain:     req.Explain,
 		})
 		if err != nil {
 			return nil, err
@@ -247,10 +263,12 @@ func (s *Server) handleEmbed(ctx context.Context, r *http.Request) (any, error) 
 			return nil, notFound("no embedding found (budget exhausted; raise restarts or use att=uniform)")
 		}
 		return &embedArtifact{
-			text:     res.Embedding.Marshal(),
-			quality:  res.Quality,
-			restarts: res.Restarts,
-			steps:    res.Steps,
+			text:       res.Embedding.Marshal(),
+			quality:    res.Quality,
+			restarts:   res.Restarts,
+			steps:      res.Steps,
+			ledger:     res.Ledger,
+			rejections: res.Rejections,
 		}, nil
 	})
 	if err != nil {
@@ -262,12 +280,23 @@ func (s *Server) handleEmbed(ctx context.Context, r *http.Request) (any, error) 
 		mCacheMisses.Inc()
 	}
 	art := val.(*embedArtifact)
+	obs.EventFrom(ctx).
+		Bool("cache_hit", hit).
+		Str("heuristic", strings.ToLower(req.Heuristic)).
+		Int("search_restarts", int64(art.restarts)).
+		Int("search_steps", int64(art.steps))
 	resp := &EmbedResponse{
 		Embedding: art.text,
 		Quality:   art.quality,
 		Restarts:  art.restarts,
 		Steps:     art.steps,
 		Cached:    hit,
+	}
+	if req.Explain {
+		resp.Ledger = art.ledger
+		rej := art.rejections
+		resp.Rejections = &rej
+		obs.EventFrom(ctx).Int("rejections_total", int64(rej.Total()))
 	}
 	if !hit {
 		resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
@@ -389,6 +418,7 @@ func (s *Server) handleTranslate(ctx context.Context, r *http.Request) (any, err
 	if err != nil {
 		return nil, err
 	}
+	obs.EventFrom(ctx).Bool("cache_hit", hit).Int("automaton_size", int64(auto.Size()))
 	resp := &TranslateResponse{
 		Query:         xpath.String(q),
 		AutomatonSize: auto.Size(),
@@ -462,6 +492,7 @@ func (s *Server) handleMigrate(ctx context.Context, r *http.Request) (any, error
 		if err != nil {
 			return nil, err
 		}
+		obs.EventFrom(ctx).Bool("cache_hit", hit).Int("attempts", int64(attempts))
 		return &MigrateResponse{Document: buf.String(), Attempts: attempts, Cached: hit}, nil
 	}
 
@@ -492,6 +523,7 @@ func (s *Server) handleMigrate(ctx context.Context, r *http.Request) (any, error
 	if verr := out.Validate(pair.src); verr != nil {
 		return nil, fmt.Errorf("internal error: output does not conform: %w", verr)
 	}
+	obs.EventFrom(ctx).Bool("cache_hit", hit).Int("attempts", int64(attempts))
 	return &MigrateResponse{Document: out.String(), Attempts: attempts, Cached: hit}, nil
 }
 

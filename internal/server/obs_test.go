@@ -1,0 +1,278 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// getJSON fetches path from the server and decodes the response into
+// out.
+func getJSON(t *testing.T, s *Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get("http://" + s.Addr() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("GET %s: invalid JSON %q: %v", path, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestRequestIDRoundTrip pins the correlation contract: a caller's
+// X-Request-Id comes back in the response header, appears in error
+// bodies, and retrieves the request's wide event from /debug/events.
+func TestRequestIDRoundTrip(t *testing.T) {
+	s := testServer(t, Config{})
+
+	const id = "test-round-trip-0001"
+	data, _ := json.Marshal(EmbedRequest{schemaPair: classPair(), Att: "uniform", Seed: 3, Restarts: 60})
+	req, _ := http.NewRequest("POST", "http://"+s.Addr()+"/v1/embed", bytes.NewReader(data))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", id)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/v1/embed status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != id {
+		t.Errorf("X-Request-Id echoed as %q, want %q", got, id)
+	}
+
+	// The wide event is retrievable by its correlation ID.
+	var events []map[string]any
+	if code := getJSON(t, s, "/debug/events?event=request&request_id="+id, &events); code != 200 {
+		t.Fatalf("/debug/events status = %d", code)
+	}
+	if len(events) != 1 {
+		t.Fatalf("events for %s = %d, want 1", id, len(events))
+	}
+	ev := events[0]
+	if ev["route"] != "embed" || ev["outcome"] != "ok" {
+		t.Errorf("wide event = %v", ev)
+	}
+	if _, ok := ev["latency_ms"].(float64); !ok {
+		t.Errorf("wide event missing latency_ms: %v", ev)
+	}
+	if _, ok := ev["cache_hit"].(bool); !ok {
+		t.Errorf("wide event missing handler annotation cache_hit: %v", ev)
+	}
+
+	// A server-minted ID (no header) is well-formed and unique.
+	resp2, body := postJSON(t, s, "/v1/embed", EmbedRequest{schemaPair: classPair(), Att: "uniform", Seed: 4, Restarts: 60})
+	if minted := resp2.Header.Get("X-Request-Id"); len(minted) != 16 || minted == id {
+		t.Errorf("minted X-Request-Id = %q", minted)
+	}
+	_ = body
+}
+
+// TestRequestIDInErrorBody checks the error envelope carries the
+// request_id, and that a hostile header is replaced, not echoed.
+func TestRequestIDInErrorBody(t *testing.T) {
+	s := testServer(t, Config{})
+
+	const id = "err-corr-42"
+	req, _ := http.NewRequest("POST", "http://"+s.Addr()+"/v1/embed", strings.NewReader("{not json"))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", id)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 400 {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	e, _ := body["error"].(map[string]any)
+	if e["request_id"] != id {
+		t.Errorf("error body request_id = %v, want %q", e["request_id"], id)
+	}
+
+	// Header injection: a request ID with log-breaking bytes is
+	// discarded for a fresh one.
+	req2, _ := http.NewRequest("POST", "http://"+s.Addr()+"/v1/embed", strings.NewReader("{}"))
+	req2.Header.Set("X-Request-Id", "bad id\twith\tcontrol")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-Id"); len(got) != 16 || strings.ContainsAny(got, " \t") {
+		t.Errorf("hostile header echoed back: %q", got)
+	}
+}
+
+// TestReadyzBody pins the /readyz JSON shape: drain state and queue
+// depth for load balancers and the smoke scripts.
+func TestReadyzBody(t *testing.T) {
+	s := testServer(t, Config{})
+	var body map[string]any
+	if code := getJSON(t, s, "/readyz", &body); code != 200 {
+		t.Fatalf("/readyz status = %d", code)
+	}
+	if body["status"] != "ready" || body["draining"] != false {
+		t.Errorf("/readyz body = %v", body)
+	}
+	for _, k := range []string{"queue_depth", "inflight"} {
+		if _, ok := body[k].(float64); !ok {
+			t.Errorf("/readyz missing %s: %v", k, body)
+		}
+	}
+}
+
+// TestWideEventJSONLog checks that with LogFormat set the server emits
+// one JSON log line per request with the pinned field names.
+func TestWideEventJSONLog(t *testing.T) {
+	var logBuf syncBuffer
+	s := testServer(t, Config{Log: &logBuf, LogFormat: "json"})
+
+	const id = "log-line-check-7"
+	data, _ := json.Marshal(EmbedRequest{schemaPair: classPair(), Att: "uniform", Seed: 5, Restarts: 60})
+	req, _ := http.NewRequest("POST", "http://"+s.Addr()+"/v1/embed", bytes.NewReader(data))
+	req.Header.Set("X-Request-Id", id)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	var line map[string]any
+	for _, l := range strings.Split(logBuf.String(), "\n") {
+		if !strings.Contains(l, id) {
+			continue
+		}
+		if err := json.Unmarshal([]byte(l), &line); err != nil {
+			t.Fatalf("log line %q: %v", l, err)
+		}
+		break
+	}
+	if line == nil {
+		t.Fatalf("no wide-event log line for %s in %q", id, logBuf.String())
+	}
+	for _, k := range []string{"route", "status", "outcome", "latency_ms", "queue_wait_ms"} {
+		if _, ok := line[k]; !ok {
+			t.Errorf("log line missing %s: %v", k, line)
+		}
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer: the server writes log
+// lines from request goroutines while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestConcurrentScrapes hammers /metrics and /debug/events while
+// request traffic flows; under -race this pins that the observability
+// surfaces are safe against the request path.
+func TestConcurrentScrapes(t *testing.T) {
+	s := testServer(t, Config{})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				postJSON(t, s, "/v1/embed", EmbedRequest{
+					schemaPair: classPair(), Att: "uniform",
+					Seed: int64(100 + w*10 + i), Restarts: 20,
+				})
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				for _, path := range []string{"/metrics", "/debug/events?event=request", "/readyz"} {
+					resp, err := http.Get("http://" + s.Addr() + path)
+					if err != nil {
+						t.Errorf("GET %s: %v", path, err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						t.Errorf("GET %s: status %d", path, resp.StatusCode)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestEmbedExplain checks /v1/embed's explain flag: the response gains
+// the per-restart ledger and aggregate rejection counts, and explained
+// and plain runs do not share cache entries.
+func TestEmbedExplain(t *testing.T) {
+	s := testServer(t, Config{})
+
+	req := EmbedRequest{schemaPair: classPair(), Att: "uniform", Seed: 9, Restarts: 60, Explain: true}
+	resp, body := postJSON(t, s, "/v1/embed", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("/v1/embed explain status = %d, body %v", resp.StatusCode, body)
+	}
+	ledger, ok := body["ledger"].([]any)
+	if !ok || len(ledger) == 0 {
+		t.Fatalf("explain response has no ledger: %v", body)
+	}
+	rec, _ := ledger[0].(map[string]any)
+	for _, k := range []string{"restart", "heuristic", "seed", "outcome", "rejections"} {
+		if _, present := rec[k]; !present {
+			t.Errorf("ledger record missing %s: %v", rec, k)
+		}
+	}
+	if _, ok := body["rejections"].(map[string]any); !ok {
+		t.Errorf("explain response has no rejections aggregate: %v", body)
+	}
+
+	// The same request without explain must not serve the explained
+	// artifact (and vice versa).
+	req.Explain = false
+	resp2, body2 := postJSON(t, s, "/v1/embed", req)
+	if resp2.StatusCode != 200 {
+		t.Fatalf("plain embed status = %d", resp2.StatusCode)
+	}
+	if _, present := body2["ledger"]; present {
+		t.Errorf("plain response leaked ledger: %v", body2)
+	}
+	if cached, _ := body2["cached"].(bool); cached {
+		t.Errorf("plain request hit the explained cache entry")
+	}
+}

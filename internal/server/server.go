@@ -33,6 +33,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -89,6 +90,11 @@ type Config struct {
 	// Log receives operational lines (panics, drain progress); default
 	// os.Stderr via the CLI, io.Discard when nil here.
 	Log io.Writer
+	// LogFormat selects wide-event request logging on Log: "json"
+	// emits one JSON object per request, "text" the slog text format,
+	// "" disables the log lines. The in-process flight recorder behind
+	// /debug/events records every request event regardless.
+	LogFormat string
 }
 
 // withDefaults resolves zero fields.
@@ -151,6 +157,11 @@ type Server struct {
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
 
+	// em delivers one wide event per request to the structured log
+	// (Config.LogFormat) and the process flight recorder
+	// (/debug/events).
+	em *obs.Emitter
+
 	draining atomic.Bool
 	inflight atomic.Int64 // this server's own accounting (metrics gauges are process-wide)
 }
@@ -165,6 +176,10 @@ func New(cfg Config) *Server {
 		mux:       http.NewServeMux(),
 	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	// An unknown LogFormat is caught by the xse-serve flag check; here
+	// it degrades to recorder-only events rather than failing New.
+	logger, _ := obs.NewLogger(cfg.Log, cfg.LogFormat)
+	s.em = obs.NewEmitter(logger, obs.Events())
 	s.routes()
 	return s
 }
@@ -178,13 +193,18 @@ func (s *Server) routes() {
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if s.draining.Load() {
-			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintln(w, "draining")
-			return
+		// The body reports drain progress — queue depth and in-flight
+		// count — so operators and the smoke scripts can watch a
+		// SIGTERM drain converge, not just see the status flip.
+		draining := s.draining.Load()
+		status, code := "ready", http.StatusOK
+		if draining {
+			status, code = "draining", http.StatusServiceUnavailable
 		}
-		fmt.Fprintln(w, "ready")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		fmt.Fprintf(w, "{\"status\":%q,\"draining\":%v,\"queue_depth\":%d,\"inflight\":%d}\n",
+			status, draining, s.adm.queued.Load(), s.inflight.Load())
 	})
 	s.mux.Handle("/v1/embed", s.api("embed", s.handleEmbed))
 	s.mux.Handle("/v1/translate", s.api("translate", s.handleTranslate))
@@ -270,19 +290,66 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
+// requestID resolves the request's correlation ID: an X-Request-Id
+// header the caller supplied (sanitized and bounded so arbitrary bytes
+// cannot ride into logs and events), or a freshly minted one.
+func requestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-Id")
+	if id == "" || len(id) > 64 {
+		return obs.NewRequestID()
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		ok := c == '-' || c == '_' || c == '.' ||
+			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !ok {
+			return obs.NewRequestID()
+		}
+	}
+	return id
+}
+
 // api wraps an endpoint body with the containment layers, outermost
-// first: metrics, panic recovery, method check, drain shed, admission.
+// first: metrics, wide-event accounting, panic recovery, method check,
+// drain shed, admission. Every request gets a correlation ID (echoed
+// in the X-Request-Id response header and in error bodies) and emits
+// exactly one wide "request" event — route, request id, queue wait,
+// status, outcome, latency, plus whatever the handler annotated via
+// obs.EventFrom — to the structured log and the /debug/events flight
+// recorder.
 func (s *Server) api(endpoint string, fn func(ctx context.Context, r *http.Request) (any, error)) http.Handler {
 	met := epMetrics[endpoint]
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		met.requests.Inc()
 		defer met.latency.ObserveSince(start)
+
+		reqID := requestID(r)
+		w.Header().Set("X-Request-Id", reqID)
+		ev := obs.NewEvent("request").
+			Str("request_id", reqID).
+			Str("route", endpoint)
+		emitted := false
+		emit := func(status int, outcome string) {
+			if emitted {
+				return
+			}
+			emitted = true
+			ev.Int("status", int64(status)).
+				Str("outcome", outcome).
+				Dur("latency_ms", time.Since(start))
+			s.em.Emit(ev)
+		}
+		fail := func(ae *apiError) {
+			s.writeError(w, reqID, ae)
+			emit(ae.status, ae.code)
+		}
 		defer func() {
 			if p := recover(); p != nil {
 				mPanics.Inc()
 				fmt.Fprintf(s.cfg.Log, "xse-serve: %s: panic recovered: %v\n", endpoint, p)
-				s.writeError(w, &apiError{
+				ev.Str("panic", fmt.Sprint(p))
+				fail(&apiError{
 					status: http.StatusInternalServerError,
 					code:   "internal",
 					msg:    "internal error (panic recovered)",
@@ -292,18 +359,25 @@ func (s *Server) api(endpoint string, fn func(ctx context.Context, r *http.Reque
 
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
-			s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, code: "invalid",
+			fail(&apiError{status: http.StatusMethodNotAllowed, code: "invalid",
 				msg: "use POST with a JSON body"})
 			return
 		}
 		if s.draining.Load() {
 			mShed[shedDraining].Inc()
-			s.writeError(w, toAPIError(&shedError{reason: shedDraining, retryAfter: 5 * time.Second}))
+			ev.Str("shed_reason", shedDraining)
+			fail(toAPIError(&shedError{reason: shedDraining, retryAfter: 5 * time.Second}))
 			return
 		}
+		qStart := time.Now()
 		release, err := s.adm.acquire(r.Context())
+		ev.Dur("queue_wait_ms", time.Since(qStart))
 		if err != nil {
-			s.writeError(w, toAPIError(err))
+			var se *shedError
+			if errors.As(err, &se) {
+				ev.Str("shed_reason", se.reason)
+			}
+			fail(toAPIError(err))
 			return
 		}
 		s.inflight.Add(1)
@@ -318,9 +392,16 @@ func (s *Server) api(endpoint string, fn func(ctx context.Context, r *http.Reque
 		if s.cfg.Limits.MaxInputBytes > 0 {
 			r.Body = http.MaxBytesReader(w, r.Body, int64(s.cfg.Limits.MaxInputBytes))
 		}
-		out, err := fn(r.Context(), r)
+		// The handler's context carries the correlation ID (echoed by
+		// search/translate/pipeline spans), the wide event (annotated
+		// with cache hits, retries, budgets) and the emitter (the
+		// search.restart stream under explain).
+		ctx := obs.WithRequestID(r.Context(), reqID)
+		ctx = obs.WithEvent(ctx, ev)
+		ctx = obs.WithEmitter(ctx, s.em)
+		out, err := fn(ctx, r)
 		if err != nil {
-			s.writeError(w, toAPIError(err))
+			fail(toAPIError(err))
 			return
 		}
 		if raw, ok := out.(*rawXML); ok {
@@ -328,9 +409,11 @@ func (s *Server) api(endpoint string, fn func(ctx context.Context, r *http.Reque
 			w.Header().Set("Content-Type", "application/xml")
 			w.WriteHeader(http.StatusOK)
 			w.Write(raw.body)
+			emit(http.StatusOK, "ok")
 			return
 		}
 		s.writeJSON(w, http.StatusOK, out)
+		emit(http.StatusOK, "ok")
 	})
 }
 
@@ -342,9 +425,12 @@ type errorBody struct {
 type errorDetail struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// RequestID echoes the correlation ID so a failing caller can quote
+	// the exact /debug/events entry (and log line) for its request.
+	RequestID string `json:"request_id,omitempty"`
 }
 
-func (s *Server) writeError(w http.ResponseWriter, ae *apiError) {
+func (s *Server) writeError(w http.ResponseWriter, reqID string, ae *apiError) {
 	if ae.retryAfter > 0 {
 		secs := int(ae.retryAfter / time.Second)
 		if secs < 1 {
@@ -352,7 +438,7 @@ func (s *Server) writeError(w http.ResponseWriter, ae *apiError) {
 		}
 		w.Header().Set("Retry-After", itoa(secs))
 	}
-	s.writeJSON(w, ae.status, errorBody{Error: errorDetail{Code: ae.code, Message: ae.msg}})
+	s.writeJSON(w, ae.status, errorBody{Error: errorDetail{Code: ae.code, Message: ae.msg, RequestID: reqID}})
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {

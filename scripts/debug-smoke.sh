@@ -3,8 +3,9 @@
 # -debug-addr, curl /metrics during the -debug-linger window, and check
 # the exposition carries the pipeline counters a real Prometheus scrape
 # would ingest. Also asserts the -trace-out file is valid JSON with
-# per-document stage spans. Used by CI's bench-smoke job and
-# `make debug-smoke`.
+# per-document stage spans, and that the -log-format json wide event's
+# request ID round-trips from stderr into /debug/events. Used by CI's
+# bench-smoke job and `make debug-smoke`.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -25,7 +26,7 @@ done
   -target testdata/xsemap/school.dtd \
   -batch "$tmp/in" -out "$tmp/out" -j 2 \
   -debug-addr 127.0.0.1:0 -debug-linger 10s \
-  -trace-out "$tmp/trace.json" \
+  -trace-out "$tmp/trace.json" -log-format json \
   2> "$tmp/stderr.log" &
 pid=$!
 
@@ -56,6 +57,28 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 curl -fsS "http://$addr/metrics.json" > "$tmp/metrics.json"
+
+fail=0
+# The run's wide event (emitted at the start of the linger window)
+# lands on stderr as a JSON line and in the flight recorder; correlate
+# the two by request ID.
+rid=""
+for _ in $(seq 1 100); do
+  rid="$(sed -n 's/.*"request_id":"\([0-9a-f]\{16\}\)".*/\1/p' "$tmp/stderr.log" | head -n1)"
+  [ -n "$rid" ] && break
+  sleep 0.1
+done
+if [ -z "$rid" ]; then
+  echo "debug-smoke: no wide-event JSON line on stderr:" >&2
+  cat "$tmp/stderr.log" >&2
+  fail=1
+elif ! curl -fsS "http://$addr/debug/events?event=cli&request_id=$rid" > "$tmp/events.json" \
+    || ! grep -q "\"request_id\": *\"$rid\"" "$tmp/events.json"; then
+  echo "debug-smoke: /debug/events has no cli event for $rid:" >&2
+  cat "$tmp/events.json" >&2 || true
+  fail=1
+fi
+
 kill "$pid" 2>/dev/null || true
 wait "$pid" 2>/dev/null || true
 
@@ -64,8 +87,6 @@ if [ -z "$ok" ]; then
   cat "$tmp/metrics.txt" >&2 || true
   exit 1
 fi
-
-fail=0
 # The batch default is the streaming engine, so the scrape carries the
 # xse_stream_* instruments alongside the pipeline document counters.
 for want in \

@@ -15,6 +15,14 @@
 //   - every registration carries a non-empty (literal) help string, so
 //     the /metrics exposition's # HELP lines stay meaningful.
 //
+// It also enforces the wide-event field contract (DESIGN.md, "Wide
+// events and explainability") on obs.Event builder calls
+// (Str/Int/Float/Bool/Dur with a literal key):
+//
+//   - keys are snake_case (^[a-z][a-z0-9_]*$);
+//   - Dur keys end in _ms (durations render as float milliseconds);
+//   - no key repeats within one builder chain.
+//
 // Only string-literal names are checked; _test.go files are skipped
 // (tests may register throwaway names). Exit status 1 on any finding.
 package main
@@ -33,6 +41,16 @@ import (
 )
 
 var nameRE = regexp.MustCompile(`^xse_[a-z0-9_]+$`)
+
+// eventKeyRE is the wide-event field-name contract: snake_case, no
+// leading digit or underscore.
+var eventKeyRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// eventKeyMethods are the obs.Event builder methods whose first
+// argument is a field key.
+var eventKeyMethods = map[string]bool{
+	"Str": true, "Int": true, "Float": true, "Bool": true, "Dur": true,
+}
 
 // kindOf maps registration method names to a metric kind; the L
 // variants mint labeled children.
@@ -80,6 +98,7 @@ func main() {
 	}
 	fset := token.NewFileSet()
 	sites := map[string][]site{} // metric name -> registration sites
+	eventSites := 0              // event-builder field sites checked
 	bad := 0
 	fail := func(pos token.Position, format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "metriclint: %s: %s\n", pos, fmt.Sprintf(format, args...))
@@ -98,6 +117,28 @@ func main() {
 			if err != nil {
 				return err
 			}
+			// Import names of this file: a call like flag.Int("max-input",
+			// ...) is a package function, not an event-builder method, and
+			// must not be linted as a field key.
+			imports := map[string]bool{}
+			for _, imp := range file.Imports {
+				if imp.Name != nil {
+					imports[imp.Name.Name] = true
+					continue
+				}
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err == nil {
+					imports[p[strings.LastIndex(p, "/")+1:]] = true
+				}
+			}
+			// Event-builder calls in this file, for the per-chain
+			// duplicate-key check.
+			type evCall struct {
+				recv *ast.CallExpr // inner chained call, nil at chain base
+				key  string
+				pos  token.Position
+			}
+			evCalls := map[*ast.CallExpr]evCall{}
 			ast.Inspect(file, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
@@ -106,6 +147,26 @@ func main() {
 				sel, ok := call.Fun.(*ast.SelectorExpr)
 				if !ok {
 					return true
+				}
+				if eventKeyMethods[sel.Sel.Name] && len(call.Args) >= 2 {
+					if id, ok := sel.X.(*ast.Ident); !ok || !imports[id.Name] {
+						if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+							key, err := strconv.Unquote(lit.Value)
+							if err == nil {
+								pos := fset.Position(lit.Pos())
+								if !eventKeyRE.MatchString(key) {
+									fail(pos, "event field %q is not snake_case (%s)", key, eventKeyRE)
+								} else if sel.Sel.Name == "Dur" && !strings.HasSuffix(key, "_ms") {
+									fail(pos, "duration field %q must end in _ms", key)
+								}
+								ec := evCall{key: key, pos: pos}
+								if inner, ok := sel.X.(*ast.CallExpr); ok {
+									ec.recv = inner
+								}
+								evCalls[call] = ec
+							}
+						}
+					}
 				}
 				kind, ok := kindOf[sel.Sel.Name]
 				if !ok || len(call.Args) == 0 {
@@ -153,6 +214,38 @@ func main() {
 				sites[name] = append(sites[name], s)
 				return true
 			})
+			// Duplicate keys within one builder chain: walk each chain
+			// from its head (a call no other event call chains off).
+			innerCalls := map[*ast.CallExpr]bool{}
+			for _, ec := range evCalls {
+				if ec.recv != nil {
+					if _, ok := evCalls[ec.recv]; ok {
+						innerCalls[ec.recv] = true
+					}
+				}
+			}
+			for call, ec := range evCalls {
+				eventSites++
+				if innerCalls[call] {
+					continue
+				}
+				seen := map[string]token.Position{}
+				for e := ec; ; {
+					if prev, dup := seen[e.key]; dup {
+						fail(e.pos, "event field %q repeated in one chain (also at %s)", e.key, prev)
+					} else {
+						seen[e.key] = e.pos
+					}
+					if e.recv == nil {
+						break
+					}
+					next, ok := evCalls[e.recv]
+					if !ok {
+						break
+					}
+					e = next
+				}
+			}
 			return nil
 		})
 		if err != nil {
@@ -200,7 +293,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "metriclint: %d problem(s)\n", bad)
 		os.Exit(1)
 	}
-	fmt.Printf("metriclint: %d metric registration sites clean\n", countSites(sites))
+	fmt.Printf("metriclint: %d metric registration sites, %d event field sites clean\n",
+		countSites(sites), eventSites)
 }
 
 func hasAnySuffix(s string, suffixes ...string) bool {

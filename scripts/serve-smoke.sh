@@ -2,7 +2,9 @@
 # End-to-end smoke for the xse-serve daemon: boot it on a free port,
 # drive the three API endpoints with the golden xse-map fixtures, and
 # check the robustness surfaces a deploy relies on — artifact-cache
-# reuse (via xse_server_cache_hits_total), admission shedding (429 +
+# reuse (via xse_server_cache_hits_total), request correlation (the
+# X-Request-Id we send round-trips into the response header, the
+# stderr wide-event log and /debug/events), admission shedding (429 +
 # Retry-After under a full slot pool), and SIGTERM drain (in-flight
 # request completes, process exits 0). Used by CI's bench-smoke job and
 # `make serve-smoke`.
@@ -58,7 +60,7 @@ fail=0
 
 # --- Functional pass: endpoints, error mapping, artifact cache ---
 
-"$tmp/xse-serve" -addr 127.0.0.1:0 2> "$tmp/s1.log" &
+"$tmp/xse-serve" -addr 127.0.0.1:0 -log-format json 2> "$tmp/s1.log" &
 pid=$!
 wait_addr "$tmp/s1.log"
 base="http://$addr"
@@ -85,6 +87,34 @@ code="$(post "$tmp/migrate.json" "$base/v1/migrate")"
 if [ "$code" != 200 ] || ! grep -q '"cached":true' "$tmp/resp.json"; then
   echo "serve-smoke: repeat /v1/migrate = $code (want 200 cached):" >&2
   cat "$tmp/resp.json" >&2; fail=1
+fi
+
+# Request correlation: our X-Request-Id comes back on the response,
+# retrieves the request's wide event from /debug/events, and shows up
+# in the stderr JSON log.
+rid="smoke-rid-$$"
+hdr_rid="$(curl -sS --max-time 10 -D - -o /dev/null \
+  -X POST -H 'Content-Type: application/json' -H "X-Request-Id: $rid" \
+  --data-binary "@$tmp/translate.json" "$base/v1/translate" \
+  | tr -d '\r' | sed -n 's/^[Xx]-[Rr]equest-[Ii]d: *//p' | head -n1)"
+if [ "$hdr_rid" != "$rid" ]; then
+  echo "serve-smoke: X-Request-Id echoed as '$hdr_rid', want '$rid'" >&2; fail=1
+fi
+curl -sS --max-time 10 "$base/debug/events?event=request&request_id=$rid" > "$tmp/events.json"
+if ! grep -q "\"request_id\": *\"$rid\"" "$tmp/events.json"; then
+  echo "serve-smoke: /debug/events has no wide event for $rid:" >&2
+  cat "$tmp/events.json" >&2; fail=1
+fi
+if ! grep -q "\"request_id\":\"$rid\"" "$tmp/s1.log"; then
+  echo "serve-smoke: stderr log has no wide-event line for $rid" >&2; fail=1
+fi
+# An error response echoes the correlation ID in its body.
+erid="smoke-err-$$"
+curl -sS --max-time 10 -o "$tmp/err.json" \
+  -X POST -H "X-Request-Id: $erid" --data-binary '{nope' "$base/v1/translate"
+if ! grep -q "\"request_id\":\"$erid\"" "$tmp/err.json"; then
+  echo "serve-smoke: error body has no request_id:" >&2
+  cat "$tmp/err.json" >&2; fail=1
 fi
 
 # Error mapping: malformed JSON is 400, wrong method 405.
